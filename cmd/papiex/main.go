@@ -1,0 +1,79 @@
+// Command papiex emulates the standalone whole-process measurement
+// tools discussed in the paper's Section 9 (perfex, pfmon, papiex):
+// it "launches" a benchmark as a separate process with counters running
+// from before exec to after exit, so loader and teardown instructions
+// land inside the measurement — producing the enormous relative errors
+// (over 60000% for small benchmarks) that make such tools unusable for
+// fine-grained measurement.
+//
+// Usage:
+//
+//	papiex -cpu K8 -bench loop:1000
+//	papiex -cpu PD -bench loop:100000000   # long benchmarks amortize it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		cpuTag    = flag.String("cpu", "K8", "processor: PD, CD, or K8")
+		benchSpec = flag.String("bench", "loop:1000", "benchmark: loop:N or array:N")
+		seed      = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+	if err := run(*cpuTag, *benchSpec, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "papiex:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cpuTag, benchSpec string, seed uint64) error {
+	name, arg, _ := strings.Cut(benchSpec, ":")
+	n, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil || n < 0 {
+		return fmt.Errorf("bad benchmark %q", benchSpec)
+	}
+	var bench *repro.Benchmark
+	switch name {
+	case "loop":
+		bench = repro.LoopBenchmark(n)
+	case "array":
+		bench = repro.ArrayBenchmark(n)
+	default:
+		return fmt.Errorf("unknown benchmark %q", benchSpec)
+	}
+
+	sys, err := repro.NewSystem(repro.Processor(cpuTag), repro.StackPC)
+	if err != nil {
+		return err
+	}
+	m, err := sys.Measure(repro.Request{
+		Bench:   bench,
+		Pattern: repro.StartRead,
+		Mode:    repro.ModeUserKernel,
+		Seed:    seed,
+	})
+	if err != nil {
+		return err
+	}
+	startup := sys.ProcessStartupCost()
+	measured := m.Deltas[0] + startup
+	errPct := 100 * float64(measured-bench.ExpectedInstr) / float64(bench.ExpectedInstr)
+
+	fmt.Printf("papiex-style whole-process measurement on %s\n\n", cpuTag)
+	fmt.Printf("benchmark instructions (ground truth):  %d\n", bench.ExpectedInstr)
+	fmt.Printf("process startup/teardown included:      %d\n", startup)
+	fmt.Printf("reported count:                         %d\n", measured)
+	fmt.Printf("relative error:                         %.1f%%\n\n", errPct)
+	fmt.Println("For fine-grained measurements, instrument the code region")
+	fmt.Println("directly (see cmd/pcsim) instead of measuring whole processes.")
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command pcaccuracy regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pcaccuracy -list
+//	pcaccuracy -experiment fig4
+//	pcaccuracy -experiment all -runs 24
+//	pcaccuracy -experiment table3 -json > table3.json
+//
+// Experiment IDs follow the paper's artifact numbering (table1, table2,
+// fig1, fig4..fig12, anova, guidelines, wholeprocess); "fig6" includes
+// Table 3. At the default -runs the full Figure 1 sweep performs more
+// than 170000 measurements and takes on the order of a minute.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		expID  = flag.String("experiment", "", "experiment ID, or 'all'")
+		runs   = flag.Int("runs", repro.Full.Runs, "repetitions per configuration cell")
+		seed   = flag.Uint64("seed", repro.Full.Seed, "experiment seed")
+		asJSON = flag.Bool("json", false, "emit the structured result as JSON instead of text")
+		csvDir = flag.String("csv", "", "directory for raw-observation CSV files (figures with samples)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range repro.ExperimentIDs() {
+			fmt.Printf("%-13s %s\n", id, repro.ExperimentTitle(id))
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "pcaccuracy: -experiment required (or -list); see -help")
+		os.Exit(2)
+	}
+
+	cfg := repro.ExperimentConfig{Runs: *runs, Seed: *seed}
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = repro.ExperimentIDs()
+	}
+	// "table3" is a convenience alias: Table 3 is produced by fig6.
+	for i, id := range ids {
+		if id == "table3" {
+			ids[i] = "fig6"
+		}
+	}
+
+	for _, id := range ids {
+		if err := runOne(id, cfg, *asJSON, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "pcaccuracy: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(id string, cfg repro.ExperimentConfig, asJSON bool, csvDir string) error {
+	var out *os.File
+	if !asJSON {
+		out = os.Stdout
+	}
+	res, err := repro.RunExperiment(id, renderTarget(out), cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println()
+	}
+	if csvDir != "" {
+		if exp, ok := res.(experiments.CSVExporter); ok {
+			path := filepath.Join(csvDir, id+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := exp.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "pcaccuracy: wrote %s\n", path)
+		}
+	}
+	return nil
+}
+
+// renderTarget keeps a nil *os.File from becoming a non-nil io.Writer.
+func renderTarget(f *os.File) io.Writer {
+	if f == nil {
+		return nil
+	}
+	return f
+}

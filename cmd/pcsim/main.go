@@ -1,0 +1,138 @@
+// Command pcsim runs a micro-benchmark on a simulated measurement
+// system and reports the measured counts, the analytical ground truth,
+// and the measurement error — an interactive window into the apparatus
+// behind the paper's experiments.
+//
+// Usage:
+//
+//	pcsim -cpu K8 -stack pc -bench loop:100000 -pattern rr -mode user -runs 5
+//	pcsim -cpu CD -stack PHpm -bench null -pattern ar -mode user+kernel
+//	pcsim -cpu PD -stack pc -notsc -bench loop:1000 -pattern rr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		cpuTag    = flag.String("cpu", "K8", "processor: PD, CD, or K8")
+		stackID   = flag.String("stack", "pc", "stack: pm, pc, PLpm, PLpc, PHpm, PHpc")
+		benchSpec = flag.String("bench", "loop:100000", "benchmark: null, loop:N, or array:N")
+		patCode   = flag.String("pattern", "ar", "pattern: ar, ao, rr, ro")
+		modeStr   = flag.String("mode", "user", "mode: user, user+kernel, kernel")
+		optLvl    = flag.Int("O", 2, "gcc optimization level 0-3")
+		runs      = flag.Int("runs", 5, "number of measurement runs")
+		notsc     = flag.Bool("notsc", false, "disable the perfctr TSC (forces syscall reads)")
+		cycles    = flag.Bool("cycles", false, "count cycles instead of instructions")
+		seed      = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	if err := run(*cpuTag, *stackID, *benchSpec, *patCode, *modeStr, *optLvl, *runs, *notsc, *cycles, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "pcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cpuTag, stackID, benchSpec, patCode, modeStr string, optLvl, runs int, notsc, cycles bool, seed uint64) error {
+	bench, err := parseBench(benchSpec)
+	if err != nil {
+		return err
+	}
+	pattern, err := parsePattern(patCode)
+	if err != nil {
+		return err
+	}
+	mode, err := parseMode(modeStr)
+	if err != nil {
+		return err
+	}
+	if optLvl < 0 || optLvl > 3 {
+		return fmt.Errorf("optimization level %d out of range 0-3", optLvl)
+	}
+
+	sys, err := repro.NewSystem(repro.Processor(cpuTag), stackID, repro.WithTSC(!notsc))
+	if err != nil {
+		return err
+	}
+
+	ev := repro.EventInstructions
+	if cycles {
+		ev = repro.EventCycles
+	}
+
+	fmt.Printf("system:    %s on %s (TSC %v)\n", stackID, cpuTag, !notsc)
+	fmt.Printf("benchmark: %s  pattern: %s  mode: %s  -O%d\n\n", bench, pattern, mode, optLvl)
+	fmt.Printf("%4s  %12s  %12s  %10s  %6s\n", "run", "measured", "expected", "error", "ticks")
+	for i := 0; i < runs; i++ {
+		m, err := sys.Measure(repro.Request{
+			Bench:   bench,
+			Pattern: pattern,
+			Mode:    mode,
+			Events:  []repro.Event{ev},
+			Opt:     repro.OptLevel(optLvl),
+			Seed:    seed + uint64(i),
+		})
+		if err != nil {
+			return err
+		}
+		expected := m.Expected
+		errv := m.Deltas[0] - expected
+		if cycles {
+			fmt.Printf("%4d  %12d  %12s  %10s  %6d\n", i, m.Deltas[0], "n/a", "n/a", m.TimerTicks)
+			continue
+		}
+		if mode == repro.ModeKernel {
+			expected = 0
+			errv = m.Deltas[0]
+		}
+		fmt.Printf("%4d  %12d  %12d  %+10d  %6d\n", i, m.Deltas[0], expected, errv, m.TimerTicks)
+	}
+	return nil
+}
+
+func parseBench(spec string) (*repro.Benchmark, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	switch name {
+	case "null":
+		return repro.NullBenchmark(), nil
+	case "loop", "array":
+		n, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad benchmark size %q", arg)
+		}
+		if name == "loop" {
+			return repro.LoopBenchmark(n), nil
+		}
+		return repro.ArrayBenchmark(n), nil
+	}
+	return nil, fmt.Errorf("unknown benchmark %q (want null, loop:N, array:N)", spec)
+}
+
+func parsePattern(code string) (repro.Pattern, error) {
+	for _, p := range []repro.Pattern{repro.StartRead, repro.StartStop, repro.ReadRead, repro.ReadStop} {
+		if p.Code() == code {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown pattern %q (want ar, ao, rr, ro)", code)
+}
+
+func parseMode(s string) (repro.MeasureMode, error) {
+	switch s {
+	case "user":
+		return repro.ModeUser, nil
+	case "user+kernel", "uk":
+		return repro.ModeUserKernel, nil
+	case "kernel", "os":
+		return repro.ModeKernel, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}

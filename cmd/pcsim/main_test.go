@@ -1,0 +1,83 @@
+package main
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func TestParseBench(t *testing.T) {
+	b, err := parseBench("null")
+	if err != nil || b.ExpectedInstr != 0 {
+		t.Errorf("null: %v, %v", b, err)
+	}
+	b, err = parseBench("loop:1000")
+	if err != nil || b.ExpectedInstr != 3001 {
+		t.Errorf("loop: %v, %v", b, err)
+	}
+	b, err = parseBench("array:10")
+	if err != nil || b.ExpectedInstr != 41 {
+		t.Errorf("array: %v, %v", b, err)
+	}
+	for _, bad := range []string{"loop:x", "loop:-5", "loop", "wat:3", ""} {
+		if _, err := parseBench(bad); err == nil {
+			t.Errorf("parseBench(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	for code, want := range map[string]repro.Pattern{
+		"ar": repro.StartRead, "ao": repro.StartStop,
+		"rr": repro.ReadRead, "ro": repro.ReadStop,
+	} {
+		got, err := parsePattern(code)
+		if err != nil || got != want {
+			t.Errorf("parsePattern(%q) = %v, %v", code, got, err)
+		}
+	}
+	if _, err := parsePattern("xx"); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for s, want := range map[string]repro.MeasureMode{
+		"user": repro.ModeUser, "user+kernel": repro.ModeUserKernel,
+		"uk": repro.ModeUserKernel, "kernel": repro.ModeKernel, "os": repro.ModeKernel,
+	} {
+		got, err := parseMode(s)
+		if err != nil || got != want {
+			t.Errorf("parseMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseMode("supervisor"); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run("K8", "pc", "loop:1000", "rr", "user", 2, 2, false, false, 1); err != nil {
+		t.Errorf("run failed: %v", err)
+	}
+	if err := run("CD", "PHpm", "null", "ar", "user+kernel", 0, 1, false, false, 1); err != nil {
+		t.Errorf("run failed: %v", err)
+	}
+	if err := run("PD", "pc", "loop:1000", "rr", "user", 2, 1, false, true, 1); err != nil {
+		t.Errorf("cycles run failed: %v", err)
+	}
+	if err := run("K8", "pc", "null", "ar", "kernel", 1, 1, true, false, 1); err != nil {
+		t.Errorf("kernel-mode run failed: %v", err)
+	}
+	// Error paths.
+	if err := run("K8", "pc", "loop:1000", "rr", "user", 9, 1, false, false, 1); err == nil {
+		t.Error("bad opt level accepted")
+	}
+	if err := run("ZZ", "pc", "loop:1000", "rr", "user", 2, 1, false, false, 1); err == nil {
+		t.Error("bad cpu accepted")
+	}
+	// PAPI high level cannot express read-read.
+	if err := run("K8", "PHpc", "loop:10", "rr", "user", 2, 1, false, false, 1); err == nil {
+		t.Error("rr on PHpc should fail")
+	}
+}

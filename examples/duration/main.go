@@ -1,0 +1,70 @@
+// Duration: reproduce the paper's Section 5 finding that the
+// measurement error grows with the duration of the measured region when
+// kernel-mode instructions are included — timer interrupts execute in
+// kernel mode and are attributed to the running thread — but not when
+// counting user-mode instructions only.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// fit computes the least-squares slope of y on x.
+func fit(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+func main() {
+	sys, err := repro.NewSystem(repro.CD, repro.StackPC)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sizes := []int64{10_000, 100_000, 250_000, 500_000, 1_000_000}
+	fmt.Println("perfctr on Core 2 Duo, loop benchmark, error vs duration")
+	fmt.Printf("%12s %18s %18s\n", "iterations", "u+k error (avg)", "user error (avg)")
+
+	var xs, ysUK, ysU []float64
+	for _, l := range sizes {
+		var sumUK, sumU float64
+		const runs = 60
+		for r := 0; r < runs; r++ {
+			for _, mode := range []repro.MeasureMode{repro.ModeUserKernel, repro.ModeUser} {
+				m, err := sys.Measure(repro.Request{
+					Bench:   repro.LoopBenchmark(l),
+					Pattern: repro.StartRead,
+					Mode:    mode,
+					Seed:    uint64(l) + uint64(r)*131,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				e := float64(m.Deltas[0] - m.Expected)
+				if mode == repro.ModeUserKernel {
+					sumUK += e
+					xs = append(xs, float64(l))
+					ysUK = append(ysUK, e)
+				} else {
+					sumU += e
+					ysU = append(ysU, e)
+				}
+			}
+		}
+		fmt.Printf("%12d %18.1f %18.1f\n", l, sumUK/runs, sumU/runs)
+	}
+
+	fmt.Printf("\nregression slopes (extra instructions per loop iteration):\n")
+	fmt.Printf("  user+kernel: %+.6f   (paper, Figure 7: ~0.002 for pc on CD)\n", fit(xs, ysUK))
+	fmt.Printf("  user only:   %+.8f (paper, Figure 8: within a few millionths)\n", fit(xs, ysU))
+}

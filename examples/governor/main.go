@@ -1,0 +1,59 @@
+// Governor: reproduce the paper's Section 8 frequency-scaling
+// guideline. Cycle counts of the same memory-touching workload are
+// repeatable when the clock is pinned (performance governor) but
+// scatter widely when the ondemand governor changes the frequency
+// between and during measurements — because memory latency, fixed in
+// wall time by the bus clock, changes in *cycles* with the core clock.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func stats(xs []float64) (mean, cv float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(xs)-1))
+	return mean, sd / mean
+}
+
+func main() {
+	const iters = 1_000_000
+	for _, gov := range []repro.Governor{repro.GovernorPerformance, repro.GovernorOndemand} {
+		sys, err := repro.NewSystem(repro.CD, repro.StackPC, repro.WithGovernor(gov))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var cycles []float64
+		for r := 0; r < 40; r++ {
+			m, err := sys.Measure(repro.Request{
+				Bench:   repro.ArrayBenchmark(iters),
+				Pattern: repro.StartRead,
+				Mode:    repro.ModeUserKernel,
+				Events:  []repro.Event{repro.EventCycles},
+				Seed:    uint64(r) + 3,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles = append(cycles, float64(m.Deltas[0]))
+		}
+		mean, cv := stats(cycles)
+		fmt.Printf("%-12s governor: mean = %12.0f cycles, coefficient of variation = %.4f (now at %.1f GHz)\n",
+			gov, mean, cv, sys.FrequencyGHz())
+	}
+
+	fmt.Println("\nGuideline (paper, Section 8): pin the processor frequency — set the")
+	fmt.Println("performance (or powersave) governor — before measuring cycle counts.")
+}

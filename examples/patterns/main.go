@@ -1,0 +1,58 @@
+// Patterns: compare the four counter access patterns of the paper's
+// Table 2 across the two direct stacks (libpfm/perfmon2 and
+// libperfctr/perfctr) on the Core 2 Duo, in both counting modes —
+// a miniature of the paper's Section 4 analysis showing why the choice
+// of pattern matters.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func median(xs []int64) float64 {
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	if n%2 == 1 {
+		return float64(s[n/2])
+	}
+	return float64(s[n/2-1]+s[n/2]) / 2
+}
+
+func main() {
+	patterns := []repro.Pattern{repro.StartRead, repro.StartStop, repro.ReadRead, repro.ReadStop}
+	modes := []repro.MeasureMode{repro.ModeUser, repro.ModeUserKernel}
+
+	for _, stack := range []string{repro.StackPM, repro.StackPC} {
+		sys, err := repro.NewSystem(repro.CD, stack)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("null-benchmark error on CD via %s (median of 31 runs)\n", stack)
+		fmt.Printf("%-12s %14s %14s\n", "pattern", "user", "user+kernel")
+		for _, pat := range patterns {
+			fmt.Printf("%-12s", pat)
+			for _, mode := range modes {
+				errs, err := sys.MeasureN(repro.Request{
+					Bench:   repro.NullBenchmark(),
+					Pattern: pat,
+					Mode:    mode,
+				}, 31, 7)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf(" %14.1f", median(errs))
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Patterns that read while counters run (rr, ro) behave differently")
+	fmt.Println("from start/stop-based patterns; the best choice depends on the")
+	fmt.Println("stack and the counting mode (paper, Sections 4.1-4.2).")
+}

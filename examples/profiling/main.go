@@ -1,0 +1,66 @@
+// Profiling: use the counter-overflow sampling machinery (the "other"
+// usage model the paper's Section 9 contrasts with counting) to find
+// where a two-phase program spends its instructions, and observe the
+// accuracy/perturbation trade-off as the sampling period shrinks.
+//
+// This example drives the internal engine directly through the public
+// experiment facade's substrate: it builds a program with two loops and
+// profiles retired instructions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/sampling"
+)
+
+func main() {
+	// Program: a 1M-iteration plain loop, then a 500k-iteration memory
+	// loop. Phase A retires 3M instructions, phase B 2M.
+	b := isa.NewBuilder("two-phase", 0x4000)
+	b.Emit(isa.ALU())
+	b.Loop(1_000_000, func(body *isa.Builder) {
+		body.Emit(isa.ALU(), isa.ALU(), isa.Branch(0, true))
+	})
+	b.Loop(500_000, func(body *isa.Builder) {
+		body.Emit(isa.Load(), isa.ALU(), isa.ALU(), isa.Branch(0, true))
+	})
+	b.Emit(isa.Halt())
+	prog := b.Build()
+	phaseA := prog.Addr(2) // first loop body
+	phaseB := prog.Addr(6) // second loop body
+
+	for _, period := range []int64{200_000, 20_000, 2_000} {
+		k := kernel.New(cpu.Athlon64X2)
+		prof, err := sampling.New(k, cpu.EventInstrRetired, period)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := prof.Run(prog, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("period %7d: %5d samples, estimate %8d (true %8d, %+.2f%%)\n",
+			period, len(p.Samples), p.Estimate(), p.TrueCount, p.RelativeError()*100)
+		for _, h := range p.Hotspots() {
+			share := float64(h.Samples) / float64(len(p.Samples)) * 100
+			name := "other"
+			switch h.Addr {
+			case phaseA:
+				name = "phase A (plain loop)"
+			case phaseB:
+				name = "phase B (memory loop)"
+			}
+			if share >= 1 {
+				fmt.Printf("    %-24s %5.1f%% of samples\n", name, share)
+			}
+		}
+	}
+	fmt.Println("\nPhase A holds ~60% of retired instructions (3M of 5M) and the")
+	fmt.Println("sample shares converge on that split as the period shrinks —")
+	fmt.Println("while each extra sample costs an interrupt that perturbs the run.")
+}

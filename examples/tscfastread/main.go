@@ -1,0 +1,55 @@
+// TSC fast read: reproduce the paper's most counterintuitive finding
+// (Figure 4, Section 4.1). Disabling the time stamp counter — one less
+// register to read, so seemingly less work — makes perfctr measurements
+// drastically *worse*, because the TSC is what enables perfctr's fast
+// user-mode read path. Without it, every read becomes a system call.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func median(xs []int64) float64 {
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	if n%2 == 1 {
+		return float64(s[n/2])
+	}
+	return float64(s[n/2-1]+s[n/2]) / 2
+}
+
+func main() {
+	fmt.Println("perfctr on Core 2 Duo, null benchmark, user+kernel instructions")
+	fmt.Printf("%-12s %14s %14s %10s\n", "pattern", "TSC enabled", "TSC disabled", "penalty")
+
+	patterns := []repro.Pattern{repro.ReadRead, repro.ReadStop, repro.StartRead, repro.StartStop}
+	for _, pat := range patterns {
+		meds := map[bool]float64{}
+		for _, tsc := range []bool{true, false} {
+			sys, err := repro.NewSystem(repro.CD, repro.StackPC, repro.WithTSC(tsc))
+			if err != nil {
+				log.Fatal(err)
+			}
+			errs, err := sys.MeasureN(repro.Request{
+				Bench:   repro.NullBenchmark(),
+				Pattern: pat,
+				Mode:    repro.ModeUserKernel,
+			}, 41, 11)
+			if err != nil {
+				log.Fatal(err)
+			}
+			meds[tsc] = median(errs)
+		}
+		fmt.Printf("%-12s %14.1f %14.1f %9.1fx\n", pat, meds[true], meds[false], meds[false]/meds[true])
+	}
+
+	fmt.Println("\nPatterns that include a read while counting (read-read, read-stop)")
+	fmt.Println("lose the fast user-mode path and pay two syscalls per measurement;")
+	fmt.Println("start-stop never reads a running counter and is unaffected.")
+	fmt.Println("Guideline (paper, Section 8): keep the TSC enabled with perfctr.")
+}

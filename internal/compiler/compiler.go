@@ -1,0 +1,97 @@
+// Package compiler models the aspects of gcc 4.1.2 that matter to the
+// study: the measurement harness glue emitted around the pattern calls
+// at each optimization level, and — crucially — code placement.
+//
+// The paper's Section 4.3 ANOVA finds the optimization level does *not*
+// significantly affect the instruction-count error, because only the
+// small call glue is optimizable and it executes outside the measurement
+// window. But Section 6 shows placement — which changes with every
+// (pattern, optimization level) combination because each produces a
+// different executable — swings the *cycles* per loop iteration between
+// groups (2 vs 3 cycles on the K8, Figure 11). This package reproduces
+// both behaviours: glue instruction counts vary with the optimization
+// level, and the load address is a deterministic hash of everything that
+// changes the executable.
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// OptLevel is a gcc optimization level, O0 through O3.
+type OptLevel uint8
+
+// The four levels exercised in the study (Section 3.6).
+const (
+	O0 OptLevel = iota
+	O1
+	O2
+	O3
+)
+
+// AllOptLevels lists the levels in the paper's order.
+var AllOptLevels = []OptLevel{O0, O1, O2, O3}
+
+// String returns the gcc flag, e.g. "-O2".
+func (o OptLevel) String() string {
+	if o > O3 {
+		return fmt.Sprintf("-O%d?", uint8(o))
+	}
+	return fmt.Sprintf("-O%d", uint8(o))
+}
+
+// Glue describes the compiled measurement harness: the instruction
+// counts of the unmeasured prologue and epilogue around the pattern
+// calls, and the load address of the harness code.
+type Glue struct {
+	// PreInstr and PostInstr are harness instructions executed before
+	// the first and after the last pattern call. They never land inside
+	// a measurement window, so they cannot affect the instruction-count
+	// error — the mechanism behind the ANOVA result.
+	PreInstr, PostInstr int
+	// Base is the code load address of the harness. Different
+	// executables place the (identical) benchmark code at different
+	// addresses.
+	Base uint64
+}
+
+// glueSizes gives (pre, post) harness instruction counts per level:
+// unoptimized harness code spills locals and reloads arguments.
+var glueSizes = [4][2]int{
+	O0: {126, 94},
+	O1: {64, 47},
+	O2: {42, 31},
+	O3: {34, 25},
+}
+
+// textBase is the conventional IA32 executable text segment base.
+const textBase = 0x0804_8000
+
+// Harness compiles the measurement harness for an (infrastructure,
+// pattern, optimization level) combination on a given machine. The
+// returned glue is deterministic: recompiling the same combination
+// reproduces the same executable, hence the same placement — which is
+// why the paper's Figure 12 cells each form a clean line.
+func Harness(infra, pattern string, opt OptLevel, machine string) Glue {
+	sizes := glueSizes[opt]
+	h := xrand.Mix(hashString(infra), hashString(pattern), uint64(opt), hashString(machine))
+	return Glue{
+		PreInstr:  sizes[0],
+		PostInstr: sizes[1],
+		// Placement granularity is one byte across a 4 KiB window: lay
+		// out enough variety for every fetch-window alignment to occur.
+		Base: textBase + h%4096,
+	}
+}
+
+// hashString folds a string into a 64-bit value for placement hashing.
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-64 offset basis
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,88 @@
+package compiler
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOptLevelString(t *testing.T) {
+	want := map[OptLevel]string{O0: "-O0", O1: "-O1", O2: "-O2", O3: "-O3"}
+	for o, w := range want {
+		if o.String() != w {
+			t.Errorf("%d: %q != %q", o, o.String(), w)
+		}
+	}
+	if OptLevel(7).String() == "" {
+		t.Error("unknown level must render")
+	}
+}
+
+func TestGlueShrinksWithOptimization(t *testing.T) {
+	prev := Harness("pm", "ar", O0, "K8")
+	for _, o := range []OptLevel{O1, O2, O3} {
+		g := Harness("pm", "ar", o, "K8")
+		if g.PreInstr >= prev.PreInstr || g.PostInstr >= prev.PostInstr {
+			t.Errorf("glue did not shrink at %s: %+v vs %+v", o, g, prev)
+		}
+		prev = g
+	}
+}
+
+// TestPlacementDeterministic: recompiling the same configuration yields
+// the same executable, hence the same load address — the reason each
+// (pattern, opt) cell in the paper's Figure 12 forms one clean line.
+func TestPlacementDeterministic(t *testing.T) {
+	f := func(opt uint8) bool {
+		o := OptLevel(opt % 4)
+		a := Harness("pc", "rr", o, "CD")
+		b := Harness("pc", "rr", o, "CD")
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlacementVariesAcrossConfigurations: different executables land at
+// different addresses (with 4096 possible offsets, 16 configurations
+// colliding entirely would be suspicious).
+func TestPlacementVariesAcrossConfigurations(t *testing.T) {
+	seen := map[uint64]bool{}
+	for _, pat := range []string{"ar", "ao", "rr", "ro"} {
+		for _, o := range AllOptLevels {
+			seen[Harness("pm", pat, o, "K8").Base] = true
+		}
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d distinct placements across 16 configurations", len(seen))
+	}
+}
+
+// TestPlacementCoversAlignments: across many configurations, load
+// addresses must cover both fetch-window-aligned and straddling cases,
+// otherwise the Figure 11 bimodality cannot appear.
+func TestPlacementCoversAlignments(t *testing.T) {
+	aligned, straddling := 0, 0
+	for _, infra := range []string{"pm", "pc", "PLpm", "PLpc", "PHpm", "PHpc"} {
+		for _, pat := range []string{"ar", "ao", "rr", "ro"} {
+			for _, o := range AllOptLevels {
+				g := Harness(infra, pat, o, "K8")
+				if g.Base%16 < 7 {
+					aligned++
+				} else {
+					straddling++
+				}
+			}
+		}
+	}
+	if aligned == 0 || straddling == 0 {
+		t.Errorf("alignment classes not covered: %d aligned, %d straddling", aligned, straddling)
+	}
+}
+
+func TestBaseInTextSegment(t *testing.T) {
+	g := Harness("pm", "ar", O2, "PD")
+	if g.Base < 0x08048000 || g.Base >= 0x08048000+4096 {
+		t.Errorf("base %#x outside text segment window", g.Base)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Calibration is an estimate of a measurement configuration's fixed
+// error, to be subtracted from subsequent measurements (the paper's
+// Section 8 guideline).
+type Calibration struct {
+	// Offset is the estimated fixed error in events.
+	Offset float64
+	// Strategy names the estimation method.
+	Strategy string
+	// Samples is the number of calibration runs.
+	Samples int
+}
+
+// Apply corrects a measured delta.
+func (c Calibration) Apply(delta int64) float64 {
+	return float64(delta) - c.Offset
+}
+
+// CalibrateNull estimates the fixed error with the paper's own method:
+// repeated measurements of the null benchmark, whose true count is
+// zero, summarized by the median.
+func CalibrateNull(k *kernel.Kernel, infra Infrastructure, pattern Pattern, mode MeasureMode, opt compiler.OptLevel, runs int, seed uint64) (Calibration, error) {
+	if runs <= 0 {
+		return Calibration{}, fmt.Errorf("core: calibration needs runs > 0")
+	}
+	errs, err := MeasureN(k, infra, Request{
+		Bench: NullBenchmark(), Pattern: pattern, Mode: mode, Opt: opt,
+	}, runs, seed)
+	if err != nil {
+		return Calibration{}, err
+	}
+	return Calibration{
+		Offset:   stats.MedianInt64(errs),
+		Strategy: "null-benchmark",
+		Samples:  runs,
+	}, nil
+}
+
+// CalibrateNullProbe estimates the fixed error with Najafzadeh and
+// Chaiken's proposal (discussed in the paper's Section 9): a null probe
+// — two back-to-back reads — is injected at the *beginning of the
+// measured code section*, so the read cost is measured in the same
+// i-cache and branch-predictor context the real measurement will see,
+// rather than in the synthetic context of a dedicated calibration
+// binary. The probe's delta is the in-context cost of one read pair.
+//
+// The probe calibrates read-based patterns; for start/stop patterns the
+// probe's read cost approximates the enable/readout halves.
+func CalibrateNullProbe(k *kernel.Kernel, infra Infrastructure, mode MeasureMode, opt compiler.OptLevel, warmInstr int, runs int, seed uint64) (Calibration, error) {
+	if runs <= 0 {
+		return Calibration{}, fmt.Errorf("core: calibration needs runs > 0")
+	}
+	specs := []CounterSpec{Spec(cpu.EventInstrRetired, mode)}
+	if err := infra.Setup(specs); err != nil {
+		return Calibration{}, err
+	}
+
+	glue := compiler.Harness(infra.Name(), "probe", opt, infra.Backend())
+	var deltas []int64
+	for r := 0; r < runs; r++ {
+		b := isa.NewBuilder("null-probe", glue.Base)
+		b.ALUBlock(glue.PreInstr)
+		infra.EmitStart(b)
+		// Realistic context: the code that would precede the measured
+		// section, warming the front end.
+		b.ALUBlock(warmInstr)
+		// The probe: two reads with nothing between them.
+		infra.EmitRead(b, PhaseC0)
+		infra.EmitRead(b, PhaseC1)
+		b.ALUBlock(glue.PostInstr)
+		b.Emit(isa.Halt())
+		prog := b.Build()
+		if err := prog.Validate(true); err != nil {
+			return Calibration{}, err
+		}
+		k.Core.SeedRun(xrand.Mix(seed, uint64(r), 0x9a))
+		if err := k.Core.Run(prog); err != nil {
+			return Calibration{}, err
+		}
+		m, err := extract(k.Core, infra.NumCounters(), Request{
+			Bench: NullBenchmark(), Pattern: ReadRead, Mode: mode,
+		}.withDefaults())
+		if err != nil {
+			return Calibration{}, err
+		}
+		deltas = append(deltas, m.Deltas[0])
+	}
+	return Calibration{
+		Offset:   stats.MedianInt64(deltas),
+		Strategy: "null-probe",
+		Samples:  runs,
+	}, nil
+}

@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+func TestCalibrateNull(t *testing.T) {
+	s := sys(t, cpu.Athlon64X2, "pm")
+	cal, err := core.CalibrateNull(s.Kernel, s.Infra, core.ReadRead, core.ModeUser, compiler.O2, 31, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Strategy != "null-benchmark" || cal.Samples != 31 {
+		t.Errorf("calibration metadata: %+v", cal)
+	}
+	if cal.Offset < 35 || cal.Offset > 42 {
+		t.Errorf("pm rr user calibration offset = %v, want ~37", cal.Offset)
+	}
+
+	// Applying the calibration to a loop measurement recovers the true
+	// count within a few instructions.
+	m, err := s.Measure(core.Request{
+		Bench: core.LoopBenchmark(10_000), Pattern: core.ReadRead,
+		Mode: core.ModeUser, Opt: compiler.O2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrected := cal.Apply(m.Deltas[0])
+	if d := math.Abs(corrected - float64(m.Expected)); d > 5 {
+		t.Errorf("calibrated residual = %v, want <= 5", d)
+	}
+}
+
+func TestCalibrateNullErrors(t *testing.T) {
+	s := sys(t, cpu.Athlon64X2, "pm")
+	if _, err := core.CalibrateNull(s.Kernel, s.Infra, core.ReadRead, core.ModeUser, compiler.O2, 0, 1); err == nil {
+		t.Error("zero runs accepted")
+	}
+}
+
+func TestCalibrateNullProbe(t *testing.T) {
+	s := sys(t, cpu.Athlon64X2, "pc")
+	cal, err := core.CalibrateNullProbe(s.Kernel, s.Infra, core.ModeUser, compiler.O2, 200, 31, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Strategy != "null-probe" {
+		t.Errorf("strategy = %q", cal.Strategy)
+	}
+	// The probe measures the in-context read-pair cost; for pc with the
+	// TSC fast path that is the rr fixed error, ~84 on K8.
+	if cal.Offset < 75 || cal.Offset > 95 {
+		t.Errorf("probe offset = %v, want ~84", cal.Offset)
+	}
+
+	m, err := s.Measure(core.Request{
+		Bench: core.LoopBenchmark(5_000), Pattern: core.ReadRead,
+		Mode: core.ModeUser, Opt: compiler.O2, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrected := cal.Apply(m.Deltas[0])
+	if d := math.Abs(corrected - float64(m.Expected)); d > 6 {
+		t.Errorf("probe-calibrated residual = %v, want <= 6", d)
+	}
+}
+
+func TestCalibrateNullProbeErrors(t *testing.T) {
+	s := sys(t, cpu.Athlon64X2, "pc")
+	if _, err := core.CalibrateNullProbe(s.Kernel, s.Infra, core.ModeUser, compiler.O2, 100, 0, 1); err == nil {
+		t.Error("zero runs accepted")
+	}
+}
+
+// TestCalibrationStrategiesAgree: on this deterministic substrate both
+// strategies estimate the same read-pair cost for read-based patterns.
+func TestCalibrationStrategiesAgree(t *testing.T) {
+	s := sys(t, cpu.Core2Duo, "pm")
+	null, err := core.CalibrateNull(s.Kernel, s.Infra, core.ReadRead, core.ModeUser, compiler.O1, 21, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := core.CalibrateNullProbe(s.Kernel, s.Infra, core.ModeUser, compiler.O1, 300, 21, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(null.Offset - probe.Offset); d > 4 {
+		t.Errorf("strategies disagree: null=%v probe=%v", null.Offset, probe.Offset)
+	}
+}

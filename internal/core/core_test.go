@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+func TestMeasureModeGating(t *testing.T) {
+	for _, tc := range []struct {
+		m        MeasureMode
+		user, os bool
+		name     string
+	}{
+		{ModeUser, true, false, "user"},
+		{ModeUserKernel, true, true, "user+kernel"},
+		{ModeKernel, false, true, "kernel"},
+	} {
+		u, o := tc.m.Gating()
+		if u != tc.user || o != tc.os {
+			t.Errorf("%v gating = (%v,%v)", tc.m, u, o)
+		}
+		if tc.m.String() != tc.name {
+			t.Errorf("%v name = %q, want %q", tc.m, tc.m.String(), tc.name)
+		}
+	}
+	if MeasureMode(9).String() == "" {
+		t.Error("unknown mode must render")
+	}
+}
+
+func TestSpec(t *testing.T) {
+	s := Spec(cpu.EventInstrRetired, ModeKernel)
+	if s.User || !s.OS || s.Event != cpu.EventInstrRetired {
+		t.Errorf("Spec = %+v", s)
+	}
+}
+
+func TestPhaseSlots(t *testing.T) {
+	if PhaseC0.SlotFor(2, 4) != 2 {
+		t.Error("c0 slot wrong")
+	}
+	if PhaseC1.SlotFor(2, 4) != 6 {
+		t.Error("c1 slot wrong")
+	}
+}
+
+func TestPatternCodes(t *testing.T) {
+	want := map[Pattern][2]string{
+		StartRead: {"ar", "start-read"},
+		StartStop: {"ao", "start-stop"},
+		ReadRead:  {"rr", "read-read"},
+		ReadStop:  {"ro", "read-stop"},
+	}
+	for p, w := range want {
+		if p.Code() != w[0] || p.String() != w[1] {
+			t.Errorf("%d: got (%s,%s), want %v", p, p.Code(), p.String(), w)
+		}
+		back, err := PatternByCode(p.Code())
+		if err != nil || back != p {
+			t.Errorf("round trip failed for %s", p)
+		}
+	}
+	if _, err := PatternByCode("xx"); err == nil {
+		t.Error("bad code accepted")
+	}
+	if Pattern(9).Code() == "" || Pattern(9).String() == "" {
+		t.Error("unknown pattern must render")
+	}
+}
+
+func TestPatternProperties(t *testing.T) {
+	if !ReadRead.ReadsAtC0() || !ReadStop.ReadsAtC0() {
+		t.Error("rr/ro must read at c0")
+	}
+	if StartRead.ReadsAtC0() || StartStop.ReadsAtC0() {
+		t.Error("ar/ao must not read at c0")
+	}
+	if !StartStop.StopsBeforeC1() || !ReadStop.StopsBeforeC1() {
+		t.Error("ao/ro must stop before c1")
+	}
+	if StartRead.StopsBeforeC1() || ReadRead.StopsBeforeC1() {
+		t.Error("ar/rr must not stop before c1")
+	}
+}
+
+func TestNullBenchmark(t *testing.T) {
+	nb := NullBenchmark()
+	if nb.ExpectedInstr != 0 || nb.Iterations != 0 {
+		t.Errorf("null bench: %+v", nb)
+	}
+	b := isa.NewBuilder("x", 0)
+	nb.Emit(b)
+	if b.Pos() != 0 {
+		t.Error("null benchmark emitted instructions")
+	}
+	if nb.String() != "null" {
+		t.Errorf("String = %q", nb.String())
+	}
+}
+
+// TestLoopBenchmarkModel: the paper's analytical model ie = 1 + 3l must
+// hold exactly for the emitted program.
+func TestLoopBenchmarkModel(t *testing.T) {
+	f := func(iters uint32) bool {
+		l := int64(iters % 2_000_000)
+		lb := LoopBenchmark(l)
+		if lb.ExpectedInstr != 1+3*l {
+			return false
+		}
+		b := isa.NewBuilder("bench", 0x1000)
+		lb.Emit(b)
+		b.Emit(isa.Halt())
+		p := b.Build()
+		return p.StaticRetired() == lb.ExpectedInstr+1 // +halt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoopBenchmarkNegativeClamped(t *testing.T) {
+	lb := LoopBenchmark(-5)
+	if lb.ExpectedInstr != 1 || lb.Iterations != 0 {
+		t.Errorf("negative iters: %+v", lb)
+	}
+}
+
+func TestLoopBenchmarkString(t *testing.T) {
+	if LoopBenchmark(42).String() != "loop(42)" {
+		t.Errorf("String = %q", LoopBenchmark(42).String())
+	}
+}
+
+func TestExpectedLoopInstr(t *testing.T) {
+	if ExpectedLoopInstr(1_000_000) != 3_000_001 {
+		t.Error("model mismatch")
+	}
+}
+
+func TestErrTooManyCounters(t *testing.T) {
+	e := &ErrTooManyCounters{Requested: 5, Available: 2, Model: "Core2 Duo E6600"}
+	if e.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestErrUnsupportedPattern(t *testing.T) {
+	e := &ErrUnsupportedPattern{Pattern: ReadRead, Infra: "PHpm"}
+	if e.Error() == "" {
+		t.Error("empty error text")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import "fmt"
+
+// Pattern is one of the four counter access patterns of Table 2. Every
+// pattern captures the counter value in c0 before the benchmark and c1
+// after it; c-delta = c1 - c0 is the measured count, and its deviation
+// from the benchmark's analytical count is the measurement error.
+type Pattern uint8
+
+const (
+	// StartRead (ar): c0=0, reset, start ... c1=read.
+	StartRead Pattern = iota
+	// StartStop (ao): c0=0, reset, start ... stop, c1=read.
+	StartStop
+	// ReadRead (rr): start, c0=read ... c1=read.
+	ReadRead
+	// ReadStop (ro): start, c0=read ... stop, c1=read.
+	ReadStop
+)
+
+// AllPatterns lists the patterns in Table 2's order.
+var AllPatterns = []Pattern{StartRead, StartStop, ReadRead, ReadStop}
+
+// Code returns the paper's two-letter pattern code.
+func (p Pattern) Code() string {
+	switch p {
+	case StartRead:
+		return "ar"
+	case StartStop:
+		return "ao"
+	case ReadRead:
+		return "rr"
+	case ReadStop:
+		return "ro"
+	}
+	return fmt.Sprintf("p%d", uint8(p))
+}
+
+// String returns the paper's long pattern name.
+func (p Pattern) String() string {
+	switch p {
+	case StartRead:
+		return "start-read"
+	case StartStop:
+		return "start-stop"
+	case ReadRead:
+		return "read-read"
+	case ReadStop:
+		return "read-stop"
+	}
+	return fmt.Sprintf("pattern(%d)", uint8(p))
+}
+
+// PatternByCode returns the pattern for a two-letter code.
+func PatternByCode(code string) (Pattern, error) {
+	for _, p := range AllPatterns {
+		if p.Code() == code {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown pattern code %q", code)
+}
+
+// ReadsAtC0 reports whether the pattern captures c0 with an explicit
+// read (rr, ro) rather than relying on reset (ar, ao).
+func (p Pattern) ReadsAtC0() bool { return p == ReadRead || p == ReadStop }
+
+// StopsBeforeC1 reports whether counting is stopped before the final
+// read (ao, ro).
+func (p Pattern) StopsBeforeC1() bool { return p == StartStop || p == ReadStop }
+
+// SupportedBy reports whether the infrastructure can express the
+// pattern. The PAPI high-level API resets counters on every read, so it
+// cannot implement read-read or read-stop (Table 2 footnote).
+func (p Pattern) SupportedBy(infra Infrastructure) bool {
+	if p.ReadsAtC0() {
+		return infra.SupportsReadWithoutReset()
+	}
+	return true
+}
+
+// ErrUnsupportedPattern is returned when a pattern cannot be expressed
+// on a given infrastructure.
+type ErrUnsupportedPattern struct {
+	Pattern Pattern
+	Infra   string
+}
+
+// Error implements error.
+func (e *ErrUnsupportedPattern) Error() string {
+	return fmt.Sprintf("core: pattern %s unsupported on %s (read implies reset)", e.Pattern, e.Infra)
+}

@@ -1,0 +1,156 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stack"
+)
+
+// TestPropertyLayerOrdering: for any (processor, backend, supported
+// pattern, opt level, mode), wrapping the stack in PAPI layers never
+// reduces the measurement error. This is Figure 6's finding as a
+// universally quantified invariant.
+func TestPropertyLayerOrdering(t *testing.T) {
+	models := cpu.AllModels
+	f := func(mi, bi, pi, oi, modi, seed8 uint8) bool {
+		model := models[int(mi)%len(models)]
+		backend := []string{"pm", "pc"}[int(bi)%2]
+		pattern := core.AllPatterns[int(pi)%len(core.AllPatterns)]
+		opt := compiler.AllOptLevels[int(oi)%4]
+		mode := []core.MeasureMode{core.ModeUser, core.ModeUserKernel}[int(modi)%2]
+		seed := uint64(seed8)
+
+		med := func(code string) float64 {
+			s, err := stack.New(model, code, stack.DefaultOptions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pattern.SupportedBy(s.Infra) {
+				return -1
+			}
+			errs, err := s.MeasureN(core.Request{
+				Bench: core.NullBenchmark(), Pattern: pattern, Mode: mode, Opt: opt,
+			}, 9, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum float64
+			for _, e := range errs {
+				sum += float64(e)
+			}
+			return sum / float64(len(errs))
+		}
+		direct := med(backend)
+		low := med("PL" + backend)
+		high := med("PH" + backend)
+		if high < 0 { // pattern unsupported at high level
+			return low >= direct
+		}
+		return high > low && low > direct
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyUserErrorDurationInvariant: the user-mode fixed error is
+// independent of benchmark duration up to interrupt skew (a few
+// instructions), for any stack and loop size.
+func TestPropertyUserErrorDurationInvariant(t *testing.T) {
+	f := func(codeIdx, seed8 uint8, sizeSel uint16) bool {
+		code := stack.Codes[int(codeIdx)%len(stack.Codes)]
+		size := int64(sizeSel)*37 + 1
+		s, err := stack.New(cpu.Core2Duo, code, stack.DefaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		short, err := core.Measure(s.Kernel, s.Infra, core.Request{
+			Bench: core.LoopBenchmark(1), Pattern: core.StartRead,
+			Mode: core.ModeUser, Seed: uint64(seed8),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		long, err := core.Measure(s.Kernel, s.Infra, core.Request{
+			Bench: core.LoopBenchmark(size), Pattern: core.StartRead,
+			Mode: core.ModeUser, Seed: uint64(seed8) + 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := long.Error(0, core.ModeUser) - short.Error(0, core.ModeUser)
+		return d >= -12 && d <= 12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMeasuredNeverBelowTruth: in user+kernel mode the counted
+// instructions can never be fewer than the benchmark's true count — the
+// infrastructure only ever adds instructions.
+func TestPropertyMeasuredNeverBelowTruth(t *testing.T) {
+	f := func(codeIdx, patIdx, seed8 uint8, sizeSel uint16) bool {
+		code := stack.Codes[int(codeIdx)%len(stack.Codes)]
+		pattern := core.AllPatterns[int(patIdx)%len(core.AllPatterns)]
+		s, err := stack.New(cpu.PentiumD, code, stack.DefaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pattern.SupportedBy(s.Infra) {
+			return true
+		}
+		m, err := core.Measure(s.Kernel, s.Infra, core.Request{
+			Bench:   core.LoopBenchmark(int64(sizeSel)),
+			Pattern: pattern,
+			Mode:    core.ModeUserKernel,
+			Seed:    uint64(seed8),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Deltas[0] >= m.Expected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyWindowAdditivity: the null-benchmark error plus the true
+// loop count predicts the loop measurement within jitter and skew, for
+// any loop size — the decomposition the paper's Sections 4 and 5 rest
+// on (fixed access cost + benchmark + duration-dependent part; in user
+// mode the duration part vanishes).
+func TestPropertyWindowAdditivity(t *testing.T) {
+	s, err := stack.New(cpu.Athlon64X2, "pm", stack.DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(sizeSel uint16, seed8 uint8) bool {
+		size := int64(sizeSel)
+		null, err := core.Measure(s.Kernel, s.Infra, core.Request{
+			Bench: core.NullBenchmark(), Pattern: core.ReadRead,
+			Mode: core.ModeUser, Seed: uint64(seed8),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loop, err := core.Measure(s.Kernel, s.Infra, core.Request{
+			Bench: core.LoopBenchmark(size), Pattern: core.ReadRead,
+			Mode: core.ModeUser, Seed: uint64(seed8),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted := null.Deltas[0] + loop.Expected
+		diff := loop.Deltas[0] - predicted
+		return diff >= -10 && diff <= 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

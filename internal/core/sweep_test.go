@@ -1,0 +1,134 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stats"
+)
+
+func sweepSystems(t *testing.T, codes ...string) []core.SweepSystem {
+	t.Helper()
+	var out []core.SweepSystem
+	for _, code := range codes {
+		s := sys(t, cpu.Athlon64X2, code)
+		out = append(out, core.SweepSystem{Kernel: s.Kernel, Infra: s.Infra})
+	}
+	return out
+}
+
+func TestSweepBasic(t *testing.T) {
+	recs, err := core.Sweep(core.SweepConfig{
+		Systems: sweepSystems(t, "pm", "pc"),
+		Runs:    3,
+		Seed:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 systems x 4 patterns x 4 opts x 1 reg x 2 modes x 3 runs.
+	want := 2 * 4 * 4 * 1 * 2 * 3
+	if len(recs) != want {
+		t.Fatalf("records = %d, want %d", len(recs), want)
+	}
+	for _, r := range recs {
+		if r.Processor != "K8" {
+			t.Fatalf("processor = %q", r.Processor)
+		}
+		if r.Error < 0 && r.Mode == "user+kernel" {
+			t.Errorf("negative u+k error: %+v", r)
+		}
+		if len(r.Levels()) != len(core.SweepFactors) {
+			t.Fatal("levels/factors mismatch")
+		}
+	}
+}
+
+func TestSweepSkipsUnsupportedCells(t *testing.T) {
+	recs, err := core.Sweep(core.SweepConfig{
+		Systems:   sweepSystems(t, "PHpm"),
+		Runs:      1,
+		Registers: []int{1, 99}, // 99 exceeds every processor
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Pattern == "rr" || r.Pattern == "ro" {
+			t.Errorf("PHpm must skip read patterns, got %+v", r)
+		}
+		if r.Registers == 99 {
+			t.Errorf("oversized register cell not skipped: %+v", r)
+		}
+	}
+	// ar, ao x 4 opts x 1 reg x 2 modes x 1 run.
+	if want := 2 * 4 * 1 * 2 * 1; len(recs) != want {
+		t.Errorf("records = %d, want %d", len(recs), want)
+	}
+}
+
+func TestSweepEmptySystems(t *testing.T) {
+	if _, err := core.Sweep(core.SweepConfig{}); err == nil || !strings.Contains(err.Error(), "at least one system") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSweepDeterminism(t *testing.T) {
+	run := func() []core.SweepRecord {
+		recs, err := core.Sweep(core.SweepConfig{
+			Systems: sweepSystems(t, "PLpc"),
+			Runs:    2,
+			Seed:    42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSweepFeedsANOVA: the record stream plugs straight into the stats
+// engine and reproduces the Section 4.3 verdict on a small design.
+func TestSweepFeedsANOVA(t *testing.T) {
+	recs, err := core.Sweep(core.SweepConfig{
+		Systems: sweepSystems(t, "pm", "pc", "PLpm", "PLpc"),
+		Runs:    4,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := core.SweepObservations(recs, core.ModeUserKernel)
+	if len(obs) == 0 {
+		t.Fatal("no observations")
+	}
+	table, err := stats.ANOVA(core.SweepFactors[:5], obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]bool{}
+	for _, f := range table.Factors {
+		byName[f.Name] = f.Significant
+	}
+	if !byName["infrastructure"] || !byName["pattern"] {
+		t.Errorf("infrastructure/pattern must be significant: %s", table)
+	}
+	if byName["optlevel"] {
+		t.Errorf("optlevel must not be significant: %s", table)
+	}
+	if byName["processor"] {
+		t.Log("single-processor sweep: processor factor has one level (not significant), as expected")
+	}
+}

@@ -1,0 +1,703 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/xrand"
+)
+
+// Mode is the processor privilege level. The study distinguishes only
+// user and kernel mode (Section 2.5).
+type Mode uint8
+
+const (
+	// User is unprivileged execution.
+	User Mode = iota
+	// Kernel is privileged execution (syscall and interrupt handlers).
+	Kernel
+)
+
+// String returns "user" or "kernel".
+func (m Mode) String() string {
+	if m == User {
+		return "user"
+	}
+	return "kernel"
+}
+
+// Capture records the value observed by one RDPMC/RDTSC instruction that
+// carries a capture slot. The measurement patterns compute c0/c1 (and
+// hence c-delta) from these.
+type Capture struct {
+	// Slot is the capture slot from the instruction.
+	Slot int
+	// Counter is the programmable counter index, or TSCCounter.
+	Counter int
+	// Value is the observed (virtualized, if an extension is installed)
+	// counter value.
+	Value int64
+	// Cycle is the global cycle time of the capture.
+	Cycle float64
+	// Mode is the privilege mode the capture executed in.
+	Mode Mode
+}
+
+// TSCCounter is the Counter value of a time-stamp-counter capture.
+const TSCCounter = -1
+
+// Timer models the periodic timer interrupt (the Linux tick). Its
+// handler executes in kernel mode and is the mechanism behind the
+// duration-dependent measurement error of Section 5.
+type Timer struct {
+	// Period is the cycle distance between ticks (GHz*1e9/HZ).
+	Period float64
+	// Next is the cycle time of the next tick.
+	Next float64
+	// Handler is the kernel tick handler; nil disables delivery.
+	Handler *isa.Program
+	// Enabled gates delivery.
+	Enabled bool
+	// SkewBias shifts the per-tick user-count attribution rounding;
+	// kernel extensions differ in how precisely they save and restore
+	// counts around an interrupt, so the installed extension sets this.
+	SkewBias float64
+}
+
+// Core is one simulated processor core: the execution engine, PMU, and
+// interrupt machinery. A Core is not safe for concurrent use.
+type Core struct {
+	// Model is the processor being simulated.
+	Model *Model
+	// PMU is the core's performance monitoring unit.
+	PMU *PMU
+	// Mode is the current privilege level.
+	Mode Mode
+	// Cycles is the global cycle clock (mirrors the TSC).
+	Cycles float64
+
+	// Timer is the periodic tick source.
+	Timer Timer
+
+	// FreqScale is the current clock frequency relative to nominal
+	// (1.0 = the model's rated GHz). Frequency scaling does not change
+	// how many cycles computation takes, but memory latency — fixed in
+	// wall time by the bus clock — shrinks in cycles when the core
+	// clock drops (the Section 8 frequency-scaling effect).
+	FreqScale float64
+
+	// Syscalls maps syscall numbers to kernel handler programs. The
+	// kernel package populates it; extensions register their handlers
+	// through the kernel.
+	Syscalls map[int]*isa.Program
+
+	// OverflowHandler is the kernel's PMU-interrupt handler, run once
+	// per counter period crossing when sampling is configured.
+	OverflowHandler *isa.Program
+	// OnOverflow is a host callback fired per crossing with the address
+	// of the code executing when the counter overflowed — the signal a
+	// sampling profiler builds its histogram from.
+	OnOverflow func(counter int, addr uint64, mode Mode)
+
+	// VirtualRead, when set by a kernel extension, supplies the value an
+	// RDPMC capture observes for a counter (the per-thread virtualized
+	// count). When nil, captures read the raw hardware counter.
+	VirtualRead func(counter int) int64
+	// OnMSR is invoked after a WRMSR counter-control write so extensions
+	// can mirror resets into their per-thread state.
+	OnMSR func(action isa.MSRAction, mask uint64)
+	// OnTick is invoked after each timer-interrupt handler completes
+	// (scheduler hook).
+	OnTick func()
+
+	// Captures collects counter reads of the current Run.
+	Captures []Capture
+	// RetiredUser and RetiredKernel tally retired instructions per mode
+	// for diagnostics and tests; they are independent of PMU gating.
+	RetiredUser   int64
+	RetiredKernel int64
+	// TimerDeliveries counts delivered ticks in the current Run.
+	TimerDeliveries int
+	// OverflowDeliveries counts delivered PMU interrupts; OverflowsLost
+	// counts crossings dropped while interrupts were masked (crossings
+	// caused by the overflow handlers themselves).
+	OverflowDeliveries int
+	OverflowsLost      int64
+
+	rng     *xrand.Rand
+	inIRQ   bool
+	inPMI   bool
+	depth   int
+	curAddr uint64              // address of the executing code region
+	lines   map[uint64]struct{} // touched icache lines (cold-miss model)
+	pages   map[uint64]struct{} // touched iTLB pages
+	halted  bool
+}
+
+// maxNesting bounds handler recursion (user -> syscall -> interrupt).
+const maxNesting = 8
+
+// NewCore returns a core for the given model with a zero seed.
+func NewCore(m *Model) *Core {
+	return &Core{
+		Model:     m,
+		PMU:       NewPMU(m),
+		FreqScale: 1.0,
+		Syscalls:  make(map[int]*isa.Program),
+		rng:       xrand.New(0),
+		lines:     make(map[uint64]struct{}),
+		pages:     make(map[uint64]struct{}),
+	}
+}
+
+// opCost returns the cycle cost of one instruction of the given class at
+// the current clock frequency: memory costs scale with the clock, core
+// costs do not.
+func (c *Core) opCost(class int) float64 {
+	cost := c.Model.opCycleCost(class)
+	if class == costMem {
+		cost *= c.FreqScale
+	}
+	return cost
+}
+
+// SeedRun reseeds the per-run random stream and randomizes the timer
+// phase. Call it before each Run to model a measurement taken at an
+// arbitrary point relative to the tick.
+func (c *Core) SeedRun(seed uint64) {
+	c.rng = xrand.New(seed)
+	if c.Timer.Period > 0 {
+		c.Timer.Next = c.Cycles + c.rng.Float64()*c.Timer.Period
+	}
+}
+
+// InstallTimer configures the periodic tick. hz is the tick frequency.
+func (c *Core) InstallTimer(hz float64, handler *isa.Program) {
+	c.Timer.Period = c.Model.GHz * 1e9 / hz
+	c.Timer.Next = c.Cycles + c.Timer.Period
+	c.Timer.Handler = handler
+	c.Timer.Enabled = true
+}
+
+// Errors returned by the execution engine.
+var (
+	ErrPrivilege   = errors.New("cpu: privileged instruction in user mode")
+	ErrBadSyscall  = errors.New("cpu: syscall number not registered")
+	ErrNesting     = errors.New("cpu: handler nesting too deep")
+	ErrStrayReturn = errors.New("cpu: sysret/iret outside handler")
+)
+
+// Run executes a user program to completion (OpHalt). Captures and
+// per-run tallies are reset. The caller is responsible for PMU
+// configuration; counters keep their values across runs unless reset.
+func (c *Core) Run(p *isa.Program) error {
+	c.Captures = c.Captures[:0]
+	c.RetiredUser, c.RetiredKernel = 0, 0
+	c.TimerDeliveries = 0
+	c.OverflowDeliveries = 0
+	c.OverflowsLost = 0
+	c.halted = false
+	c.inIRQ = false
+	c.inPMI = false
+	c.depth = 0
+	clear(c.lines)
+	clear(c.pages)
+	c.Mode = User
+	return c.runProg(p)
+}
+
+// runProg interprets a program until OpHalt (top level) or
+// OpSysRet/OpIRet (handlers). Handlers execute via nested calls, so a
+// syscall's instructions retire synchronously inside the OpSyscall
+// instruction of the caller.
+func (c *Core) runProg(p *isa.Program) error {
+	c.depth++
+	defer func() { c.depth-- }()
+	if c.depth > maxNesting {
+		return fmt.Errorf("%w (program %q)", ErrNesting, p.Name)
+	}
+
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(p.Code) {
+			return fmt.Errorf("cpu: pc %d out of range in %q", pc, p.Name)
+		}
+		in := p.Code[pc]
+		switch in.Op {
+		case isa.OpHalt:
+			c.retire(1, costALU)
+			c.halted = true
+			return nil
+
+		case isa.OpSysRet:
+			if c.depth < 2 {
+				return fmt.Errorf("%w (sysret in %q)", ErrStrayReturn, p.Name)
+			}
+			c.retire(1, costSyscall)
+			return nil
+
+		case isa.OpIRet:
+			if c.depth < 2 {
+				return fmt.Errorf("%w (iret in %q)", ErrStrayReturn, p.Name)
+			}
+			c.retire(1, costIRQ)
+			return nil
+
+		case isa.OpBranch:
+			c.execBranch(p, pc, in)
+			if in.B != 0 {
+				pc = int(in.A)
+			} else {
+				pc++
+			}
+
+		case isa.OpLoop:
+			if err := c.execLoop(p, pc, in); err != nil {
+				return err
+			}
+			pc += 1 + int(in.B)
+
+		case isa.OpSyscall:
+			if err := c.execSyscall(in); err != nil {
+				return err
+			}
+			pc++
+
+		default:
+			if err := c.exec1(p, pc, in); err != nil {
+				return err
+			}
+			pc++
+		}
+		if err := c.maybeInterrupt(); err != nil {
+			return err
+		}
+		if err := c.deliverOverflows(); err != nil {
+			return err
+		}
+	}
+}
+
+// deliverOverflows runs the PMU interrupt for every pending counter
+// period crossing. Crossings produced by the handlers themselves are
+// dropped — the PMU interrupt is masked during delivery, as on real
+// hardware — and tallied in OverflowsLost.
+func (c *Core) deliverOverflows() error {
+	if c.OnOverflow == nil && c.OverflowHandler == nil {
+		// No sampling consumer: discard cheaply so the queue cannot grow.
+		if len(c.PMU.pending) > 0 {
+			c.PMU.TakeOverflows()
+		}
+		return nil
+	}
+	if c.inPMI {
+		return nil
+	}
+	ovfs := c.PMU.TakeOverflows()
+	if len(ovfs) == 0 {
+		return nil
+	}
+	c.inPMI = true
+	// Samples attribute to the code that was executing at the crossing,
+	// not to the handler; the handler's own fetches must not disturb
+	// the tracked address.
+	addr := c.curAddr
+	defer func() {
+		c.inPMI = false
+		c.curAddr = addr
+	}()
+	for _, o := range ovfs {
+		for k := int64(0); k < o.Crossings; k++ {
+			c.OverflowDeliveries++
+			if c.OnOverflow != nil {
+				c.OnOverflow(o.Counter, addr, c.Mode)
+			}
+			if c.OverflowHandler != nil {
+				prev := c.Mode
+				c.Mode = Kernel
+				c.addCycles(c.opCost(costIRQ))
+				err := c.runProg(c.OverflowHandler)
+				c.Mode = prev
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, o := range c.PMU.TakeOverflows() {
+		c.OverflowsLost += o.Crossings
+	}
+	return nil
+}
+
+// exec1 executes a non-control-flow instruction.
+func (c *Core) exec1(p *isa.Program, pc int, in isa.Instr) error {
+	c.fetchPenalty(p.Addr(pc))
+	switch in.Op {
+	case isa.OpALU, isa.OpNop:
+		c.retire(1, costALU)
+
+	case isa.OpLoad, isa.OpStore:
+		c.retire(1, costMem)
+
+	case isa.OpVarWork:
+		extra := c.rng.Geometric(int(in.A), varWorkDecay)
+		c.retire(1+int64(extra), costALU)
+
+	case isa.OpRDPMC:
+		c.retire(1, costRDPMC)
+		if in.Slot != isa.NoSlot {
+			v := c.readCounterValue(int(in.A))
+			c.Captures = append(c.Captures, Capture{
+				Slot: int(in.Slot), Counter: int(in.A), Value: v,
+				Cycle: c.Cycles, Mode: c.Mode,
+			})
+		}
+
+	case isa.OpRDTSC:
+		c.retire(1, costRDTSC)
+		if in.Slot != isa.NoSlot {
+			c.Captures = append(c.Captures, Capture{
+				Slot: int(in.Slot), Counter: TSCCounter, Value: c.PMU.TSC(),
+				Cycle: c.Cycles, Mode: c.Mode,
+			})
+		}
+
+	case isa.OpRDMSR:
+		if c.Mode != Kernel {
+			return fmt.Errorf("%w: rdmsr in %q", ErrPrivilege, p.Name)
+		}
+		c.retire(1, costMSR)
+
+	case isa.OpWRMSR:
+		if c.Mode != Kernel {
+			return fmt.Errorf("%w: wrmsr in %q", ErrPrivilege, p.Name)
+		}
+		// The control write takes effect *at this instruction*: everything
+		// executed before an enable (or after a disable) is outside the
+		// measurement window. Retire first so that an enabling WRMSR does
+		// not count itself.
+		c.retire(1, costMSR)
+		action, mask := isa.MSRAction(in.A), uint64(in.B)
+		switch action {
+		case isa.MSREnable:
+			c.PMU.Enable(mask)
+		case isa.MSRDisable:
+			c.PMU.Disable(mask)
+		case isa.MSRReset:
+			c.PMU.Reset(mask)
+		default:
+			return fmt.Errorf("cpu: unknown msr action %d in %q", in.A, p.Name)
+		}
+		if c.OnMSR != nil {
+			c.OnMSR(action, mask)
+		}
+
+	default:
+		return fmt.Errorf("cpu: unexpected op %s in %q", in.Op, p.Name)
+	}
+	return nil
+}
+
+// readCounterValue returns what an RDPMC-based read observes.
+func (c *Core) readCounterValue(ctr int) int64 {
+	if c.VirtualRead != nil {
+		return c.VirtualRead(ctr)
+	}
+	v, err := c.PMU.Value(ctr)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// execBranch costs and predicts a conditional branch.
+func (c *Core) execBranch(p *isa.Program, pc int, in isa.Instr) {
+	c.fetchPenalty(p.Addr(pc))
+	c.retire(1, costBranch)
+	// Static not-taken prediction for forward, taken for backward: a
+	// mispredict costs the model penalty and retires a BrMisp event.
+	backward := in.A <= int64(pc)
+	taken := in.B != 0
+	if taken != backward {
+		c.PMU.AddEvent(c.Mode, EventBrMispRetired, 1)
+		c.addCycles(c.Model.MispredictPenalty)
+	}
+}
+
+// execSyscall transitions to kernel mode and synchronously runs the
+// registered handler.
+func (c *Core) execSyscall(in isa.Instr) error {
+	h, ok := c.Syscalls[int(in.A)]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadSyscall, in.A)
+	}
+	c.retire(1, costSyscall) // SYSENTER retires in user mode
+	prev := c.Mode
+	c.Mode = Kernel
+	c.addCycles(c.opCost(costSyscall)) // pipeline drain on entry
+	err := c.runProg(h)
+	c.Mode = prev
+	return err
+}
+
+// varWorkDecay is the per-step continuation probability of OpVarWork's
+// geometric extra-work distribution.
+const varWorkDecay = 0.35
+
+// loopBulkThreshold is the iteration count above which a plain loop body
+// is fast-forwarded analytically instead of stepped.
+const loopBulkThreshold = 64
+
+// execLoop runs a loop block. Plain bodies (no privileged or capturing
+// instructions) fast-forward analytically between timer interrupts: the
+// per-iteration cycle cost is a deterministic function of the body's
+// placement (the Section 6 effect), so bulk advancement is exact.
+func (c *Core) execLoop(p *isa.Program, pc int, hdr isa.Instr) error {
+	body := p.Code[pc+1 : pc+1+int(hdr.B)]
+	iters := hdr.A
+	if iters == 0 {
+		return nil
+	}
+	bodyAddr := p.Addr(pc + 1)
+	if !plainBody(body) {
+		return c.execLoopStepwise(p, pc, body, iters)
+	}
+
+	var bodyBytes uint64
+	var bodyRetire int64
+	memOps := 0
+	for _, in := range body {
+		bodyBytes += uint64(in.Size)
+		bodyRetire += int64(in.Retires())
+		if in.Op == isa.OpLoad || in.Op == isa.OpStore {
+			memOps++
+		}
+	}
+	iterCycles := c.IterCycles(bodyAddr, bodyBytes, memOps)
+
+	// One-time front-end warmup: first fetch of the body misses the
+	// i-cache, and the loop branch mispredicts while the predictor
+	// learns and once more at loop exit.
+	c.fetchPenalty(bodyAddr)
+	c.PMU.AddEvent(c.Mode, EventBrMispRetired, 2)
+	c.addCycles(2 * c.Model.MispredictPenalty)
+
+	// Memory-walking bodies (the Korn-style array benchmark) miss the
+	// data cache once per line: sequential 8-byte accesses hit 64-byte
+	// lines, so one miss per 8 loads per memory operation.
+	if memOps > 0 {
+		c.PMU.AddEvent(c.Mode, EventDCacheMiss, float64(memOps)*float64(iters)/8)
+	}
+
+	c.curAddr = bodyAddr
+	sampled := c.OnOverflow != nil || c.OverflowHandler != nil
+	remaining := iters
+	for remaining > 0 {
+		n := remaining
+		if c.timerActive() {
+			headroom := c.Timer.Next - c.Cycles
+			fit := int64(headroom / iterCycles)
+			if fit < n {
+				n = fit
+			}
+		}
+		if sampled {
+			// Bound the chunk at the next overflow boundary so PMU
+			// interrupts fire at the crossing, as on hardware, instead
+			// of batching at the chunk end.
+			for _, a := range c.PMU.ArmedHeadrooms(c.Mode) {
+				var perIter float64
+				switch a.Event {
+				case EventInstrRetired:
+					perIter = float64(bodyRetire)
+				case EventCoreCycles:
+					perIter = iterCycles
+				default:
+					continue
+				}
+				fit := int64(float64(a.Headroom)/perIter) + 1
+				if fit < n {
+					n = fit
+				}
+			}
+		}
+		if n > 0 {
+			c.retireBulk(n*bodyRetire, float64(n)*iterCycles)
+			remaining -= n
+			if err := c.deliverOverflows(); err != nil {
+				return err
+			}
+		}
+		if remaining > 0 {
+			// The next iteration crosses the tick boundary: execute it,
+			// then deliver.
+			c.retireBulk(bodyRetire, iterCycles)
+			remaining--
+			if err := c.maybeInterrupt(); err != nil {
+				return err
+			}
+			if err := c.deliverOverflows(); err != nil {
+				return err
+			}
+			c.curAddr = bodyAddr
+		}
+	}
+	return nil
+}
+
+// execLoopStepwise interprets every iteration of a non-plain body.
+func (c *Core) execLoopStepwise(p *isa.Program, pc int, body []isa.Instr, iters int64) error {
+	for k := int64(0); k < iters; k++ {
+		for j, in := range body {
+			switch in.Op {
+			case isa.OpBranch:
+				c.execBranch(p, pc+1+j, in)
+			case isa.OpSyscall:
+				if err := c.execSyscall(in); err != nil {
+					return err
+				}
+			case isa.OpLoop:
+				return fmt.Errorf("cpu: nested loop blocks must be flattened (program %q)", p.Name)
+			default:
+				if err := c.exec1(p, pc+1+j, in); err != nil {
+					return err
+				}
+			}
+			if err := c.maybeInterrupt(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// plainBody reports whether all instructions may be bulk-advanced.
+func plainBody(body []isa.Instr) bool {
+	for _, in := range body {
+		switch in.Op {
+		case isa.OpALU, isa.OpNop, isa.OpLoad, isa.OpStore, isa.OpBranch:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// IterCycles returns the steady-state cycles per iteration for a loop
+// body located at addr. This is the paper's Section 6 mechanism: the
+// body's placement relative to fetch-window boundaries — which depends on
+// the compiler, optimization level, and surrounding code — selects one of
+// a few per-iteration costs (K8: 2 or 3 cycles; Figure 11).
+func (c *Core) IterCycles(addr, bytes uint64, memOps int) float64 {
+	m := c.Model
+	cyc := m.LoopBaseCycles
+	if addr%m.FetchWindow+bytes > m.FetchWindow {
+		cyc += m.StraddleCycles
+	}
+	if m.PlacementQuirkMax > 0 {
+		// NetBurst trace-cache rebuild sensitivity: a placement hash
+		// selects one of four extra per-iteration costs.
+		h := xrand.Mix(addr>>4, uint64(m.Arch))
+		cyc += float64(h%4) / 3 * m.PlacementQuirkMax
+	}
+	// Memory latency is pinned to the bus clock, so its cycle cost
+	// scales with the core frequency (Section 8's frequency-scaling
+	// caveat).
+	cyc += float64(memOps) * 0.5 / m.BaseIPC * c.FreqScale
+	return cyc
+}
+
+// timerActive reports whether tick delivery can occur now.
+func (c *Core) timerActive() bool {
+	return c.Timer.Enabled && c.Timer.Handler != nil && !c.inIRQ
+}
+
+// maybeInterrupt delivers pending timer ticks.
+func (c *Core) maybeInterrupt() error {
+	if !c.timerActive() {
+		return nil
+	}
+	for c.Cycles >= c.Timer.Next {
+		if err := c.deliverTimer(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliverTimer runs one tick: attribution skew, kernel handler, return.
+func (c *Core) deliverTimer() error {
+	c.inIRQ = true
+	c.TimerDeliveries++
+
+	// Counter save/restore around the interrupt rounds user-attributed
+	// counts by a few instructions (the source of Figure 8's tiny
+	// nonzero slopes).
+	if max := c.Model.TickSkewMax; max > 0 {
+		delta := c.Model.TickSkewBias + c.Timer.SkewBias +
+			float64(c.rng.Intn(2*max+1)-max)
+		c.PMU.SkewExclusive(delta)
+	}
+
+	prev := c.Mode
+	c.Mode = Kernel
+	c.addCycles(c.opCost(costIRQ))
+	err := c.runProg(c.Timer.Handler)
+	if c.OnTick != nil {
+		c.OnTick()
+	}
+	c.Mode = prev
+	c.inIRQ = false
+	c.Timer.Next += c.Timer.Period
+	return err
+}
+
+// retire counts n instructions in the current mode and advances time by
+// the per-op cycle cost.
+func (c *Core) retire(n int64, opClass int) {
+	c.PMU.AddInstr(c.Mode, n)
+	if c.Mode == User {
+		c.RetiredUser += n
+	} else {
+		c.RetiredKernel += n
+	}
+	c.addCycles(float64(n) * c.opCost(opClass))
+}
+
+// retireBulk counts n instructions and cyc cycles in the current mode.
+func (c *Core) retireBulk(n int64, cyc float64) {
+	c.PMU.AddInstr(c.Mode, n)
+	if c.Mode == User {
+		c.RetiredUser += n
+	} else {
+		c.RetiredKernel += n
+	}
+	c.addCycles(cyc)
+}
+
+// addCycles advances the clock by cyc cycles in the current mode.
+func (c *Core) addCycles(cyc float64) {
+	c.Cycles += cyc
+	c.PMU.AddCycles(c.Mode, cyc)
+}
+
+// fetchPenalty applies cold i-cache and i-TLB costs on first touch of a
+// line or page, and tracks the executing address for overflow
+// attribution.
+func (c *Core) fetchPenalty(addr uint64) {
+	c.curAddr = addr
+	line := addr >> 6
+	if _, ok := c.lines[line]; !ok {
+		c.lines[line] = struct{}{}
+		c.PMU.AddEvent(c.Mode, EventICacheMiss, 1)
+		c.addCycles(c.Model.ICacheMissPenalty)
+	}
+	page := addr >> 12
+	if _, ok := c.pages[page]; !ok {
+		c.pages[page] = struct{}{}
+		c.PMU.AddEvent(c.Mode, EventITLBMiss, 1)
+		c.addCycles(c.Model.ITLBMissPenalty)
+	}
+}

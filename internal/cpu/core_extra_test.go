@@ -1,0 +1,177 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// TestDCacheMissModel: a memory-walking loop misses the data cache once
+// per 64-byte line (8 eight-byte elements).
+func TestDCacheMissModel(t *testing.T) {
+	c := NewCore(Athlon64X2)
+	if err := c.PMU.Configure(0, CounterConfig{Event: EventDCacheMiss, User: true, OS: true}); err != nil {
+		t.Fatal(err)
+	}
+	c.PMU.Enable(1)
+	const iters = 80_000
+	b := isa.NewBuilder("array", 0x4000)
+	b.Emit(isa.ALU())
+	b.Loop(iters, func(body *isa.Builder) {
+		body.Emit(isa.Load(), isa.ALU(), isa.ALU(), isa.Branch(0, true))
+	})
+	b.Emit(isa.Halt())
+	if err := c.Run(b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	misses, _ := c.PMU.Value(0)
+	want := int64(iters / 8)
+	if misses < want-10 || misses > want+10 {
+		t.Errorf("dcache misses = %d, want ~%d", misses, want)
+	}
+}
+
+// TestOverflowDetection: the PMU reports period crossings exactly.
+func TestOverflowDetection(t *testing.T) {
+	p := NewPMU(Athlon64X2)
+	if err := p.Configure(0, CounterConfig{Event: EventInstrRetired, User: true, OverflowPeriod: 100}); err != nil {
+		t.Fatal(err)
+	}
+	p.Enable(1)
+	p.AddInstr(User, 99)
+	if got := p.TakeOverflows(); got != nil {
+		t.Errorf("no crossing expected, got %v", got)
+	}
+	p.AddInstr(User, 1) // exactly at 100
+	ovf := p.TakeOverflows()
+	if len(ovf) != 1 || ovf[0].Crossings != 1 || ovf[0].Counter != 0 {
+		t.Errorf("ovf = %v", ovf)
+	}
+	p.AddInstr(User, 350) // 450: crosses 200, 300, 400
+	ovf = p.TakeOverflows()
+	if len(ovf) != 1 || ovf[0].Crossings != 3 {
+		t.Errorf("bulk crossings = %v, want 3", ovf)
+	}
+	// Take clears.
+	if got := p.TakeOverflows(); got != nil {
+		t.Errorf("second take must be empty, got %v", got)
+	}
+}
+
+// TestOverflowCrossingsProperty: total crossings equal
+// floor(total/period) regardless of how increments are sliced.
+func TestOverflowCrossingsProperty(t *testing.T) {
+	f := func(chunks []uint8) bool {
+		const period = 57
+		p := NewPMU(Athlon64X2)
+		if err := p.Configure(0, CounterConfig{Event: EventInstrRetired, User: true, OverflowPeriod: period}); err != nil {
+			return false
+		}
+		p.Enable(1)
+		var total, crossings int64
+		for _, ch := range chunks {
+			p.AddInstr(User, int64(ch))
+			total += int64(ch)
+			for _, o := range p.TakeOverflows() {
+				crossings += o.Crossings
+			}
+		}
+		return crossings == total/period
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArmedHeadrooms(t *testing.T) {
+	p := NewPMU(Athlon64X2)
+	if err := p.Configure(0, CounterConfig{Event: EventInstrRetired, User: true, OverflowPeriod: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Configure(1, CounterConfig{Event: EventInstrRetired, User: true}); err != nil {
+		t.Fatal(err)
+	}
+	p.Enable(0b11)
+	p.AddInstr(User, 300)
+	armed := p.ArmedHeadrooms(User)
+	if len(armed) != 1 {
+		t.Fatalf("armed = %v", armed)
+	}
+	if armed[0].Headroom != 700 {
+		t.Errorf("headroom = %d, want 700", armed[0].Headroom)
+	}
+	// Kernel-gated query: counter 0 is user-only, so nothing is armed.
+	if got := p.ArmedHeadrooms(Kernel); got != nil {
+		t.Errorf("kernel-mode armed = %v", got)
+	}
+}
+
+// TestZeroIterationLoopWithSampling: edge interaction of the bulk
+// bounding logic with an empty loop.
+func TestZeroIterationLoopWithSampling(t *testing.T) {
+	c := NewCore(Athlon64X2)
+	if err := c.PMU.Configure(0, CounterConfig{Event: EventInstrRetired, User: true, OS: true, OverflowPeriod: 10}); err != nil {
+		t.Fatal(err)
+	}
+	c.PMU.Enable(1)
+	fired := 0
+	c.OnOverflow = func(int, uint64, Mode) { fired++ }
+	b := isa.NewBuilder("empty", 0x4000)
+	b.Emit(isa.ALU())
+	b.Loop(0, func(body *isa.Builder) {
+		body.Emit(isa.ALU(), isa.ALU(), isa.Branch(0, true))
+	})
+	b.ALUBlock(25)
+	b.Emit(isa.Halt())
+	if err := c.Run(b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	if fired < 2 {
+		t.Errorf("expected overflow deliveries from the straight-line code, got %d", fired)
+	}
+}
+
+// TestFreqScaleAffectsMemOnly: dropping the clock halves memory cycle
+// costs but leaves ALU costs unchanged.
+func TestFreqScaleAffectsMemOnly(t *testing.T) {
+	run := func(scale float64, op isa.Instr) float64 {
+		c := NewCore(Core2Duo)
+		c.FreqScale = scale
+		b := isa.NewBuilder("w", 0x4000)
+		for i := 0; i < 1000; i++ {
+			b.Emit(op)
+		}
+		b.Emit(isa.Halt())
+		if err := c.Run(b.Build()); err != nil {
+			t.Fatal(err)
+		}
+		return c.Cycles
+	}
+	aluFull, aluHalf := run(1.0, isa.ALU()), run(0.5, isa.ALU())
+	if aluFull != aluHalf {
+		t.Errorf("ALU cycles changed with frequency: %v vs %v", aluFull, aluHalf)
+	}
+	memFull, memHalf := run(1.0, isa.Load()), run(0.5, isa.Load())
+	if memHalf >= memFull {
+		t.Errorf("memory cycles did not shrink with the clock: %v vs %v", memFull, memHalf)
+	}
+}
+
+// TestHaltedFlagAndReuse: a core can run many programs back to back.
+func TestHaltedFlagAndReuse(t *testing.T) {
+	c := newTestCore(t)
+	p := isa.NewBuilder("p", 0x1000).ALUBlock(3).Emit(isa.Halt()).Build()
+	for i := 0; i < 10; i++ {
+		if err := c.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		if c.RetiredUser != 4 {
+			t.Fatalf("run %d: retired %d", i, c.RetiredUser)
+		}
+	}
+	v, _ := c.PMU.Value(0)
+	if v != 40 {
+		t.Errorf("counter accumulates across runs: %d, want 40", v)
+	}
+}

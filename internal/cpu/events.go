@@ -1,0 +1,122 @@
+package cpu
+
+import "fmt"
+
+// Event identifies a micro-architectural event a performance counter can
+// be programmed to count. The set mirrors the events exercised in the
+// paper (retired instructions and unhalted cycles drive all figures;
+// front-end events participate in the cycle model of Section 6).
+type Event uint8
+
+const (
+	// EventNone marks an unconfigured counter.
+	EventNone Event = iota
+	// EventInstrRetired counts retired (non-speculative) instructions.
+	EventInstrRetired
+	// EventCoreCycles counts unhalted core clock cycles.
+	EventCoreCycles
+	// EventBrMispRetired counts retired mispredicted branches.
+	EventBrMispRetired
+	// EventICacheMiss counts instruction cache misses.
+	EventICacheMiss
+	// EventITLBMiss counts instruction TLB misses.
+	EventITLBMiss
+	// EventDCacheMiss counts data cache misses.
+	EventDCacheMiss
+	// EventBusAccess counts front-side-bus accesses.
+	EventBusAccess
+
+	numEvents
+)
+
+var eventNames = [...]string{
+	EventNone:          "NONE",
+	EventInstrRetired:  "INSTR_RETIRED",
+	EventCoreCycles:    "CPU_CLK_UNHALTED",
+	EventBrMispRetired: "BR_MISP_RETIRED",
+	EventICacheMiss:    "ICACHE_MISS",
+	EventITLBMiss:      "ITLB_MISS",
+	EventDCacheMiss:    "DCACHE_MISS",
+	EventBusAccess:     "BUS_ACCESS",
+}
+
+// String returns the generic event mnemonic.
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// nativeEvent is a processor-specific event encoding, the level at which
+// libpfm and libperfctr program the hardware. PAPI's preset tables map
+// portable names onto these.
+type nativeEvent struct {
+	Name string // vendor mnemonic
+	Code uint32 // event select encoding
+}
+
+// nativeEvents lists, per micro-architecture, the encoding of each generic
+// event. A missing entry means the micro-architecture cannot count that
+// event on a programmable counter. Encodings follow the respective
+// vendor manuals (umask<<8 | event select).
+var nativeEvents = map[Arch]map[Event]nativeEvent{
+	NetBurst: {
+		EventInstrRetired:  {"instr_retired.nbogusntag", 0x02},
+		EventCoreCycles:    {"global_power_events.running", 0x13},
+		EventBrMispRetired: {"mispred_branch_retired.nbogus", 0x03},
+		EventICacheMiss:    {"bpu_fetch_request.tcmiss", 0x100},
+		EventITLBMiss:      {"itlb_reference.miss", 0x218},
+		EventDCacheMiss:    {"bsq_cache_reference.rd_2ndl_miss", 0x20c},
+		EventBusAccess:     {"ioq_allocation.all_read", 0x1403},
+	},
+	Core2: {
+		EventInstrRetired:  {"inst_retired.any_p", 0xc0},
+		EventCoreCycles:    {"cpu_clk_unhalted.core_p", 0x3c},
+		EventBrMispRetired: {"br_inst_retired.mispred", 0xc5},
+		EventICacheMiss:    {"l1i_misses", 0x81},
+		EventITLBMiss:      {"itlb.misses", 0x1282},
+		EventDCacheMiss:    {"l1d_repl", 0x0f45},
+		EventBusAccess:     {"bus_trans_any.all_agents", 0x2070},
+	},
+	K8: {
+		EventInstrRetired:  {"retired_instructions", 0xc0},
+		EventCoreCycles:    {"cpu_clocks_not_halted", 0x76},
+		EventBrMispRetired: {"retired_mispredicted_branch_instructions", 0xc3},
+		EventICacheMiss:    {"instruction_cache_misses", 0x81},
+		EventITLBMiss:      {"l1_itlb_miss_and_l2_itlb_miss", 0x85},
+		EventDCacheMiss:    {"data_cache_misses", 0x41},
+		EventBusAccess:     {"memory_controller_requests", 0x1f0},
+	},
+}
+
+// NativeEventName returns the vendor mnemonic for ev on arch, or "" if
+// the event is not supported there.
+func NativeEventName(arch Arch, ev Event) string {
+	return nativeEvents[arch][ev].Name
+}
+
+// NativeEventCode returns the event-select encoding for ev on arch.
+// ok is false when the micro-architecture cannot count the event.
+func NativeEventCode(arch Arch, ev Event) (code uint32, ok bool) {
+	ne, ok := nativeEvents[arch][ev]
+	return ne.Code, ok
+}
+
+// SupportsEvent reports whether the micro-architecture can count ev on a
+// programmable counter.
+func SupportsEvent(arch Arch, ev Event) bool {
+	_, ok := nativeEvents[arch][ev]
+	return ok
+}
+
+// Events returns all generic events supported on arch, in stable order.
+func Events(arch Arch) []Event {
+	var out []Event
+	for ev := EventInstrRetired; ev < numEvents; ev++ {
+		if SupportsEvent(arch, ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package cpu
+
+import "fmt"
+
+// Arch identifies a micro-architecture family.
+type Arch uint8
+
+const (
+	// NetBurst is the Pentium D / Pentium 4 micro-architecture: a very
+	// deep pipeline with a trace cache and expensive privilege
+	// transitions.
+	NetBurst Arch = iota
+	// Core2 is the Intel Core micro-architecture: 4-wide with macro-op
+	// fusion and three fixed-function counters.
+	Core2
+	// K8 is the AMD Athlon 64 micro-architecture: 3-wide with four
+	// programmable counters.
+	K8
+)
+
+// String returns the architecture name.
+func (a Arch) String() string {
+	switch a {
+	case NetBurst:
+		return "NetBurst"
+	case Core2:
+		return "Core2"
+	case K8:
+		return "K8"
+	}
+	return fmt.Sprintf("arch(%d)", uint8(a))
+}
+
+// Model describes one of the three processors in the study (Table 1 of
+// the paper) plus the micro-architectural parameters the simulator needs.
+// Cycle-model constants are calibrated so that loop-iteration costs and
+// privilege-transition costs land in the ranges the paper reports
+// (Figures 10-12 and the related-work cycle numbers in Section 9).
+type Model struct {
+	// Name is the marketing name from Table 1, e.g. "Pentium D 925".
+	Name string
+	// Tag is the short identifier used throughout the paper: PD, CD, K8.
+	Tag string
+	// Arch is the micro-architecture family.
+	Arch Arch
+	// GHz is the fixed clock frequency with the performance governor.
+	GHz float64
+	// NumProgrammable is the number of programmable counters (Table 1).
+	NumProgrammable int
+	// NumFixed is the number of fixed-function counters excluding the TSC.
+	NumFixed int
+	// FixedEvents gives the hardwired event of each fixed counter.
+	FixedEvents []Event
+
+	// KernelCost scales kernel code path lengths (instructions). The
+	// infrastructures execute the same kernel sources on each machine,
+	// but dynamic instruction counts differ per micro-architecture
+	// (different lock primitives, different entry stubs); the paper's
+	// Table 3 median-vs-min spread reflects exactly this.
+	KernelCost float64
+	// TransitionCycles scales privilege-transition cycle costs
+	// (NetBurst's SYSENTER/IRET are notoriously slow).
+	TransitionCycles float64
+
+	// BaseIPC is the sustained instructions-per-cycle for plain
+	// integer code outside the benchmark loop.
+	BaseIPC float64
+	// LoopBaseCycles is the steady-state cycles per iteration of the
+	// paper's 3-instruction loop when placement is favourable.
+	LoopBaseCycles float64
+	// StraddleCycles is the added cycles per iteration when the loop
+	// body straddles a fetch-window boundary.
+	StraddleCycles float64
+	// PlacementQuirkMax is the largest extra per-iteration cost the
+	// placement hash can add (NetBurst trace-cache rebuild effects).
+	PlacementQuirkMax float64
+	// FetchWindow is the instruction-fetch window size in bytes.
+	FetchWindow uint64
+
+	// MispredictPenalty is the branch misprediction penalty in cycles.
+	MispredictPenalty float64
+	// ICacheMissPenalty and ITLBMissPenalty are cold-front-end
+	// penalties in cycles.
+	ICacheMissPenalty float64
+	ITLBMissPenalty   float64
+
+	// TickSkewMax and TickSkewBias parameterize the per-interrupt
+	// attribution rounding of user-mode counts (Section 5, Figure 8):
+	// at each timer interrupt the counter save/restore can misattribute
+	// a few instructions. Skew is drawn from
+	// [-TickSkewMax, TickSkewMax] + bias.
+	TickSkewMax  int
+	TickSkewBias float64
+}
+
+// Counters returns the "fixed+prg" cell of Table 1, counting the TSC as
+// one fixed counter as the paper does.
+func (m *Model) Counters() (fixed, programmable int) {
+	return m.NumFixed + 1, m.NumProgrammable
+}
+
+// Models for the three processors of the study. The counter inventory
+// follows Table 1: PD 0+1 fixed / 18 programmable, CD 3+1 / 2, K8 0+1 / 4.
+var (
+	// PentiumD is the Pentium D 925, 3.0 GHz, NetBurst.
+	PentiumD = &Model{
+		Name:              "Pentium D 925",
+		Tag:               "PD",
+		Arch:              NetBurst,
+		GHz:               3.0,
+		NumProgrammable:   18,
+		NumFixed:          0,
+		KernelCost:        1.55,
+		TransitionCycles:  2.2,
+		BaseIPC:           1.6,
+		LoopBaseCycles:    1.5,
+		StraddleCycles:    1.0,
+		PlacementQuirkMax: 1.5,
+		FetchWindow:       16,
+		MispredictPenalty: 30,
+		ICacheMissPenalty: 40,
+		ITLBMissPenalty:   60,
+		TickSkewMax:       4,
+		TickSkewBias:      1.1,
+	}
+
+	// Core2Duo is the Core 2 Duo E6600, 2.4 GHz, Core micro-architecture.
+	Core2Duo = &Model{
+		Name:            "Core2 Duo E6600",
+		Tag:             "CD",
+		Arch:            Core2,
+		GHz:             2.4,
+		NumProgrammable: 2,
+		NumFixed:        3,
+		FixedEvents: []Event{
+			EventInstrRetired, // INST_RETIRED.ANY
+			EventCoreCycles,   // CPU_CLK_UNHALTED.CORE
+			EventCoreCycles,   // CPU_CLK_UNHALTED.REF
+		},
+		KernelCost:        1.0,
+		TransitionCycles:  1.0,
+		BaseIPC:           2.5,
+		LoopBaseCycles:    1.0,
+		StraddleCycles:    1.0,
+		PlacementQuirkMax: 0,
+		FetchWindow:       16,
+		MispredictPenalty: 15,
+		ICacheMissPenalty: 25,
+		ITLBMissPenalty:   40,
+		TickSkewMax:       3,
+		TickSkewBias:      -0.6,
+	}
+
+	// Athlon64X2 is the Athlon 64 X2 4200+, 2.2 GHz, K8.
+	Athlon64X2 = &Model{
+		Name:              "Athlon 64 X2 4200+",
+		Tag:               "K8",
+		Arch:              K8,
+		GHz:               2.2,
+		NumProgrammable:   4,
+		NumFixed:          0,
+		KernelCost:        0.8,
+		TransitionCycles:  0.85,
+		BaseIPC:           2.2,
+		LoopBaseCycles:    2.0,
+		StraddleCycles:    1.0,
+		PlacementQuirkMax: 0,
+		FetchWindow:       16,
+		MispredictPenalty: 12,
+		ICacheMissPenalty: 20,
+		ITLBMissPenalty:   35,
+		TickSkewMax:       3,
+		TickSkewBias:      0.4,
+	}
+)
+
+// AllModels lists the study's processors in the paper's order.
+var AllModels = []*Model{PentiumD, Core2Duo, Athlon64X2}
+
+// ModelByTag returns the model with the given paper tag (PD, CD, K8).
+func ModelByTag(tag string) (*Model, error) {
+	for _, m := range AllModels {
+		if m.Tag == tag {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("cpu: unknown processor tag %q", tag)
+}
+
+// opCycleCost returns the baseline cycle cost of one instruction of the
+// given kind on this model, excluding front-end penalties. Special
+// instructions (counter and privilege operations) carry realistic costs
+// so that call-path cycle totals land near the numbers reported by Moore
+// (Section 9: ~3524 cycles start/stop, ~1299 cycles read on Linux/x86).
+func (m *Model) opCycleCost(opClass int) float64 {
+	base := 1.0 / m.BaseIPC
+	switch opClass {
+	case costALU:
+		return base
+	case costMem:
+		return base * 1.5
+	case costBranch:
+		return base
+	case costRDPMC:
+		return 32 * m.TransitionCycles
+	case costRDTSC:
+		return 24 * m.TransitionCycles
+	case costMSR:
+		return 90 * m.TransitionCycles
+	case costSyscall:
+		return 160 * m.TransitionCycles
+	case costIRQ:
+		return 220 * m.TransitionCycles
+	default:
+		return base
+	}
+}
+
+// Instruction cost classes used by opCycleCost.
+const (
+	costALU = iota
+	costMem
+	costBranch
+	costRDPMC
+	costRDTSC
+	costMSR
+	costSyscall
+	costIRQ
+)

@@ -1,0 +1,280 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CounterConfig programs one performance counter: what to count and in
+// which privilege modes (Section 2.5 of the paper — user, kernel, or
+// both — is a per-counter hardware capability).
+type CounterConfig struct {
+	// Event is the micro-architectural event to count.
+	Event Event
+	// User enables counting while the processor runs in user mode.
+	User bool
+	// OS enables counting while the processor runs in kernel mode.
+	OS bool
+	// OverflowPeriod, when positive, raises a PMU interrupt every time
+	// the counter crosses a multiple of the period — the hardware
+	// mechanism behind statistical sampling (Section 2.1: counters "can
+	// be configured to cause an interrupt at overflow"). Zero disables
+	// overflow interrupts.
+	OverflowPeriod int64
+}
+
+// CountsIn reports whether the configuration counts events occurring in
+// the given mode.
+func (c CounterConfig) CountsIn(m Mode) bool {
+	if m == User {
+		return c.User
+	}
+	return c.OS
+}
+
+// Counter is one hardware counter register. Values are kept as float64:
+// instruction counts stay exact (integers below 2^53) while cycle counts
+// can accumulate fractional per-instruction costs.
+type Counter struct {
+	Config  CounterConfig
+	Enabled bool
+	fixed   bool // fixed-function: Event is hardwired
+	value   float64
+}
+
+// Value returns the current count, truncated to an integer as a read of
+// the 48-bit hardware register would.
+func (c *Counter) Value() int64 { return int64(c.value) }
+
+// PMU is the per-core performance monitoring unit: programmable counters,
+// optional fixed-function counters, and the time stamp counter.
+type PMU struct {
+	model *Model
+	// Prog holds the programmable counters, Fixed the fixed-function ones.
+	Prog  []Counter
+	Fixed []Counter
+	// tsc is the time stamp counter in cycles. Unlike the event counters
+	// it cannot be disabled and counts in every privilege mode.
+	tsc float64
+	// pending holds overflow crossings awaiting collection.
+	pending []Overflow
+}
+
+// ErrBadCounter reports an out-of-range counter index.
+var ErrBadCounter = errors.New("cpu: counter index out of range")
+
+// NewPMU returns the PMU for the given processor model.
+func NewPMU(m *Model) *PMU {
+	p := &PMU{
+		model: m,
+		Prog:  make([]Counter, m.NumProgrammable),
+		Fixed: make([]Counter, m.NumFixed),
+	}
+	for i := range p.Fixed {
+		p.Fixed[i].fixed = true
+		p.Fixed[i].Config = CounterConfig{Event: m.FixedEvents[i], User: true, OS: true}
+	}
+	return p
+}
+
+// Model returns the processor model this PMU belongs to.
+func (p *PMU) Model() *Model { return p.model }
+
+// Configure programs programmable counter i. It validates that the event
+// is supported by the micro-architecture — the check libpfm performs when
+// translating event names.
+func (p *PMU) Configure(i int, cfg CounterConfig) error {
+	if i < 0 || i >= len(p.Prog) {
+		return fmt.Errorf("%w: %d (model %s has %d)", ErrBadCounter, i, p.model.Tag, len(p.Prog))
+	}
+	if cfg.Event != EventNone && !SupportsEvent(p.model.Arch, cfg.Event) {
+		return fmt.Errorf("cpu: event %s not supported on %s", cfg.Event, p.model.Arch)
+	}
+	p.Prog[i].Config = cfg
+	return nil
+}
+
+// ConfigureFixed sets the privilege gating of fixed counter i. The event
+// cannot be changed (limited programmability, Section 2.1).
+func (p *PMU) ConfigureFixed(i int, user, os bool) error {
+	if i < 0 || i >= len(p.Fixed) {
+		return fmt.Errorf("%w: fixed %d (model %s has %d)", ErrBadCounter, i, p.model.Tag, len(p.Fixed))
+	}
+	p.Fixed[i].Config.User = user
+	p.Fixed[i].Config.OS = os
+	return nil
+}
+
+// Enable starts counting on the programmable counters in mask.
+func (p *PMU) Enable(mask uint64) {
+	for i := range p.Prog {
+		if mask&(1<<uint(i)) != 0 {
+			p.Prog[i].Enabled = true
+		}
+	}
+}
+
+// Disable stops counting on the programmable counters in mask.
+func (p *PMU) Disable(mask uint64) {
+	for i := range p.Prog {
+		if mask&(1<<uint(i)) != 0 {
+			p.Prog[i].Enabled = false
+		}
+	}
+}
+
+// Reset zeroes the programmable counters in mask.
+func (p *PMU) Reset(mask uint64) {
+	for i := range p.Prog {
+		if mask&(1<<uint(i)) != 0 {
+			p.Prog[i].value = 0
+		}
+	}
+}
+
+// EnableFixed enables all fixed counters.
+func (p *PMU) EnableFixed() {
+	for i := range p.Fixed {
+		p.Fixed[i].Enabled = true
+	}
+}
+
+// Value returns the value of programmable counter i.
+func (p *PMU) Value(i int) (int64, error) {
+	if i < 0 || i >= len(p.Prog) {
+		return 0, fmt.Errorf("%w: %d", ErrBadCounter, i)
+	}
+	return p.Prog[i].Value(), nil
+}
+
+// SetValue overwrites the raw value of programmable counter i; kernel
+// extensions use it to restore a thread's counters at context switch.
+func (p *PMU) SetValue(i int, v int64) error {
+	if i < 0 || i >= len(p.Prog) {
+		return fmt.Errorf("%w: %d", ErrBadCounter, i)
+	}
+	p.Prog[i].value = float64(v)
+	return nil
+}
+
+// TSC returns the time stamp counter.
+func (p *PMU) TSC() int64 { return int64(p.tsc) }
+
+// AddInstr credits n retired instructions executed in mode to every
+// enabled counter counting EventInstrRetired in that mode.
+func (p *PMU) AddInstr(mode Mode, n int64) {
+	p.AddEvent(mode, EventInstrRetired, float64(n))
+}
+
+// AddCycles advances time by c cycles spent in mode: the TSC always
+// advances; cycle-event counters advance when gated into the mode.
+func (p *PMU) AddCycles(mode Mode, c float64) {
+	p.tsc += c
+	p.AddEvent(mode, EventCoreCycles, c)
+}
+
+// AddEvent credits n occurrences of ev in mode to all enabled, gated
+// counters. n is fractional only for cycle events. Counters configured
+// with an overflow period record their period crossings for the
+// execution engine to collect via TakeOverflows.
+func (p *PMU) AddEvent(mode Mode, ev Event, n float64) {
+	for i := range p.Prog {
+		ctr := &p.Prog[i]
+		if ctr.Enabled && ctr.Config.Event == ev && ctr.Config.CountsIn(mode) {
+			prev := ctr.value
+			ctr.value += n
+			if period := ctr.Config.OverflowPeriod; period > 0 {
+				crossings := int64(ctr.value)/period - int64(prev)/period
+				if crossings > 0 {
+					p.pending = append(p.pending, Overflow{Counter: i, Crossings: crossings})
+				}
+			}
+		}
+	}
+	for i := range p.Fixed {
+		ctr := &p.Fixed[i]
+		if ctr.Enabled && ctr.Config.Event == ev && ctr.Config.CountsIn(mode) {
+			ctr.value += n
+		}
+	}
+}
+
+// Overflow records counter period crossings awaiting interrupt delivery.
+type Overflow struct {
+	// Counter is the programmable counter index.
+	Counter int
+	// Crossings is how many period boundaries were crossed (bulk
+	// advancement can cross several at once).
+	Crossings int64
+}
+
+// TakeOverflows returns and clears the pending overflow records.
+func (p *PMU) TakeOverflows() []Overflow {
+	if len(p.pending) == 0 {
+		return nil
+	}
+	out := p.pending
+	p.pending = nil
+	return out
+}
+
+// ArmedCounter describes an enabled counter with overflow sampling
+// armed: its event and how many more events until the next period
+// crossing.
+type ArmedCounter struct {
+	Counter  int
+	Event    Event
+	Headroom int64
+}
+
+// ArmedHeadrooms lists the armed counters gated into mode. The
+// execution engine uses this to bound bulk advancement so that overflow
+// interrupts fire at the crossing rather than at the end of a large
+// chunk.
+func (p *PMU) ArmedHeadrooms(mode Mode) []ArmedCounter {
+	var out []ArmedCounter
+	for i := range p.Prog {
+		ctr := &p.Prog[i]
+		period := ctr.Config.OverflowPeriod
+		if !ctr.Enabled || period <= 0 || !ctr.Config.CountsIn(mode) {
+			continue
+		}
+		v := int64(ctr.value)
+		out = append(out, ArmedCounter{
+			Counter:  i,
+			Event:    ctr.Config.Event,
+			Headroom: period - v%period,
+		})
+	}
+	return out
+}
+
+// SkewExclusive models the attribution rounding that occurs when an
+// interrupt saves and restores counter state mid-stream: delta
+// instructions move between the user and kernel attributions. Counters
+// counting user-only instructions gain delta, kernel-only counters lose
+// it, and counters gated to both modes are — correctly — unaffected,
+// since misattribution between modes preserves their total. Counters
+// never go negative.
+func (p *PMU) SkewExclusive(delta float64) {
+	apply := func(ctr *Counter) {
+		if !ctr.Enabled || ctr.Config.Event != EventInstrRetired {
+			return
+		}
+		switch {
+		case ctr.Config.User && !ctr.Config.OS:
+			ctr.value += delta
+		case ctr.Config.OS && !ctr.Config.User:
+			ctr.value -= delta
+		}
+		if ctr.value < 0 {
+			ctr.value = 0
+		}
+	}
+	for i := range p.Prog {
+		apply(&p.Prog[i])
+	}
+	for i := range p.Fixed {
+		apply(&p.Fixed[i])
+	}
+}

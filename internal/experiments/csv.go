@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVExporter is implemented by results whose raw observations are
+// useful outside this repository (external plotting of the paper's
+// figures). WriteCSV emits one observation per row with a header.
+type CSVExporter interface {
+	WriteCSV(w io.Writer) error
+}
+
+// Compile-time checks: the figure results with raw samples export CSV.
+var (
+	_ CSVExporter = (*Fig1Result)(nil)
+	_ CSVExporter = (*Fig4Result)(nil)
+	_ CSVExporter = (*Fig6Result)(nil)
+	_ CSVExporter = (*Fig9Result)(nil)
+	_ CSVExporter = (*Fig10Result)(nil)
+	_ CSVExporter = (*Fig7Result)(nil)
+	_ CSVExporter = (*Fig8Result)(nil)
+)
+
+// writeAll writes rows through a csv.Writer and reports the first error.
+func writeAll(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+// WriteCSV emits mode,error rows.
+func (r *Fig1Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.User)+len(r.UserKernel))
+	for _, e := range r.User {
+		rows = append(rows, []string{"user", itoa(e)})
+	}
+	for _, e := range r.UserKernel {
+		rows = append(rows, []string{"user+kernel", itoa(e)})
+	}
+	return writeAll(w, []string{"mode", "error_instructions"}, rows)
+}
+
+// WriteCSV emits mode,pattern,tsc,error rows.
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for mode, cells := range r.Cells {
+		for pattern, cell := range cells {
+			for tscIdx, samples := range cell {
+				tsc := "off"
+				if tscIdx == 1 {
+					tsc = "on"
+				}
+				for _, e := range samples {
+					rows = append(rows, []string{mode, pattern, tsc, itoa(e)})
+				}
+			}
+		}
+	}
+	return writeAll(w, []string{"mode", "pattern", "tsc", "error_instructions"}, rows)
+}
+
+// WriteCSV emits mode,stack,error rows.
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for mode, stacks := range r.Samples {
+		for code, samples := range stacks {
+			for _, e := range samples {
+				rows = append(rows, []string{mode, code, itoa(e)})
+			}
+		}
+	}
+	return writeAll(w, []string{"mode", "stack", "error_instructions"}, rows)
+}
+
+// WriteCSV emits loop_size,error rows.
+func (r *Fig9Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for i, l := range r.LoopSizes {
+		for _, e := range r.Samples[i] {
+			rows = append(rows, []string{itoa(l), itoa(e)})
+		}
+	}
+	return writeAll(w, []string{"loop_size", "kernel_instructions"}, rows)
+}
+
+// WriteCSV emits processor,infra,pattern,opt,loop_size,cycles rows.
+func (r *Fig10Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for proc, infras := range r.Points {
+		for infra, pts := range infras {
+			for _, p := range pts {
+				rows = append(rows, []string{
+					proc, infra, p.Pattern, p.Opt,
+					itoa(p.LoopSize), fmt.Sprintf("%.0f", p.Cycles),
+				})
+			}
+		}
+	}
+	return writeAll(w, []string{"processor", "infra", "pattern", "opt", "loop_size", "cycles"}, rows)
+}
+
+// slopesCSV is shared by the Figure 7 and 8 results.
+func slopesCSV(w io.Writer, slopes []SlopeCell, mode string) error {
+	var rows [][]string
+	for _, s := range slopes {
+		rows = append(rows, []string{
+			mode, s.Infra, s.Processor,
+			strconv.FormatFloat(s.Slope, 'g', 8, 64),
+			strconv.FormatFloat(s.R2, 'g', 6, 64),
+		})
+	}
+	return writeAll(w, []string{"mode", "infra", "processor", "slope", "r2"}, rows)
+}
+
+// WriteCSV emits mode,infra,processor,slope,r2 rows.
+func (r *Fig7Result) WriteCSV(w io.Writer) error { return slopesCSV(w, r.Slopes, r.Mode) }
+
+// WriteCSV emits mode,infra,processor,slope,r2 rows.
+func (r *Fig8Result) WriteCSV(w io.Writer) error { return slopesCSV(w, r.Slopes, r.Mode) }

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+// parseCSV reads all rows and fails on malformed output.
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("csv parse: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("csv has no data rows: %d", len(rows))
+	}
+	return rows
+}
+
+func TestFig9CSV(t *testing.T) {
+	r, err := Run("fig9", Config{Runs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.(*Fig9Result).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if rows[0][0] != "loop_size" {
+		t.Errorf("header = %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if _, err := strconv.ParseInt(row[0], 10, 64); err != nil {
+			t.Fatalf("bad loop size %q", row[0])
+		}
+		if _, err := strconv.ParseInt(row[1], 10, 64); err != nil {
+			t.Fatalf("bad error %q", row[1])
+		}
+	}
+}
+
+func TestFig4CSV(t *testing.T) {
+	r, err := Run("fig4", Config{Runs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.(*Fig4Result).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	tscSeen := map[string]bool{}
+	for _, row := range rows[1:] {
+		tscSeen[row[2]] = true
+	}
+	if !tscSeen["on"] || !tscSeen["off"] {
+		t.Errorf("tsc column incomplete: %v", tscSeen)
+	}
+}
+
+func TestFig1CSV(t *testing.T) {
+	r, err := Run("fig1", Config{Runs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*Fig1Result)
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows)-1 != len(res.User)+len(res.UserKernel) {
+		t.Errorf("csv rows = %d, want %d", len(rows)-1, len(res.User)+len(res.UserKernel))
+	}
+}
+
+func TestSlopeCSV(t *testing.T) {
+	r, err := Run("fig7", Config{Runs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.(*Fig7Result).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows)-1 != 18 {
+		t.Errorf("slope rows = %d, want 18", len(rows)-1)
+	}
+	for _, row := range rows[1:] {
+		if _, err := strconv.ParseFloat(row[3], 64); err != nil {
+			t.Fatalf("bad slope %q", row[3])
+		}
+	}
+}
+
+func TestFig6AndFig10CSV(t *testing.T) {
+	for _, id := range []string{"fig6", "fig10"} {
+		r, err := Run(id, Config{Runs: 2, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.(CSVExporter).WriteCSV(&buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		parseCSV(t, &buf)
+	}
+}

@@ -1,0 +1,187 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a pure function from a Config to a
+// structured result that can render itself as text (via
+// internal/textplot) and serialize to JSON; the per-experiment bench
+// targets in the repository root regenerate the published artifacts.
+//
+// The per-experiment index lives in DESIGN.md; EXPERIMENTS.md records
+// paper-versus-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stack"
+	"repro/internal/xrand"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Runs is the number of repetitions per configuration cell. The
+	// published results use the DefaultConfig; tests shrink it.
+	Runs int
+	// Seed individualizes the whole experiment deterministically.
+	Seed uint64
+}
+
+// DefaultConfig reproduces the paper-scale runs.
+var DefaultConfig = Config{Runs: 72, Seed: 2008}
+
+// QuickConfig is a fast configuration for tests and smoke runs.
+var QuickConfig = Config{Runs: 6, Seed: 2008}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Runs <= 0 {
+		c.Runs = DefaultConfig.Runs
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultConfig.Seed
+	}
+	return c
+}
+
+// Result is a rendered experiment outcome.
+type Result interface {
+	// ID returns the experiment identifier ("fig1", "table3", ...).
+	ID() string
+	// Render writes the human-readable form.
+	Render(w io.Writer) error
+}
+
+// Runner executes a named experiment.
+type Runner func(Config) (Result, error)
+
+// registry maps experiment IDs to runners, in presentation order.
+var registry = []struct {
+	id     string
+	title  string
+	runner Runner
+}{
+	{"table1", "Table 1: processors used in this study", runTable1},
+	{"table2", "Table 2: counter access patterns", runTable2},
+	{"fig1", "Figure 1: overall measurement error (violin plots)", runFig1},
+	{"fig4", "Figure 4: using TSC reduces error on perfctr (CD)", runFig4},
+	{"fig5", "Figure 5: error depends on number of counters (K8)", runFig5},
+	{"fig6", "Figure 6 + Table 3: error depends on infrastructure", runFig6},
+	{"anova", "Section 4.3: n-way ANOVA of error factors", runANOVA},
+	{"fig7", "Figure 7: user+kernel mode error slopes", runFig7},
+	{"fig8", "Figure 8: user mode error slopes", runFig8},
+	{"fig9", "Figure 9: kernel mode instructions by loop size (pc on CD)", runFig9},
+	{"fig10", "Figure 10: cycles by loop size", runFig10},
+	{"fig11", "Figure 11: cycles by loop size with pm on K8", runFig11},
+	{"fig12", "Figure 12: cycles by pattern and optimization level", runFig12},
+	{"guidelines", "Section 8: frequency scaling and calibration guidelines", runGuidelines},
+	{"wholeprocess", "Section 9: whole-process measurement tools (perfex-style error)", runWholeProcess},
+	{"sampling", "Extension: counting vs sampling accuracy (Moore, Section 9)", runSampling},
+	{"multiplex", "Extension: counter multiplexing accuracy (Mytkowicz et al., Section 9)", runMultiplex},
+	{"events", "Extension: placement sensitivity of event counts (Section 7 future work)", runEvents},
+	{"calibration", "Extension: null-benchmark vs null-probe calibration (Najafzadeh, Section 9)", runCalibration},
+}
+
+// IDs returns all experiment identifiers in presentation order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// Title returns the human-readable experiment title.
+func Title(id string) string {
+	for _, e := range registry {
+		if e.id == id {
+			return e.title
+		}
+	}
+	return ""
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) (Result, error) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.runner(cfg.withDefaults())
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+}
+
+// --- shared helpers ---
+
+// newSystem builds a measurement system or panics; experiment code paths
+// construct only known-valid configurations, and a construction failure
+// is a programming error surfaced during tests.
+func newSystem(m *cpu.Model, code string, opts stack.Options) (*stack.System, error) {
+	return stack.New(m, code, opts)
+}
+
+// patternsFor returns the patterns supported by a stack code, in the
+// paper's order.
+func patternsFor(code string) []core.Pattern {
+	if code[0] == 'P' && code[1] == 'H' {
+		return []core.Pattern{core.StartRead, core.StartStop}
+	}
+	return core.AllPatterns
+}
+
+// regCounts returns the register counts swept for a model: 1 up to
+// min(4, programmable), matching the paper's Figure 5 axis.
+func regCounts(m *cpu.Model) []int {
+	max := m.NumProgrammable
+	if max > 4 {
+		max = 4
+	}
+	out := make([]int, max)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// instrEvents returns n retired-instruction event requests.
+func instrEvents(n int) []cpu.Event {
+	evs := make([]cpu.Event, n)
+	for i := range evs {
+		evs[i] = cpu.EventInstrRetired
+	}
+	return evs
+}
+
+// cellSeed derives a reproducible seed for one configuration cell.
+func cellSeed(cfg Config, parts ...uint64) uint64 {
+	return xrand.Mix(append([]uint64{cfg.Seed}, parts...)...)
+}
+
+// medianOf is a convenience for integer observations.
+func medianOf(xs []int64) float64 {
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return float64(s[n/2])
+	}
+	return float64(s[n/2-1]+s[n/2]) / 2
+}
+
+// minOf returns the smallest observation (0 for empty).
+func minOf(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

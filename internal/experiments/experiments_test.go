@@ -1,0 +1,455 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// quick returns the fast test configuration.
+func quick() Config { return QuickConfig }
+
+// render ensures a result renders without error and returns the text.
+func render(t *testing.T, r Result) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatalf("render %s: %v", r.ID(), err)
+	}
+	if buf.Len() == 0 {
+		t.Fatalf("render %s: empty output", r.ID())
+	}
+	return buf.String()
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 19 {
+		t.Errorf("got %d experiments: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Errorf("no title for %s", id)
+		}
+	}
+	if Title("nope") != "" {
+		t.Error("unknown id has a title")
+	}
+	if _, err := Run("nope", quick()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAllResultsAreJSONSerializable(t *testing.T) {
+	// Smoke-check the cheap experiments end-to-end through JSON, the
+	// CLI's -json path.
+	for _, id := range []string{"table1", "table2", "guidelines", "wholeprocess"} {
+		r, err := Run(id, quick())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if r.ID() != id {
+			t.Errorf("result ID %q != %q", r.ID(), id)
+		}
+		if _, err := json.Marshal(r); err != nil {
+			t.Errorf("%s: json: %v", id, err)
+		}
+		render(t, r)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	r, err := runTable1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*Table1Result)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byTag := map[string]Table1Row{}
+	for _, row := range res.Rows {
+		byTag[row.Tag] = row
+	}
+	if byTag["PD"].Programmable != 18 || byTag["PD"].Fixed != 1 {
+		t.Errorf("PD counters wrong: %+v", byTag["PD"])
+	}
+	if byTag["CD"].Programmable != 2 || byTag["CD"].Fixed != 4 {
+		t.Errorf("CD counters wrong: %+v", byTag["CD"])
+	}
+	if byTag["K8"].Programmable != 4 || byTag["K8"].Fixed != 1 {
+		t.Errorf("K8 counters wrong: %+v", byTag["K8"])
+	}
+	out := render(t, res)
+	if !strings.Contains(out, "Pentium D 925") {
+		t.Error("processor name missing from rendering")
+	}
+}
+
+func TestTable2Footnote(t *testing.T) {
+	r, err := runTable2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*Table2Result)
+	for _, row := range res.Rows {
+		wantHL := row.Code == "ar" || row.Code == "ao"
+		if row.HighLevelOK != wantHL {
+			t.Errorf("%s: high-level support = %v", row.Code, row.HighLevelOK)
+		}
+	}
+	render(t, res)
+}
+
+func TestFig4Shape(t *testing.T) {
+	r, err := Run("fig4", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*Fig4Result)
+	// TSC off must inflate read-read by an order of magnitude.
+	if res.MedianRROff < 10*res.MedianRROn {
+		t.Errorf("TSC effect too weak: off=%v on=%v", res.MedianRROff, res.MedianRROn)
+	}
+	if res.MedianRROn < 90 || res.MedianRROn > 130 {
+		t.Errorf("rr TSC-on median = %v, want ~109.5", res.MedianRROn)
+	}
+	if res.MedianRROff < 1500 || res.MedianRROff > 1900 {
+		t.Errorf("rr TSC-off median = %v, want ~1698", res.MedianRROff)
+	}
+	// start-stop unaffected.
+	ao := res.Cells["user+kernel"][core.StartStop.String()]
+	if d := math.Abs(medianOf(ao[0]) - medianOf(ao[1])); d > 25 {
+		t.Errorf("start-stop TSC delta = %v, want ~0", d)
+	}
+	render(t, res)
+}
+
+func TestFig5Shape(t *testing.T) {
+	r, err := Run("fig5", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*Fig5Result)
+	if pr := res.PerRegisterRR["pm"]; pr < 95 || pr > 130 {
+		t.Errorf("pm per-register = %v, want ~112", pr)
+	}
+	if pr := res.PerRegisterRR["pc"]; pr < 8 || pr > 20 {
+		t.Errorf("pc per-register = %v, want ~13", pr)
+	}
+	// pm user-mode flat at ~37 for all register counts.
+	userRR := res.Medians["pm"]["user"][core.ReadRead.String()]
+	for i, m := range userRR {
+		if m < 34 || m > 41 {
+			t.Errorf("pm user rr regs=%d median=%v, want ~37", i+1, m)
+		}
+	}
+	// pc read-read identical in both modes (fast path).
+	uk := res.Medians["pc"]["user+kernel"][core.ReadRead.String()]
+	u := res.Medians["pc"]["user"][core.ReadRead.String()]
+	for i := range uk {
+		if uk[i] != u[i] {
+			t.Errorf("pc rr regs=%d: u+k %v != user %v", i+1, uk[i], u[i])
+		}
+	}
+	render(t, res)
+}
+
+func TestFig6Table3Shape(t *testing.T) {
+	r, err := Run("fig6", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*Fig6Result)
+	if len(res.Table) != 12 {
+		t.Fatalf("table rows = %d, want 12", len(res.Table))
+	}
+	for _, row := range res.Table {
+		if row.PaperMedian == 0 {
+			t.Errorf("row %s/%s missing paper value", row.Mode, row.Tool)
+		}
+		rel := math.Abs(row.Median-row.PaperMedian) / row.PaperMedian
+		if rel > 0.10 {
+			t.Errorf("%s %s: median %v deviates %.0f%% from paper %v",
+				row.Mode, row.Tool, row.Median, rel*100, row.PaperMedian)
+		}
+	}
+	render(t, res)
+}
+
+func TestANOVAShape(t *testing.T) {
+	r, err := Run("anova", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*ANOVAResult)
+	sig := map[string]bool{}
+	for _, s := range res.Significant {
+		sig[s] = true
+	}
+	for _, want := range []string{"processor", "infrastructure", "pattern", "registers"} {
+		if !sig[want] {
+			t.Errorf("factor %s not significant; table:\n%s", want, res.Table)
+		}
+	}
+	for _, s := range res.Insignificant {
+		if s != "optlevel" {
+			t.Errorf("unexpected insignificant factor %s", s)
+		}
+	}
+	if len(res.Insignificant) != 1 {
+		t.Errorf("insignificant = %v, want [optlevel]", res.Insignificant)
+	}
+	render(t, res)
+}
+
+func TestFig7Shape(t *testing.T) {
+	r, err := Run("fig7", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*Fig7Result)
+	if len(res.Slopes) != 18 { // 6 stacks x 3 processors
+		t.Fatalf("slopes = %d", len(res.Slopes))
+	}
+	bySP := map[string]float64{}
+	for _, s := range res.Slopes {
+		if s.Slope <= 0 {
+			t.Errorf("%s/%s: slope %v not positive", s.Infra, s.Processor, s.Slope)
+		}
+		if s.Slope > 0.004 {
+			t.Errorf("%s/%s: slope %v above paper range (~0.003 max)", s.Infra, s.Processor, s.Slope)
+		}
+		bySP[s.Infra+"/"+s.Processor] = s.Slope
+	}
+	// The API level must not change the slope (the paper: "the error
+	// does not depend on whether we use the high level or low level
+	// infrastructure"). Allow sampling tolerance.
+	for _, proc := range []string{"PD", "CD", "K8"} {
+		for _, backend := range []string{"pm", "pc"} {
+			d := bySP[backend+"/"+proc]
+			for _, lvl := range []string{"PL", "PH"} {
+				o := bySP[lvl+backend+"/"+proc]
+				if d == 0 || math.Abs(o-d)/d > 0.35 {
+					t.Errorf("%s%s/%s slope %v deviates from direct %v", lvl, backend, proc, o, d)
+				}
+			}
+		}
+	}
+	// Paper anchors.
+	if s := bySP["pc/CD"]; s < 0.0016 || s > 0.0026 {
+		t.Errorf("pc/CD slope = %v, want ~0.00204", s)
+	}
+	if s := bySP["pm/K8"]; s < 0.0007 || s > 0.0014 {
+		t.Errorf("pm/K8 slope = %v, want ~0.001", s)
+	}
+	render(t, res)
+}
+
+func TestFig8Shape(t *testing.T) {
+	r, err := Run("fig8", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*Fig8Result)
+	if res.MaxAbsSlope > 1e-5 {
+		t.Errorf("user-mode slopes too large: %v (paper: ~4e-6 max)", res.MaxAbsSlope)
+	}
+	neg, pos := 0, 0
+	for _, s := range res.Slopes {
+		if s.Slope < 0 {
+			neg++
+		} else {
+			pos++
+		}
+	}
+	if neg == 0 || pos == 0 {
+		t.Errorf("paper shows both signs; got %d negative, %d positive", neg, pos)
+	}
+	render(t, res)
+}
+
+func TestFig9Shape(t *testing.T) {
+	r, err := Run("fig9", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*Fig9Result)
+	if res.Slope < 0.0016 || res.Slope > 0.0026 {
+		t.Errorf("fig9 slope = %v, want ~0.00204", res.Slope)
+	}
+	// Averages grow with loop size: last > first.
+	if res.Averages[len(res.Averages)-1] <= res.Averages[0] {
+		t.Errorf("averages not increasing: %v", res.Averages)
+	}
+	// Paper anchors: ~1500 at 500k, ~2500 at 1M (tolerate ±40%).
+	for i, l := range res.LoopSizes {
+		switch l {
+		case 500_000:
+			if a := res.Averages[i]; a < 900 || a > 2100 {
+				t.Errorf("avg at 500k = %v, want ~1500", a)
+			}
+		case 1_000_000:
+			if a := res.Averages[i]; a < 1500 || a > 3500 {
+				t.Errorf("avg at 1M = %v, want ~2500", a)
+			}
+		}
+	}
+	render(t, res)
+}
+
+func TestFig10Shape(t *testing.T) {
+	r, err := Run("fig10", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*Fig10Result)
+	// PD spreads over [~1.5, ~4] cycles/iteration; CD and K8 are
+	// narrower.
+	pd := res.CyclesPerIterRange["PD"]
+	if pd[0] > 1.7 || pd[1] < 3.0 {
+		t.Errorf("PD cycles/iter range = %v, want wide (~1.5..4)", pd)
+	}
+	k8 := res.CyclesPerIterRange["K8"]
+	if k8[0] < 1.9 || k8[1] > 3.2 {
+		t.Errorf("K8 cycles/iter range = %v, want within [2,3]", k8)
+	}
+	render(t, res)
+}
+
+func TestFig11Bimodality(t *testing.T) {
+	r, err := Run("fig11", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*Fig11Result)
+	has2, has3 := false, false
+	for _, g := range res.GroupSlopes {
+		if g >= 1.9 && g <= 2.3 {
+			has2 = true
+		}
+		if g >= 2.9 && g <= 3.3 {
+			has3 = true
+		}
+		if g < 1.9 || g > 3.3 {
+			t.Errorf("unexpected cycles/iter group %v", g)
+		}
+	}
+	if !has2 || !has3 {
+		t.Errorf("bimodality missing: groups = %v (want ~2 and ~3)", res.GroupSlopes)
+	}
+	render(t, res)
+}
+
+func TestFig12CellsAreLines(t *testing.T) {
+	r, err := Run("fig12", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*Fig12Result)
+	if len(res.Cells) != 16 {
+		t.Fatalf("cells = %d, want 16", len(res.Cells))
+	}
+	slopes := map[string][]float64{}
+	for _, c := range res.Cells {
+		if c.R2 < 0.999 {
+			t.Errorf("%s %s: R2 = %v, cells must form clean lines", c.Pattern, c.Opt, c.R2)
+		}
+		slopes[c.Pattern] = append(slopes[c.Pattern], c.Slope)
+	}
+	// Neither pattern nor opt alone determines the slope: at least one
+	// pattern must have cells with different slopes across opt levels.
+	varies := false
+	for _, ss := range slopes {
+		for _, s := range ss[1:] {
+			if math.Abs(s-ss[0]) > 0.5 {
+				varies = true
+			}
+		}
+	}
+	if !varies {
+		t.Error("slopes identical within every pattern; placement effect missing")
+	}
+	render(t, res)
+}
+
+func TestGuidelinesShape(t *testing.T) {
+	r, err := Run("guidelines", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*GuidelinesResult)
+	if res.GovernorCV["ondemand"] <= res.GovernorCV["performance"]*2 {
+		t.Errorf("ondemand CV %v should far exceed performance CV %v",
+			res.GovernorCV["ondemand"], res.GovernorCV["performance"])
+	}
+	if math.Abs(res.CalibratedError) >= math.Abs(res.RawError) {
+		t.Errorf("calibration did not reduce error: raw=%v calibrated=%v",
+			res.RawError, res.CalibratedError)
+	}
+	if math.Abs(res.CalibratedError) > 6 {
+		t.Errorf("calibrated error = %v, want near 0", res.CalibratedError)
+	}
+	render(t, res)
+}
+
+func TestWholeProcessShape(t *testing.T) {
+	r, err := Run("wholeprocess", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*WholeProcessResult)
+	if res.ErrorPercent < 60_000 {
+		t.Errorf("whole-process error = %v%%, paper reports >60000%%", res.ErrorPercent)
+	}
+	render(t, res)
+}
+
+func TestFig1Shape(t *testing.T) {
+	cfg := Config{Runs: 2, Seed: 2008}
+	r, err := Run("fig1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*Fig1Result)
+	if res.Measurements != len(res.User)+len(res.UserKernel) {
+		t.Error("measurement count inconsistent")
+	}
+	// Shape anchors from the paper's Figure 1: minimum near zero, a
+	// substantial fraction of user configurations above 1000
+	// instructions, and user+kernel outliers beyond 10000.
+	var maxUK int64
+	for _, e := range res.UserKernel {
+		if e > maxUK {
+			maxUK = e
+		}
+	}
+	if maxUK < 4000 {
+		t.Errorf("user+kernel max = %d, want heavy tail", maxUK)
+	}
+	over1000 := 0
+	for _, e := range res.User {
+		if e > 1000 {
+			over1000++
+		}
+	}
+	if float64(over1000)/float64(len(res.User)) < 0.05 {
+		t.Errorf("only %d/%d user errors above 1000; tail too light", over1000, len(res.User))
+	}
+	render(t, res)
+}
+
+func TestFullScaleCellCount(t *testing.T) {
+	// At the published configuration the Figure 1 sweep must cover at
+	// least the paper's "over 170000 measurements" per figure (both
+	// violins together).
+	cells := len(fig1Cells())
+	total := cells * 2 * DefaultConfig.Runs
+	if total < 170_000 {
+		t.Errorf("full-scale fig1 = %d measurements, want >= 170000", total)
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSamplingShape(t *testing.T) {
+	r, err := Run("sampling", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*SamplingResult)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Periods are listed longest first: estimates tighten and
+	// perturbation grows as the period shrinks.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if math.Abs(last.RelativeError) > math.Abs(first.RelativeError)+0.02 {
+		t.Errorf("short-period estimate (%v) should not be worse than long-period (%v)",
+			last.RelativeError, first.RelativeError)
+	}
+	if last.PerturbInstr <= first.PerturbInstr {
+		t.Errorf("perturbation must grow with sampling rate: %d -> %d",
+			first.PerturbInstr, last.PerturbInstr)
+	}
+	if last.Samples < 1000 {
+		t.Errorf("period-1000 run produced only %d samples", last.Samples)
+	}
+	out := render(t, res)
+	if !strings.Contains(out, "perturb") {
+		t.Error("rendering lacks perturbation column")
+	}
+}
+
+func TestMultiplexShape(t *testing.T) {
+	r, err := Run("multiplex", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*MultiplexResult)
+	byName := map[string]MultiplexRow{}
+	for _, row := range res.Rows {
+		byName[row.Workload] = row
+	}
+	st := byName["stationary"]
+	if math.Abs(st.RelativeError) > 0.05 {
+		t.Errorf("stationary multiplex error = %v, want within 5%%", st.RelativeError)
+	}
+	ph := byName["two-phase"]
+	if math.Abs(ph.RelativeError) <= math.Abs(st.RelativeError) {
+		t.Errorf("phased error (%v) should exceed stationary (%v)",
+			ph.RelativeError, st.RelativeError)
+	}
+	render(t, res)
+}
+
+func TestEventsShape(t *testing.T) {
+	r, err := Run("events", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*EventPlacementResult)
+	if res.InstrSpread > 0.001 {
+		t.Errorf("instruction counts must be placement-invariant, spread = %v", res.InstrSpread)
+	}
+	if res.Spread["CPU_CLK_UNHALTED"] < 0.2 {
+		t.Errorf("cycle spread = %v, want the Figure 11 placement effect (2 vs 3 cyc/iter = 0.5)",
+			res.Spread["CPU_CLK_UNHALTED"])
+	}
+	render(t, res)
+}
+
+func TestCalibrationShape(t *testing.T) {
+	r, err := Run("calibration", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*CalibrationResult)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.NullResidual > 6 {
+			t.Errorf("%s: null-calibrated residual = %v, want small", row.Stack, row.NullResidual)
+		}
+		if row.ProbeResidual > 8 {
+			t.Errorf("%s: probe-calibrated residual = %v, want small", row.Stack, row.ProbeResidual)
+		}
+		if math.Abs(row.NullOffset-row.ProbeOffset) > 6 {
+			t.Errorf("%s: strategies diverge: %v vs %v", row.Stack, row.NullOffset, row.ProbeOffset)
+		}
+	}
+	render(t, res)
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+)
+
+// Fig1Result reproduces Figure 1: the overall distribution of the
+// null-benchmark measurement error across every infrastructure,
+// processor, pattern, optimization level, register count, and (for
+// perfctr) TSC setting — one violin for user mode, one for user+kernel.
+type Fig1Result struct {
+	User       []int64 `json:"user"`
+	UserKernel []int64 `json:"user_kernel"`
+	// Measurements is the total number of individual measurements
+	// summarized (the paper reports "over 170000" at full scale).
+	Measurements int `json:"measurements"`
+}
+
+// ID implements Result.
+func (r *Fig1Result) ID() string { return "fig1" }
+
+// Render implements Result.
+func (r *Fig1Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Measurement error in instructions (%d measurements per mode)\n\n", len(r.User))
+	fmt.Fprint(w, textplot.Violin("User mode", stats.Float64s(r.User), 24))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, textplot.Violin("User + OS mode", stats.Float64s(r.UserKernel), 24))
+
+	uSum, err := stats.Summarize(stats.Float64s(r.User))
+	if err != nil {
+		return err
+	}
+	kSum, err := stats.Summarize(stats.Float64s(r.UserKernel))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nuser:        IQR = %.0f instructions (paper: ~1500), max = %.0f\n", uSum.IQR(), uSum.Max)
+	fmt.Fprintf(w, "user+kernel: IQR = %.0f instructions, max = %.0f (paper: configurations above 10000 exist)\n", kSum.IQR(), kSum.Max)
+	return nil
+}
+
+// fig1Cell enumerates one configuration of the full factorial.
+type fig1Cell struct {
+	model *cpu.Model
+	code  string
+	tsc   bool
+	pat   core.Pattern
+	opt   compiler.OptLevel
+	regs  int
+}
+
+// fig1RegCounts returns the counter-selection sweep for Figure 1. The
+// paper measured "all possible combinations of enabled counters", which
+// on the 18-counter Pentium D makes many-counter selections the common
+// case; the sweep samples selection sizes across the full range.
+func fig1RegCounts(m *cpu.Model) []int {
+	if m.NumProgrammable >= 18 {
+		return []int{1, 2, 4, 6, 9, 12, 15, 18}
+	}
+	return regCounts(m)
+}
+
+// fig1Cells enumerates the full factorial of Figure 1.
+func fig1Cells() []fig1Cell {
+	var cells []fig1Cell
+	for _, m := range cpu.AllModels {
+		for _, code := range stack.Codes {
+			tscOptions := []bool{true}
+			if code[len(code)-2:] == "pc" {
+				tscOptions = []bool{true, false}
+			}
+			for _, tsc := range tscOptions {
+				for _, pat := range patternsFor(code) {
+					for _, opt := range compiler.AllOptLevels {
+						for _, regs := range fig1RegCounts(m) {
+							cells = append(cells, fig1Cell{m, code, tsc, pat, opt, regs})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+func runFig1(cfg Config) (Result, error) {
+	res := &Fig1Result{}
+	for ci, cell := range fig1Cells() {
+		sys, err := newSystem(cell.model, cell.code, stack.Options{WithTSC: cell.tsc})
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range []core.MeasureMode{core.ModeUser, core.ModeUserKernel} {
+			errs, err := sys.MeasureN(core.Request{
+				Bench:   core.NullBenchmark(),
+				Pattern: cell.pat,
+				Mode:    mode,
+				Events:  instrEvents(cell.regs),
+				Opt:     cell.opt,
+			}, cfg.Runs, cellSeed(cfg, uint64(ci), uint64(mode)))
+			if err != nil {
+				return nil, fmt.Errorf("fig1 cell %d (%s %s %s): %w", ci, cell.model.Tag, cell.code, cell.pat.Code(), err)
+			}
+			if mode == core.ModeUser {
+				res.User = append(res.User, errs...)
+			} else {
+				res.UserKernel = append(res.UserKernel, errs...)
+			}
+			res.Measurements += len(errs)
+		}
+	}
+	return res, nil
+}

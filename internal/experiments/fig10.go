@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+)
+
+// fig10LoopSizes mirrors the x-axis of Figures 10-12.
+var fig10LoopSizes = []int64{1, 50_000, 100_000, 200_000, 400_000, 600_000, 800_000, 1_000_000}
+
+// CyclePoint is one cycle measurement at a loop size.
+type CyclePoint struct {
+	LoopSize int64   `json:"loop_size"`
+	Cycles   float64 `json:"cycles"`
+	Pattern  string  `json:"pattern"`
+	Opt      string  `json:"opt"`
+}
+
+// Fig10Result reproduces Figure 10: measured user+kernel cycle counts
+// by loop size for all processors on perfctr and perfmon. For a given
+// loop size the measurements vary greatly — the placement effect.
+type Fig10Result struct {
+	// Points[proc][infra] holds the scatter.
+	Points map[string]map[string][]CyclePoint `json:"points"`
+	// CyclesPerIterRange[proc] is the [min, max] observed slope.
+	CyclesPerIterRange map[string][2]float64 `json:"cycles_per_iter_range"`
+}
+
+// ID implements Result.
+func (r *Fig10Result) ID() string { return "fig10" }
+
+// Render implements Result.
+func (r *Fig10Result) Render(w io.Writer) error {
+	for _, proc := range []string{"K8", "PD", "CD"} {
+		for _, infra := range []string{"pm", "pc"} {
+			pts := r.Points[proc][infra]
+			var sp []textplot.Point
+			for _, p := range pts {
+				sp = append(sp, textplot.Point{X: float64(p.LoopSize), Y: p.Cycles})
+			}
+			fmt.Fprint(w, textplot.Scatter(fmt.Sprintf("%s / %s: cycles by loop size", proc, infra), sp, 14))
+			fmt.Fprintln(w)
+		}
+		rng := r.CyclesPerIterRange[proc]
+		fmt.Fprintf(w, "%s: observed cycles/iteration in [%.2f, %.2f]\n\n", proc, rng[0], rng[1])
+	}
+	return nil
+}
+
+// cycleScatter measures cycle counts across loop sizes, patterns, and
+// optimization levels for one (model, infra).
+func cycleScatter(cfg Config, m *cpu.Model, infra string, salt uint64) ([]CyclePoint, error) {
+	sys, err := newSystem(m, infra, stack.DefaultOptions)
+	if err != nil {
+		return nil, err
+	}
+	var pts []CyclePoint
+	for _, pat := range core.AllPatterns {
+		for _, opt := range compiler.AllOptLevels {
+			for _, l := range fig10LoopSizes {
+				meas, err := sys.Measure(core.Request{
+					Bench:   core.LoopBenchmark(l),
+					Pattern: pat,
+					Mode:    core.ModeUserKernel,
+					Events:  []cpu.Event{cpu.EventCoreCycles},
+					Opt:     opt,
+					Seed:    cellSeed(cfg, salt, hash(m.Tag), hash(infra), uint64(pat), uint64(opt), uint64(l)),
+				})
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, CyclePoint{
+					LoopSize: l, Cycles: float64(meas.Deltas[0]),
+					Pattern: pat.String(), Opt: opt.String(),
+				})
+			}
+		}
+	}
+	return pts, nil
+}
+
+func runFig10(cfg Config) (Result, error) {
+	res := &Fig10Result{
+		Points:             map[string]map[string][]CyclePoint{},
+		CyclesPerIterRange: map[string][2]float64{},
+	}
+	for _, m := range cpu.AllModels {
+		res.Points[m.Tag] = map[string][]CyclePoint{}
+		lo, hi := 1e18, 0.0
+		for _, infra := range []string{"pm", "pc"} {
+			pts, err := cycleScatter(cfg, m, infra, 10)
+			if err != nil {
+				return nil, err
+			}
+			res.Points[m.Tag][infra] = pts
+			for _, p := range pts {
+				if p.LoopSize < 100_000 {
+					continue // slope estimates need long loops
+				}
+				cpi := p.Cycles / float64(p.LoopSize)
+				if cpi < lo {
+					lo = cpi
+				}
+				if cpi > hi {
+					hi = cpi
+				}
+			}
+		}
+		res.CyclesPerIterRange[m.Tag] = [2]float64{lo, hi}
+	}
+	return res, nil
+}
+
+// Fig11Result reproduces Figure 11: on the K8 with perfmon, cycle
+// measurements split into two groups bounded below by c = 2*l and
+// c = 3*l.
+type Fig11Result struct {
+	Points []CyclePoint `json:"points"`
+	// GroupSlopes are the distinct cycles/iteration values observed.
+	GroupSlopes []float64 `json:"group_slopes"`
+}
+
+// ID implements Result.
+func (r *Fig11Result) ID() string { return "fig11" }
+
+// Render implements Result.
+func (r *Fig11Result) Render(w io.Writer) error {
+	var sp []textplot.Point
+	for _, p := range r.Points {
+		sp = append(sp, textplot.Point{X: float64(p.LoopSize), Y: p.Cycles})
+	}
+	fmt.Fprint(w, textplot.Scatter("K8, pm: cycles by loop size (reference lines c=2i, c=3i)", sp, 18, 2, 3))
+	fmt.Fprintf(w, "\ncycles/iteration groups: %v (paper: bounded below by 2 and 3)\n", r.GroupSlopes)
+	return nil
+}
+
+func runFig11(cfg Config) (Result, error) {
+	pts, err := cycleScatter(cfg, cpu.Athlon64X2, "pm", 11)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{Points: pts}
+	groups := map[float64]bool{}
+	for _, p := range pts {
+		if p.LoopSize < 100_000 {
+			continue
+		}
+		cpi := p.Cycles / float64(p.LoopSize)
+		groups[float64(int(cpi*10+0.5))/10] = true
+	}
+	for g := range groups {
+		res.GroupSlopes = append(res.GroupSlopes, g)
+	}
+	sort.Float64s(res.GroupSlopes)
+	return res, nil
+}
+
+// Fig12Cell is one (pattern, optimization level) cell of Figure 12.
+type Fig12Cell struct {
+	Pattern string  `json:"pattern"`
+	Opt     string  `json:"opt"`
+	Slope   float64 `json:"slope"`
+	R2      float64 `json:"r2"`
+}
+
+// Fig12Result reproduces Figure 12: the same K8/pm cycle data broken
+// down by pattern and optimization level. Each cell forms one clean
+// line — within a cell the executable (and hence the placement) is
+// fixed — but neither factor alone determines the slope.
+type Fig12Result struct {
+	Cells []Fig12Cell `json:"cells"`
+}
+
+// ID implements Result.
+func (r *Fig12Result) ID() string { return "fig12" }
+
+// Render implements Result.
+func (r *Fig12Result) Render(w io.Writer) error {
+	var rows [][]string
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			c.Pattern, c.Opt, fmt.Sprintf("%.3f", c.Slope), fmt.Sprintf("%.6f", c.R2),
+		})
+	}
+	if _, err := fmt.Fprint(w, textplot.Table(
+		[]string{"pattern", "opt", "cycles/iter", "R^2"}, rows)); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nEach (pattern, opt) cell is a clean line with its own slope;")
+	fmt.Fprintln(w, "only the combination determines it (code placement).")
+	return nil
+}
+
+func runFig12(cfg Config) (Result, error) {
+	pts, err := cycleScatter(cfg, cpu.Athlon64X2, "pm", 12)
+	if err != nil {
+		return nil, err
+	}
+	byCell := map[[2]string][]CyclePoint{}
+	for _, p := range pts {
+		key := [2]string{p.Pattern, p.Opt}
+		byCell[key] = append(byCell[key], p)
+	}
+	res := &Fig12Result{}
+	for _, pat := range core.AllPatterns {
+		for _, opt := range compiler.AllOptLevels {
+			cell := byCell[[2]string{pat.String(), opt.String()}]
+			var xs, ys []float64
+			for _, p := range cell {
+				xs = append(xs, float64(p.LoopSize))
+				ys = append(ys, p.Cycles)
+			}
+			fit, err := stats.LinearFit(xs, ys)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, Fig12Cell{
+				Pattern: pat.String(), Opt: opt.String(),
+				Slope: fit.Slope, R2: fit.R2,
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+)
+
+// Fig4Result reproduces Figure 4: perfctr on the Core 2 Duo with the
+// TSC disabled versus enabled, per pattern and mode. The boxes pool
+// optimization levels and register selections, as in the paper (960
+// runs per box at full scale).
+type Fig4Result struct {
+	// Cells[mode][pattern][tsc] holds the error samples; tsc index 0 is
+	// off, 1 is on.
+	Cells map[string]map[string][2][]int64 `json:"cells"`
+	// MedianRROn/Off echo the paper's headline numbers (109.5 / 1698).
+	MedianRROn  float64 `json:"median_rr_on"`
+	MedianRROff float64 `json:"median_rr_off"`
+}
+
+// ID implements Result.
+func (r *Fig4Result) ID() string { return "fig4" }
+
+// Render implements Result.
+func (r *Fig4Result) Render(w io.Writer) error {
+	for _, mode := range []string{"user+kernel", "user"} {
+		fmt.Fprintf(w, "CD, Perfctr, %s\n", mode)
+		cells := r.Cells[mode]
+		var rows []textplot.BoxRow
+		for _, pat := range core.AllPatterns {
+			c := cells[pat.String()]
+			rows = append(rows,
+				textplot.BoxRow{Label: pat.String() + " tsc-off", Data: stats.Float64s(c[0])},
+				textplot.BoxRow{Label: pat.String() + " tsc-on ", Data: stats.Float64s(c[1])},
+			)
+		}
+		fmt.Fprint(w, textplot.Boxes("", rows))
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "read-read user+kernel median: TSC off = %.1f (paper 1698), TSC on = %.1f (paper 109.5)\n",
+		r.MedianRROff, r.MedianRROn)
+	return nil
+}
+
+func runFig4(cfg Config) (Result, error) {
+	res := &Fig4Result{Cells: map[string]map[string][2][]int64{}}
+	for _, mode := range []core.MeasureMode{core.ModeUserKernel, core.ModeUser} {
+		res.Cells[mode.String()] = map[string][2][]int64{}
+		for _, pat := range core.AllPatterns {
+			var cell [2][]int64
+			for tscIdx, tsc := range []bool{false, true} {
+				sys, err := newSystem(cpu.Core2Duo, "pc", stack.Options{WithTSC: tsc})
+				if err != nil {
+					return nil, err
+				}
+				for _, opt := range compiler.AllOptLevels {
+					for _, regs := range regCounts(cpu.Core2Duo) {
+						errs, err := sys.MeasureN(core.Request{
+							Bench:   core.NullBenchmark(),
+							Pattern: pat,
+							Mode:    mode,
+							Events:  instrEvents(regs),
+							Opt:     opt,
+						}, cfg.Runs, cellSeed(cfg, 4, uint64(mode), uint64(pat), uint64(opt), uint64(regs), uint64(tscIdx)))
+						if err != nil {
+							return nil, err
+						}
+						cell[tscIdx] = append(cell[tscIdx], errs...)
+					}
+				}
+			}
+			res.Cells[mode.String()][pat.String()] = cell
+		}
+	}
+	rr := res.Cells[core.ModeUserKernel.String()][core.ReadRead.String()]
+	res.MedianRROff = medianOf(rr[0])
+	res.MedianRROn = medianOf(rr[1])
+	return res, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stack"
+	"repro/internal/textplot"
+)
+
+// Fig5Result reproduces Figure 5: how the measurement error depends on
+// the number of counter registers, on the K8, for perfmon and perfctr
+// in both modes.
+type Fig5Result struct {
+	// Medians[infra][mode][pattern][regs-1] is the median error.
+	Medians map[string]map[string]map[string][]float64 `json:"medians"`
+	// PerRegisterRR summarizes the paper's headline: the additional
+	// error per extra register under read-read in user+kernel mode.
+	PerRegisterRR map[string]float64 `json:"per_register_rr"`
+}
+
+// ID implements Result.
+func (r *Fig5Result) ID() string { return "fig5" }
+
+// Render implements Result.
+func (r *Fig5Result) Render(w io.Writer) error {
+	for _, infra := range []string{"pm", "pc"} {
+		for _, mode := range []string{"user+kernel", "user"} {
+			fmt.Fprintf(w, "K8, %s, %s (median error by number of registers)\n", infra, mode)
+			var rows [][]string
+			for _, pat := range core.AllPatterns {
+				meds := r.Medians[infra][mode][pat.String()]
+				row := []string{pat.String()}
+				for _, m := range meds {
+					row = append(row, fmt.Sprintf("%.1f", m))
+				}
+				rows = append(rows, row)
+			}
+			_, err := fmt.Fprint(w, textplot.Table([]string{"pattern", "1 reg", "2 regs", "3 regs", "4 regs"}, rows))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "read-read user+kernel cost per additional register: pm = %.1f (paper ~112), pc = %.1f (paper ~13)\n",
+		r.PerRegisterRR["pm"], r.PerRegisterRR["pc"])
+	return nil
+}
+
+func runFig5(cfg Config) (Result, error) {
+	res := &Fig5Result{
+		Medians:       map[string]map[string]map[string][]float64{},
+		PerRegisterRR: map[string]float64{},
+	}
+	for _, infra := range []string{"pm", "pc"} {
+		res.Medians[infra] = map[string]map[string][]float64{}
+		sys, err := newSystem(cpu.Athlon64X2, infra, stack.DefaultOptions)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range []core.MeasureMode{core.ModeUserKernel, core.ModeUser} {
+			res.Medians[infra][mode.String()] = map[string][]float64{}
+			for _, pat := range core.AllPatterns {
+				var meds []float64
+				for _, regs := range regCounts(cpu.Athlon64X2) {
+					var all []int64
+					for _, opt := range compiler.AllOptLevels {
+						errs, err := sys.MeasureN(core.Request{
+							Bench:   core.NullBenchmark(),
+							Pattern: pat,
+							Mode:    mode,
+							Events:  instrEvents(regs),
+							Opt:     opt,
+						}, cfg.Runs, cellSeed(cfg, 5, uint64(pat), uint64(opt), uint64(regs)))
+						if err != nil {
+							return nil, err
+						}
+						all = append(all, errs...)
+					}
+					meds = append(meds, medianOf(all))
+				}
+				res.Medians[infra][mode.String()][pat.String()] = meds
+			}
+		}
+		rr := res.Medians[infra][core.ModeUserKernel.String()][core.ReadRead.String()]
+		if len(rr) >= 4 {
+			res.PerRegisterRR[infra] = (rr[3] - rr[0]) / 3
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+)
+
+// table3Patterns is the paper's Table 3 pattern selection: the readout
+// pattern reported for each stack.
+var table3Patterns = map[string]core.Pattern{
+	"pm":   core.ReadRead,
+	"PLpm": core.StartRead,
+	"PHpm": core.StartRead,
+	"pc":   core.StartRead,
+	"PLpc": core.StartRead,
+	"PHpc": core.StartRead,
+}
+
+// Table3Row is one line of the paper's Table 3.
+type Table3Row struct {
+	Mode    string  `json:"mode"`
+	Tool    string  `json:"tool"`
+	Pattern string  `json:"pattern"`
+	Median  float64 `json:"median"`
+	Min     int64   `json:"min"`
+	// PaperMedian and PaperMin are the published values for comparison.
+	PaperMedian float64 `json:"paper_median"`
+	PaperMin    int64   `json:"paper_min"`
+}
+
+// paperTable3 holds the published medians and minima.
+var paperTable3 = map[string][2]float64{
+	"user+kernel/pm":   {726, 572},
+	"user+kernel/PLpm": {742, 653},
+	"user+kernel/PHpm": {844, 755},
+	"user+kernel/pc":   {163, 74},
+	"user+kernel/PLpc": {251, 249},
+	"user+kernel/PHpc": {339, 333},
+	"user/pm":          {37, 36},
+	"user/PLpm":        {134, 134},
+	"user/PHpm":        {236, 236},
+	"user/pc":          {67, 56},
+	"user/PLpc":        {152, 144},
+	"user/PHpc":        {236, 230},
+}
+
+// Fig6Result reproduces Figure 6 and Table 3: the error per
+// infrastructure at its reported pattern, one counter register, TSC
+// enabled, pooled over processors and optimization levels.
+type Fig6Result struct {
+	// Samples[mode][stack] holds the pooled error samples.
+	Samples map[string]map[string][]int64 `json:"samples"`
+	Table   []Table3Row                   `json:"table"`
+}
+
+// ID implements Result.
+func (r *Fig6Result) ID() string { return "fig6" }
+
+// Render implements Result.
+func (r *Fig6Result) Render(w io.Writer) error {
+	for _, mode := range []string{"user+kernel", "user"} {
+		var rows []textplot.BoxRow
+		for _, code := range stack.Codes {
+			rows = append(rows, textplot.BoxRow{Label: code, Data: stats.Float64s(r.Samples[mode][code])})
+		}
+		fmt.Fprint(w, textplot.Boxes(fmt.Sprintf("%s, # of instructions", mode), rows))
+		fmt.Fprintln(w)
+	}
+
+	var tab [][]string
+	for _, row := range r.Table {
+		tab = append(tab, []string{
+			row.Mode, row.Tool, row.Pattern,
+			fmt.Sprintf("%.1f", row.Median), fmt.Sprintf("%d", row.Min),
+			fmt.Sprintf("%.0f", row.PaperMedian), fmt.Sprintf("%.0f", float64(row.PaperMin)),
+		})
+	}
+	_, err := fmt.Fprint(w, textplot.Table(
+		[]string{"Mode", "Tool", "Best Pattern", "Median", "Min", "Paper Med", "Paper Min"}, tab))
+	return err
+}
+
+func runFig6(cfg Config) (Result, error) {
+	res := &Fig6Result{Samples: map[string]map[string][]int64{}}
+	for _, mode := range []core.MeasureMode{core.ModeUserKernel, core.ModeUser} {
+		res.Samples[mode.String()] = map[string][]int64{}
+		for _, code := range stack.Codes {
+			pat := table3Patterns[code]
+			var all []int64
+			for _, m := range cpu.AllModels {
+				sys, err := newSystem(m, code, stack.DefaultOptions)
+				if err != nil {
+					return nil, err
+				}
+				for _, opt := range compiler.AllOptLevels {
+					errs, err := sys.MeasureN(core.Request{
+						Bench:   core.NullBenchmark(),
+						Pattern: pat,
+						Mode:    mode,
+						Opt:     opt,
+					}, cfg.Runs, cellSeed(cfg, 6, uint64(mode), hash(code), uint64(opt), hash(m.Tag)))
+					if err != nil {
+						return nil, err
+					}
+					all = append(all, errs...)
+				}
+			}
+			res.Samples[mode.String()][code] = all
+			paper := paperTable3[mode.String()+"/"+code]
+			res.Table = append(res.Table, Table3Row{
+				Mode: mode.String(), Tool: code, Pattern: pat.String(),
+				Median: medianOf(all), Min: minOf(all),
+				PaperMedian: paper[0], PaperMin: int64(paper[1]),
+			})
+		}
+	}
+	return res, nil
+}
+
+// hash folds a short string into a seed component.
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

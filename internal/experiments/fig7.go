@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+)
+
+// fig7LoopSizes are the loop iteration counts used for the duration
+// study (the paper sweeps up to one million iterations).
+var fig7LoopSizes = []int64{10_000, 100_000, 250_000, 500_000, 1_000_000}
+
+// SlopeCell is the error-growth slope for one (infrastructure,
+// processor) combination: extra instructions per loop iteration.
+type SlopeCell struct {
+	Infra     string  `json:"infra"`
+	Processor string  `json:"processor"`
+	Slope     float64 `json:"slope"`
+	R2        float64 `json:"r2"`
+}
+
+// Fig7Result reproduces Figure 7: the slope of the regression of the
+// user+kernel instruction error on the loop iteration count, per
+// infrastructure and processor. All slopes are positive: the longer the
+// measurement, the more timer-interrupt instructions it accumulates.
+type Fig7Result struct {
+	Mode   string      `json:"mode"`
+	Slopes []SlopeCell `json:"slopes"`
+}
+
+// ID implements Result.
+func (r *Fig7Result) ID() string { return "fig7" }
+
+// Render implements Result.
+func (r *Fig7Result) Render(w io.Writer) error {
+	var bars []textplot.Bar
+	for _, s := range r.Slopes {
+		bars = append(bars, textplot.Bar{
+			Label: fmt.Sprintf("%-4s %s", s.Infra, s.Processor),
+			Value: s.Slope,
+		})
+	}
+	_, err := fmt.Fprint(w, textplot.Bars(
+		fmt.Sprintf("Extra instructions per loop iteration (%s mode)", r.Mode),
+		bars, func(v float64) string { return fmt.Sprintf("%+.6f", v) }))
+	return err
+}
+
+// slopeStudy regresses the measurement error on the loop size for every
+// (stack, processor) cell in the given mode. Interrupt arrivals are
+// Poisson-thin at these durations, so the study takes several times the
+// configured repetitions to stabilize the slope estimates.
+func slopeStudy(cfg Config, mode core.MeasureMode, salt uint64) ([]SlopeCell, error) {
+	runs := cfg.Runs * 4
+	var out []SlopeCell
+	for _, code := range stack.Codes {
+		for _, m := range cpu.AllModels {
+			sys, err := newSystem(m, code, stack.DefaultOptions)
+			if err != nil {
+				return nil, err
+			}
+			var xs, ys []float64
+			for _, l := range fig7LoopSizes {
+				for _, pat := range []core.Pattern{core.StartRead, core.StartStop} {
+					for _, opt := range compiler.AllOptLevels {
+						errs, err := sys.MeasureN(core.Request{
+							Bench:   core.LoopBenchmark(l),
+							Pattern: pat,
+							Mode:    mode,
+							Opt:     opt,
+						}, runs, cellSeed(cfg, salt, hash(code), hash(m.Tag), uint64(l), uint64(pat), uint64(opt)))
+						if err != nil {
+							return nil, err
+						}
+						for _, e := range errs {
+							xs = append(xs, float64(l))
+							ys = append(ys, float64(e))
+						}
+					}
+				}
+			}
+			fit, err := stats.LinearFit(xs, ys)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SlopeCell{Infra: code, Processor: m.Tag, Slope: fit.Slope, R2: fit.R2})
+		}
+	}
+	return out, nil
+}
+
+func runFig7(cfg Config) (Result, error) {
+	slopes, err := slopeStudy(cfg, core.ModeUserKernel, 7)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7Result{Mode: core.ModeUserKernel.String(), Slopes: slopes}, nil
+}
+
+// Fig8Result reproduces Figure 8: the same regression in user mode. The
+// slopes are several orders of magnitude smaller — a few millionths of
+// an instruction per iteration, some negative — caused only by the
+// per-interrupt counter save/restore rounding.
+type Fig8Result struct {
+	Mode   string      `json:"mode"`
+	Slopes []SlopeCell `json:"slopes"`
+	// MaxAbsSlope is the largest |slope| (paper: ~4e-6).
+	MaxAbsSlope float64 `json:"max_abs_slope"`
+}
+
+// ID implements Result.
+func (r *Fig8Result) ID() string { return "fig8" }
+
+// Render implements Result.
+func (r *Fig8Result) Render(w io.Writer) error {
+	var bars []textplot.Bar
+	for _, s := range r.Slopes {
+		bars = append(bars, textplot.Bar{
+			Label: fmt.Sprintf("%-4s %s", s.Infra, s.Processor),
+			Value: s.Slope,
+		})
+	}
+	if _, err := fmt.Fprint(w, textplot.Bars(
+		"Extra instructions per loop iteration (user mode)",
+		bars, func(v float64) string { return fmt.Sprintf("%+.7f", v) })); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nmax |slope| = %.2g instructions/iteration (paper: ~4e-6; several orders below user+kernel)\n", r.MaxAbsSlope)
+	return nil
+}
+
+func runFig8(cfg Config) (Result, error) {
+	slopes, err := slopeStudy(cfg, core.ModeUser, 8)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{Mode: core.ModeUser.String(), Slopes: slopes}
+	for _, s := range slopes {
+		if a := abs(s.Slope); a > res.MaxAbsSlope {
+			res.MaxAbsSlope = a
+		}
+	}
+	return res, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+)
+
+// fig9LoopSizes mirrors the x-axis of the paper's Figure 9.
+var fig9LoopSizes = []int64{1, 25_000, 50_000, 75_000, 100_000, 250_000, 500_000, 750_000, 1_000_000}
+
+// Fig9Result reproduces Figure 9: kernel-mode instruction counts by
+// loop size for perfctr on the Core 2 Duo. The benchmark performs no
+// kernel work, so everything counted is measurement error; interrupts
+// are rare, so each box is dominated by runs with zero or one tick and
+// the mean sits above the box.
+type Fig9Result struct {
+	// Samples[i] holds the kernel instruction errors for LoopSizes[i].
+	LoopSizes []int64   `json:"loop_sizes"`
+	Samples   [][]int64 `json:"samples"`
+	Averages  []float64 `json:"averages"`
+	// Slope is the regression slope through all points (paper: 0.00204
+	// kernel instructions per loop iteration).
+	Slope float64 `json:"slope"`
+}
+
+// ID implements Result.
+func (r *Fig9Result) ID() string { return "fig9" }
+
+// Render implements Result.
+func (r *Fig9Result) Render(w io.Writer) error {
+	var rows []textplot.BoxRow
+	for i, l := range r.LoopSizes {
+		rows = append(rows, textplot.BoxRow{
+			Label: fmt.Sprintf("%8d", l),
+			Data:  stats.Float64s(r.Samples[i]),
+		})
+	}
+	fmt.Fprint(w, textplot.Boxes("CD, OS mode, instructions by loop size (pc)", rows))
+	fmt.Fprintln(w)
+	for i, l := range r.LoopSizes {
+		fmt.Fprintf(w, "  l=%8d  avg=%8.1f\n", l, r.Averages[i])
+	}
+	fmt.Fprintf(w, "\nregression slope = %.5f kernel instructions/iteration (paper: 0.00204)\n", r.Slope)
+	return nil
+}
+
+func runFig9(cfg Config) (Result, error) {
+	sys, err := newSystem(cpu.Core2Duo, "pc", stack.DefaultOptions)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{LoopSizes: fig9LoopSizes}
+	var xs, ys []float64
+	// Interrupts are infrequent; the paper uses several thousand runs
+	// per size. Scale the configured run count up for this experiment.
+	runs := cfg.Runs * 12
+	for _, l := range fig9LoopSizes {
+		var all []int64
+		for _, opt := range compiler.AllOptLevels {
+			errs, err := sys.MeasureN(core.Request{
+				Bench:   core.LoopBenchmark(l),
+				Pattern: core.StartRead,
+				Mode:    core.ModeKernel,
+				Opt:     opt,
+			}, runs, cellSeed(cfg, 9, uint64(l), uint64(opt)))
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, errs...)
+		}
+		res.Samples = append(res.Samples, all)
+		res.Averages = append(res.Averages, stats.Mean(stats.Float64s(all)))
+		for _, e := range all {
+			xs = append(xs, float64(l))
+			ys = append(ys, float64(e))
+		}
+	}
+	fit, err := stats.LinearFit(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	res.Slope = fit.Slope
+	return res, nil
+}

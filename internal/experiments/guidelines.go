@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/stack"
+	"repro/internal/stats"
+)
+
+// GuidelinesResult quantifies the Section 8 guidelines:
+//
+//   - frequency scaling: cycle measurements of the same workload under
+//     the pinned "performance" governor versus the wandering "ondemand"
+//     governor;
+//   - calibration: subtracting the null-benchmark error from a
+//     measurement removes most of the fixed access cost.
+type GuidelinesResult struct {
+	// GovernorCV is the coefficient of variation of repeated cycle
+	// measurements per governor.
+	GovernorCV map[string]float64 `json:"governor_cv"`
+	// RawError and CalibratedError are the loop measurement error
+	// before and after subtracting the median null error.
+	RawError        float64 `json:"raw_error"`
+	CalibratedError float64 `json:"calibrated_error"`
+}
+
+// ID implements Result.
+func (r *GuidelinesResult) ID() string { return "guidelines" }
+
+// Render implements Result.
+func (r *GuidelinesResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Guideline: pin the CPU frequency")
+	for _, g := range []string{"performance", "ondemand"} {
+		fmt.Fprintf(w, "  %-12s cycle-count coefficient of variation = %.4f\n", g, r.GovernorCV[g])
+	}
+	fmt.Fprintln(w, "\nGuideline: calibrate with the null benchmark")
+	fmt.Fprintf(w, "  raw loop error        = %+.1f instructions\n", r.RawError)
+	fmt.Fprintf(w, "  after calibration     = %+.1f instructions\n", r.CalibratedError)
+	return nil
+}
+
+func runGuidelines(cfg Config) (Result, error) {
+	res := &GuidelinesResult{GovernorCV: map[string]float64{}}
+
+	// Frequency scaling: repeated cycle measurements of the same loop.
+	for _, gov := range []kernel.Governor{kernel.Performance, kernel.Ondemand} {
+		sys, err := newSystem(cpu.Core2Duo, "pc", stack.Options{WithTSC: true, Governor: gov})
+		if err != nil {
+			return nil, err
+		}
+		var cycles []float64
+		for i := 0; i < cfg.Runs*4; i++ {
+			m, err := sys.Measure(core.Request{
+				Bench:   core.ArrayBenchmark(1_000_000),
+				Pattern: core.StartRead,
+				Mode:    core.ModeUserKernel,
+				Events:  []cpu.Event{cpu.EventCoreCycles},
+				Opt:     compiler.O2,
+				Seed:    cellSeed(cfg, 80, uint64(gov), uint64(i)),
+			})
+			if err != nil {
+				return nil, err
+			}
+			cycles = append(cycles, float64(m.Deltas[0]))
+		}
+		cv := 0.0
+		if mean := stats.Mean(cycles); mean > 0 {
+			cv = stats.StdDev(cycles) / mean
+		}
+		res.GovernorCV[gov.String()] = cv
+	}
+
+	// Calibration: median null error subtracted from a loop measurement.
+	sys, err := newSystem(cpu.Athlon64X2, "pc", stack.DefaultOptions)
+	if err != nil {
+		return nil, err
+	}
+	nullErrs, err := sys.MeasureN(core.Request{
+		Bench: core.NullBenchmark(), Pattern: core.StartRead,
+		Mode: core.ModeUser, Opt: compiler.O2,
+	}, cfg.Runs*4, cellSeed(cfg, 81))
+	if err != nil {
+		return nil, err
+	}
+	nullMed := medianOf(nullErrs)
+
+	loopErrs, err := sys.MeasureN(core.Request{
+		Bench: core.LoopBenchmark(1000), Pattern: core.StartRead,
+		Mode: core.ModeUser, Opt: compiler.O2,
+	}, cfg.Runs*4, cellSeed(cfg, 82))
+	if err != nil {
+		return nil, err
+	}
+	res.RawError = medianOf(loopErrs)
+	res.CalibratedError = res.RawError - nullMed
+	return res, nil
+}
+
+// WholeProcessResult reproduces the Section 9 discussion of standalone
+// measurement tools (perfex, pfmon, papiex): measuring a tiny benchmark
+// as a whole process includes loader and teardown instructions, giving
+// errors of tens of thousands of percent.
+type WholeProcessResult struct {
+	BenchInstr    int64   `json:"bench_instr"`
+	MeasuredInstr int64   `json:"measured_instr"`
+	ErrorPercent  float64 `json:"error_percent"`
+}
+
+// ID implements Result.
+func (r *WholeProcessResult) ID() string { return "wholeprocess" }
+
+// Render implements Result.
+func (r *WholeProcessResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "benchmark instructions:        %d\n", r.BenchInstr)
+	fmt.Fprintf(w, "whole-process measurement:     %d\n", r.MeasuredInstr)
+	fmt.Fprintf(w, "error: %.0f%% (paper: over 60000%% in some cases)\n", r.ErrorPercent)
+	return nil
+}
+
+func runWholeProcess(cfg Config) (Result, error) {
+	sys, err := newSystem(cpu.Athlon64X2, "pc", stack.DefaultOptions)
+	if err != nil {
+		return nil, err
+	}
+	bench := core.LoopBenchmark(1000)
+	m, err := sys.Measure(core.Request{
+		Bench: bench, Pattern: core.StartRead,
+		Mode: core.ModeUserKernel, Opt: compiler.O2,
+		Seed: cellSeed(cfg, 90),
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A standalone tool starts the counters before exec and reads them
+	// after exit: process startup and teardown are inside the window.
+	measured := m.Deltas[0] + sys.Kernel.ProcessStartupCost()
+	res := &WholeProcessResult{
+		BenchInstr:    bench.ExpectedInstr,
+		MeasuredInstr: measured,
+		ErrorPercent:  100 * float64(measured-bench.ExpectedInstr) / float64(bench.ExpectedInstr),
+	}
+	return res, nil
+}

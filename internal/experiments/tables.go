@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/textplot"
+)
+
+// Table1Result reproduces Table 1: the processors used in the study.
+type Table1Result struct {
+	Rows []Table1Row `json:"rows"`
+}
+
+// Table1Row is one processor inventory line.
+type Table1Row struct {
+	Tag          string  `json:"tag"`
+	Processor    string  `json:"processor"`
+	GHz          float64 `json:"ghz"`
+	MicroArch    string  `json:"uarch"`
+	Fixed        int     `json:"fixed"`
+	Programmable int     `json:"programmable"`
+}
+
+// ID implements Result.
+func (r *Table1Result) ID() string { return "table1" }
+
+// Render implements Result.
+func (r *Table1Result) Render(w io.Writer) error {
+	rows := make([][]string, len(r.Rows))
+	for i, t := range r.Rows {
+		rows[i] = []string{
+			t.Tag, t.Processor, fmt.Sprintf("%.1f", t.GHz), t.MicroArch,
+			fmt.Sprintf("%d", t.Fixed), fmt.Sprintf("%d", t.Programmable),
+		}
+	}
+	_, err := fmt.Fprint(w, textplot.Table(
+		[]string{"", "Processor", "GHz", "uArch", "fixed", "prg."}, rows))
+	return err
+}
+
+func runTable1(Config) (Result, error) {
+	res := &Table1Result{}
+	for _, m := range cpu.AllModels {
+		fixed, prg := m.Counters()
+		res.Rows = append(res.Rows, Table1Row{
+			Tag: m.Tag, Processor: m.Name, GHz: m.GHz,
+			MicroArch: m.Arch.String(), Fixed: fixed, Programmable: prg,
+		})
+	}
+	return res, nil
+}
+
+// Table2Result reproduces Table 2: the counter access patterns, each
+// checked to be executable on a direct stack.
+type Table2Result struct {
+	Rows []Table2Row `json:"rows"`
+}
+
+// Table2Row is one pattern definition.
+type Table2Row struct {
+	Code       string `json:"code"`
+	Name       string `json:"name"`
+	Definition string `json:"definition"`
+	// HighLevelOK reports whether the PAPI high-level API supports the
+	// pattern (the Table 2 footnote).
+	HighLevelOK bool `json:"high_level_ok"`
+}
+
+// ID implements Result.
+func (r *Table2Result) ID() string { return "table2" }
+
+// Render implements Result.
+func (r *Table2Result) Render(w io.Writer) error {
+	rows := make([][]string, len(r.Rows))
+	for i, t := range r.Rows {
+		hl := "yes"
+		if !t.HighLevelOK {
+			hl = "no (read resets)"
+		}
+		rows[i] = []string{t.Code, t.Name, t.Definition, hl}
+	}
+	_, err := fmt.Fprint(w, textplot.Table(
+		[]string{"Pattern", "Name", "Definition", "PAPI high-level"}, rows))
+	return err
+}
+
+func runTable2(Config) (Result, error) {
+	defs := map[core.Pattern]string{
+		core.StartRead: "c0=0, reset, start ... c1=read",
+		core.StartStop: "c0=0, reset, start ... stop, c1=read",
+		core.ReadRead:  "start, c0=read ... c1=read",
+		core.ReadStop:  "start, c0=read ... stop, c1=read",
+	}
+	res := &Table2Result{}
+	for _, p := range core.AllPatterns {
+		res.Rows = append(res.Rows, Table2Row{
+			Code:        p.Code(),
+			Name:        p.String(),
+			Definition:  defs[p],
+			HighLevelOK: !p.ReadsAtC0(),
+		})
+	}
+	return res, nil
+}

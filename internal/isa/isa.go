@@ -1,0 +1,255 @@
+// Package isa models the instruction set executed by the simulated
+// processors in this study.
+//
+// The model is deliberately not a full IA32 semantic model: the paper's
+// measurements depend on *which* instructions retire, in *which privilege
+// mode*, and *where* the special counter-access instructions (RDPMC, RDTSC,
+// WRMSR) sit inside the library call sequences — not on data values. An
+// instruction therefore carries an operation kind plus the small amount of
+// operand information the simulator needs (counter index, syscall number,
+// loop trip count, byte size for placement modeling).
+//
+// Programs are flat instruction slices with byte addresses assigned from a
+// load base, so code placement — which the paper shows perturbs cycle
+// counts via the front end — is a first-class property.
+package isa
+
+import "fmt"
+
+// Op identifies the operation kind of a single instruction.
+type Op uint8
+
+// Operation kinds. OpALU through OpNop retire as ordinary instructions.
+// The remaining kinds have side effects in the CPU model.
+const (
+	// OpALU is a generic integer/register instruction (add, cmp, mov...).
+	OpALU Op = iota
+	// OpLoad is a memory read.
+	OpLoad
+	// OpStore is a memory write.
+	OpStore
+	// OpBranch is a conditional branch. A carries the branch target index
+	// (instruction index within the same program), B!=0 means the branch
+	// is taken (the model is control-flow-deterministic).
+	OpBranch
+	// OpNop retires but performs no work.
+	OpNop
+
+	// OpRDPMC reads performance counter A into a capture slot. If Slot is
+	// non-negative the simulator records the (virtualized) counter value.
+	OpRDPMC
+	// OpRDTSC reads the time stamp counter. If Slot is non-negative the
+	// simulator records the current cycle count.
+	OpRDTSC
+	// OpRDMSR reads model-specific register A. Kernel mode only.
+	OpRDMSR
+	// OpWRMSR writes a model-specific register: A is an MSRAction and B an
+	// action operand (typically a counter bitmask). Kernel mode only.
+	OpWRMSR
+
+	// OpSyscall enters the kernel and runs the handler registered for
+	// syscall number A. Retires as one instruction in user mode; handler
+	// instructions retire in kernel mode.
+	OpSyscall
+	// OpSysRet returns from a syscall handler to user mode.
+	OpSysRet
+	// OpIRet returns from an interrupt handler.
+	OpIRet
+
+	// OpVarWork retires a variable number of ALU instructions, sampled at
+	// execution time: between 0 and A extra instructions with geometric
+	// decay (B is a per-site stream discriminator). It models data- and
+	// cache-dependent path-length variation inside library and kernel code
+	// and is the source of run-to-run jitter in the study.
+	OpVarWork
+
+	// OpLoop executes the next B instructions A times (the loop body).
+	// Bodies restricted to plain retiring ops may be fast-forwarded
+	// analytically by the simulator; see cpu.Core.
+	OpLoop
+
+	// OpHalt stops program execution.
+	OpHalt
+)
+
+var opNames = [...]string{
+	OpALU:     "alu",
+	OpLoad:    "load",
+	OpStore:   "store",
+	OpBranch:  "branch",
+	OpNop:     "nop",
+	OpRDPMC:   "rdpmc",
+	OpRDTSC:   "rdtsc",
+	OpRDMSR:   "rdmsr",
+	OpWRMSR:   "wrmsr",
+	OpSyscall: "syscall",
+	OpSysRet:  "sysret",
+	OpIRet:    "iret",
+	OpVarWork: "varwork",
+	OpLoop:    "loop",
+	OpHalt:    "halt",
+}
+
+// String returns the mnemonic for the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// MSRAction selects the effect of an OpWRMSR instruction. Real hardware
+// exposes raw PERFEVTSEL/PMC registers; the simulator models the four
+// operations the measurement infrastructures actually perform.
+type MSRAction int64
+
+const (
+	// MSREnable enables counting on the counters selected by the operand
+	// bitmask.
+	MSREnable MSRAction = iota
+	// MSRDisable disables counting on the selected counters.
+	MSRDisable
+	// MSRReset zeroes the selected counters (hardware value and, through
+	// the extension hook, any per-thread accumulators).
+	MSRReset
+)
+
+// String returns the action name.
+func (a MSRAction) String() string {
+	switch a {
+	case MSREnable:
+		return "enable"
+	case MSRDisable:
+		return "disable"
+	case MSRReset:
+		return "reset"
+	}
+	return fmt.Sprintf("msraction(%d)", int64(a))
+}
+
+// NoSlot marks an RDPMC/RDTSC instruction whose result is discarded.
+const NoSlot = -1
+
+// Instr is a single instruction. The zero value is a 4-byte OpALU
+// instruction with no capture slot; construct instructions through the
+// helpers below so Slot defaults correctly.
+type Instr struct {
+	Op   Op
+	A    int64 // operand: counter index, syscall number, branch target, trip count...
+	B    int64 // second operand: action operand, loop body length, taken flag...
+	Slot int16 // capture slot for RDPMC/RDTSC results; NoSlot when unused
+	Size uint8 // encoded size in bytes, for address assignment
+}
+
+// DefaultSize is the encoded instruction size assumed when none is given.
+// IA32 instructions vary from 1 to 15 bytes; the placement model only
+// needs relative layout, so a uniform default keeps programs simple while
+// benchmark-critical code (the loop body) sets explicit sizes.
+const DefaultSize = 4
+
+// ALU returns a generic retiring instruction.
+func ALU() Instr { return Instr{Op: OpALU, Slot: NoSlot, Size: DefaultSize} }
+
+// Load returns a memory-read instruction.
+func Load() Instr { return Instr{Op: OpLoad, Slot: NoSlot, Size: DefaultSize} }
+
+// Store returns a memory-write instruction.
+func Store() Instr { return Instr{Op: OpStore, Slot: NoSlot, Size: DefaultSize} }
+
+// Nop returns an instruction that retires without work.
+func Nop() Instr { return Instr{Op: OpNop, Slot: NoSlot, Size: DefaultSize} }
+
+// Branch returns a conditional branch to instruction index target.
+// taken selects the modeled direction.
+func Branch(target int, taken bool) Instr {
+	b := int64(0)
+	if taken {
+		b = 1
+	}
+	return Instr{Op: OpBranch, A: int64(target), B: b, Slot: NoSlot, Size: 2}
+}
+
+// RDPMC returns a counter-read instruction for programmable counter
+// index ctr, capturing into slot (NoSlot to discard).
+func RDPMC(ctr int, slot int) Instr {
+	return Instr{Op: OpRDPMC, A: int64(ctr), Slot: int16(slot), Size: 3}
+}
+
+// RDTSC returns a time-stamp-counter read capturing into slot.
+func RDTSC(slot int) Instr {
+	return Instr{Op: OpRDTSC, Slot: int16(slot), Size: 2}
+}
+
+// RDMSR returns a model-specific-register read (kernel mode only).
+func RDMSR(msr int64) Instr {
+	return Instr{Op: OpRDMSR, A: msr, Slot: NoSlot, Size: 2}
+}
+
+// WRMSR returns a counter-control write (kernel mode only): action applied
+// to the counters in mask (bit i = programmable counter i).
+func WRMSR(action MSRAction, mask uint64) Instr {
+	return Instr{Op: OpWRMSR, A: int64(action), B: int64(mask), Slot: NoSlot, Size: 2}
+}
+
+// Syscall returns a kernel entry instruction for syscall number nr.
+func Syscall(nr int) Instr {
+	return Instr{Op: OpSyscall, A: int64(nr), Slot: NoSlot, Size: 2}
+}
+
+// SysRet returns the syscall-exit instruction.
+func SysRet() Instr { return Instr{Op: OpSysRet, Slot: NoSlot, Size: 2} }
+
+// IRet returns the interrupt-return instruction.
+func IRet() Instr { return Instr{Op: OpIRet, Slot: NoSlot, Size: 2} }
+
+// VarWork returns an instruction retiring a variable amount of extra work:
+// 0..max extra instructions with geometric decay. stream discriminates
+// independent jitter sites fed from the same run seed.
+func VarWork(max int, stream int64) Instr {
+	return Instr{Op: OpVarWork, A: int64(max), B: stream, Slot: NoSlot, Size: DefaultSize}
+}
+
+// Loop returns a loop-block header: the next body instructions execute
+// iters times.
+func Loop(iters int64, body int) Instr {
+	return Instr{Op: OpLoop, A: iters, B: int64(body), Slot: NoSlot, Size: 0}
+}
+
+// Halt returns the program-terminating instruction.
+func Halt() Instr { return Instr{Op: OpHalt, Slot: NoSlot, Size: 1} }
+
+// Retires reports how many instructions this op contributes to the retired
+// instruction count when executed once (OpVarWork's variable extra work and
+// OpLoop's body are accounted separately by the simulator).
+func (i Instr) Retires() int {
+	switch i.Op {
+	case OpLoop:
+		return 0 // loop header is bookkeeping, not an instruction
+	case OpVarWork:
+		return 1 // baseline; extra work sampled at execution
+	default:
+		return 1
+	}
+}
+
+// String renders the instruction for debugging.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpBranch:
+		return fmt.Sprintf("branch -> %d (taken=%v)", i.A, i.B != 0)
+	case OpRDPMC:
+		return fmt.Sprintf("rdpmc c%d slot=%d", i.A, i.Slot)
+	case OpRDTSC:
+		return fmt.Sprintf("rdtsc slot=%d", i.Slot)
+	case OpWRMSR:
+		return fmt.Sprintf("wrmsr %s mask=%#x", MSRAction(i.A), uint64(i.B))
+	case OpSyscall:
+		return fmt.Sprintf("syscall %d", i.A)
+	case OpVarWork:
+		return fmt.Sprintf("varwork max=%d stream=%d", i.A, i.B)
+	case OpLoop:
+		return fmt.Sprintf("loop iters=%d body=%d", i.A, i.B)
+	default:
+		return i.Op.String()
+	}
+}

@@ -1,0 +1,193 @@
+// Package mpx implements counter multiplexing with time interpolation:
+// measuring more events than the processor has counter registers by
+// time-sharing the registers and scaling each event's observed count by
+// the fraction of time its group was active.
+//
+// This is the accuracy problem of Mytkowicz, Sweeney, Hauswirth, and
+// Diwan's MICRO'07 work, which the paper's Section 9 situates next to
+// its own: multiplexing trades full-time observation for coverage, and
+// the interpolation is exact only if the event rate is stationary.
+// Workloads with phases misaligned to the rotation period produce
+// estimation errors this package's experiment quantifies.
+package mpx
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+)
+
+// Estimate is the multiplexed measurement of one event.
+type Estimate struct {
+	// Event is the estimated event.
+	Event cpu.Event
+	// Observed is the raw count accumulated while the event's group
+	// occupied hardware counters.
+	Observed int64
+	// ActiveFraction is the fraction of run cycles the group was live.
+	ActiveFraction float64
+	// Value is the time-interpolated estimate: Observed scaled by the
+	// inverse active fraction.
+	Value float64
+}
+
+// Multiplexer time-shares hardware counters among event groups,
+// rotating on every kernel timer tick (the granularity perfmon2's
+// event-set switching uses).
+type Multiplexer struct {
+	k      *kernel.Kernel
+	events []cpu.Event
+	hw     int
+	groups [][]int // event indices per rotation group
+
+	active       bool
+	cur          int
+	lastSwitch   float64
+	accum        []float64
+	activeCycles []float64
+}
+
+// Errors reported by New.
+var (
+	ErrNoEvents   = errors.New("mpx: no events requested")
+	ErrNoCounters = errors.New("mpx: hardware counter count must be positive")
+)
+
+// New builds a multiplexer for the given events using hw hardware
+// counters. Requesting at most hw events degenerates to dedicated
+// counting (one group, no rotation).
+func New(k *kernel.Kernel, hw int, events []cpu.Event) (*Multiplexer, error) {
+	if len(events) == 0 {
+		return nil, ErrNoEvents
+	}
+	if hw <= 0 {
+		return nil, ErrNoCounters
+	}
+	if hw > k.Model().NumProgrammable {
+		return nil, fmt.Errorf("mpx: %d hardware counters requested but %s has %d",
+			hw, k.Model().Name, k.Model().NumProgrammable)
+	}
+	for _, ev := range events {
+		if !cpu.SupportsEvent(k.Model().Arch, ev) {
+			return nil, fmt.Errorf("mpx: event %s not supported on %s", ev, k.Model().Arch)
+		}
+	}
+	m := &Multiplexer{
+		k:            k,
+		events:       append([]cpu.Event(nil), events...),
+		hw:           hw,
+		accum:        make([]float64, len(events)),
+		activeCycles: make([]float64, len(events)),
+	}
+	for start := 0; start < len(events); start += hw {
+		end := start + hw
+		if end > len(events) {
+			end = len(events)
+		}
+		idx := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			idx = append(idx, i)
+		}
+		m.groups = append(m.groups, idx)
+	}
+	k.AddTickListener(m.onTick)
+	return m, nil
+}
+
+// Groups returns the number of rotation groups.
+func (m *Multiplexer) Groups() int { return len(m.groups) }
+
+// Run measures one program execution and returns the per-event
+// estimates.
+func (m *Multiplexer) Run(prog *isa.Program, seed uint64) ([]Estimate, error) {
+	c := m.k.Core
+	for i := range m.accum {
+		m.accum[i] = 0
+		m.activeCycles[i] = 0
+	}
+	m.cur = 0
+	if err := m.installGroup(0); err != nil {
+		return nil, err
+	}
+	m.active = true
+	m.lastSwitch = c.Cycles
+	start := c.Cycles
+
+	c.SeedRun(seed)
+	err := c.Run(prog)
+	m.active = false
+	m.harvest()
+	m.disableGroup(m.cur)
+	if err != nil {
+		return nil, err
+	}
+
+	total := c.Cycles - start
+	out := make([]Estimate, len(m.events))
+	for i, ev := range m.events {
+		e := Estimate{Event: ev, Observed: int64(m.accum[i])}
+		if total > 0 {
+			e.ActiveFraction = m.activeCycles[i] / total
+		}
+		if e.ActiveFraction > 0 {
+			e.Value = m.accum[i] / e.ActiveFraction
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// onTick rotates the active group (no-op between runs).
+func (m *Multiplexer) onTick() {
+	if !m.active || len(m.groups) < 2 {
+		return
+	}
+	m.harvest()
+	m.disableGroup(m.cur)
+	m.cur = (m.cur + 1) % len(m.groups)
+	// Ignore error: the group was validated by New.
+	_ = m.installGroup(m.cur)
+}
+
+// harvest folds the live hardware counts and active time into the
+// current group's events.
+func (m *Multiplexer) harvest() {
+	c := m.k.Core
+	now := c.Cycles
+	for slot, evIdx := range m.groups[m.cur] {
+		v, err := c.PMU.Value(slot)
+		if err != nil {
+			continue
+		}
+		m.accum[evIdx] += float64(v)
+		m.activeCycles[evIdx] += now - m.lastSwitch
+	}
+	m.lastSwitch = now
+}
+
+// installGroup programs and enables the group's events on counters
+// 0..len(group)-1.
+func (m *Multiplexer) installGroup(g int) error {
+	c := m.k.Core
+	for slot, evIdx := range m.groups[g] {
+		if err := c.PMU.Configure(slot, cpu.CounterConfig{
+			Event: m.events[evIdx], User: true, OS: true,
+		}); err != nil {
+			return err
+		}
+	}
+	mask := (uint64(1) << uint(len(m.groups[g]))) - 1
+	c.PMU.Reset(mask)
+	c.PMU.Enable(mask)
+	return nil
+}
+
+// disableGroup stops the group's counters.
+func (m *Multiplexer) disableGroup(g int) {
+	mask := (uint64(1) << uint(len(m.groups[g]))) - 1
+	m.k.Core.PMU.Disable(mask)
+	m.k.Core.PMU.Reset(mask)
+}

@@ -1,0 +1,173 @@
+package mpx
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+)
+
+func loopProgram(iters int64) *isa.Program {
+	b := isa.NewBuilder("mpx-loop", 0x4000)
+	b.Emit(isa.ALU())
+	b.Loop(iters, func(body *isa.Builder) {
+		body.Emit(isa.ALU(), isa.ALU(), isa.Branch(0, true))
+	})
+	b.Emit(isa.Halt())
+	return b.Build()
+}
+
+// phasedProgram runs a plain loop followed by a memory loop: two phases
+// with different instructions-per-cycle rates.
+func phasedProgram(l1, l2 int64) *isa.Program {
+	b := isa.NewBuilder("mpx-phased", 0x4000)
+	b.Emit(isa.ALU())
+	b.Loop(l1, func(body *isa.Builder) {
+		body.Emit(isa.ALU(), isa.ALU(), isa.Branch(0, true))
+	})
+	b.Loop(l2, func(body *isa.Builder) {
+		body.Emit(isa.Load(), isa.ALU(), isa.ALU(), isa.Branch(0, true))
+	})
+	b.Emit(isa.Halt())
+	return b.Build()
+}
+
+func TestNewValidation(t *testing.T) {
+	k := kernel.New(cpu.Core2Duo)
+	if _, err := New(k, 2, nil); !errors.Is(err, ErrNoEvents) {
+		t.Errorf("no events: %v", err)
+	}
+	if _, err := New(k, 0, []cpu.Event{cpu.EventInstrRetired}); !errors.Is(err, ErrNoCounters) {
+		t.Errorf("zero counters: %v", err)
+	}
+	if _, err := New(k, 5, []cpu.Event{cpu.EventInstrRetired}); err == nil {
+		t.Error("too many hw counters accepted")
+	}
+	if _, err := New(k, 2, []cpu.Event{cpu.Event(99)}); err == nil {
+		t.Error("bad event accepted")
+	}
+}
+
+func TestGrouping(t *testing.T) {
+	k := kernel.New(cpu.Core2Duo)
+	m, err := New(k, 2, []cpu.Event{
+		cpu.EventInstrRetired, cpu.EventCoreCycles,
+		cpu.EventBrMispRetired, cpu.EventICacheMiss,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Groups() != 2 {
+		t.Errorf("groups = %d, want 2", m.Groups())
+	}
+	// 3 events on 2 counters -> 2 groups (2 + 1).
+	m2, err := New(k, 2, []cpu.Event{cpu.EventInstrRetired, cpu.EventCoreCycles, cpu.EventBrMispRetired})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Groups() != 2 {
+		t.Errorf("3-on-2 groups = %d", m2.Groups())
+	}
+}
+
+// TestDedicatedDegenerate: events <= counters means one group, full
+// active fraction, exact counts.
+func TestDedicatedDegenerate(t *testing.T) {
+	k := kernel.New(cpu.Athlon64X2)
+	m, err := New(k, 2, []cpu.Event{cpu.EventInstrRetired, cpu.EventCoreCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Groups() != 1 {
+		t.Fatalf("groups = %d", m.Groups())
+	}
+	const iters = 2_000_000
+	est, err := m.Run(loopProgram(iters), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInstr := float64(1 + 3*iters + 1)
+	// Plus tick handler kernel instructions (counting is user+kernel).
+	if est[0].Value < wantInstr || est[0].Value > wantInstr*1.01 {
+		t.Errorf("dedicated instr estimate = %v, want ~%v", est[0].Value, wantInstr)
+	}
+	if math.Abs(est[0].ActiveFraction-1) > 1e-9 {
+		t.Errorf("active fraction = %v, want 1", est[0].ActiveFraction)
+	}
+}
+
+// TestMultiplexedStationary: on a stationary workload the interpolation
+// recovers the true count within a few percent despite each group
+// seeing only half the run.
+func TestMultiplexedStationary(t *testing.T) {
+	k := kernel.New(cpu.Core2Duo)
+	m, err := New(k, 2, []cpu.Event{
+		cpu.EventInstrRetired, cpu.EventCoreCycles,
+		cpu.EventBrMispRetired, cpu.EventICacheMiss,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long stationary loop: ~25M cycles = ~10 tick rotations.
+	const iters = 25_000_000
+	est, err := m.Run(loopProgram(iters), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr := est[0]
+	if instr.ActiveFraction < 0.3 || instr.ActiveFraction > 0.7 {
+		t.Errorf("active fraction = %v, want ~0.5", instr.ActiveFraction)
+	}
+	want := float64(1 + 3*iters)
+	rel := (instr.Value - want) / want
+	if math.Abs(rel) > 0.05 {
+		t.Errorf("stationary estimate error = %.1f%%, want within 5%%", rel*100)
+	}
+}
+
+// TestMultiplexedPhased: phases misaligned with the rotation bias the
+// estimate; the error must exceed the stationary case.
+func TestMultiplexedPhased(t *testing.T) {
+	run := func(prog *isa.Program, want float64) float64 {
+		k := kernel.New(cpu.Core2Duo)
+		m, err := New(k, 1, []cpu.Event{cpu.EventInstrRetired, cpu.EventCoreCycles})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := m.Run(prog, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(est[0].Value-want) / want
+	}
+	// Phase A: 3M instr at ~3 instr/cycle; phase B: 4M instr at lower
+	// IPC. Total ~7M instructions across ~2-4 rotations.
+	phased := run(phasedProgram(1_000_000, 1_000_000), float64(1+3*1_000_000+4*1_000_000))
+	stationary := run(loopProgram(2_400_000), float64(1+3*2_400_000))
+	if phased <= stationary {
+		t.Errorf("phased error %.3f should exceed stationary error %.3f", phased, stationary)
+	}
+}
+
+// TestRunIsolation: consecutive runs must not leak accumulators.
+func TestRunIsolation(t *testing.T) {
+	k := kernel.New(cpu.Athlon64X2)
+	m, err := New(k, 1, []cpu.Event{cpu.EventInstrRetired})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Run(loopProgram(100_000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Run(loopProgram(100_000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Observed != b[0].Observed {
+		t.Errorf("runs differ: %d vs %d", a[0].Observed, b[0].Observed)
+	}
+}

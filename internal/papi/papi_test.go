@@ -1,0 +1,186 @@
+package papi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/perfctr"
+	"repro/internal/perfmon"
+)
+
+func backends(t *testing.T) map[string]core.Infrastructure {
+	t.Helper()
+	kpc := kernel.New(cpu.Athlon64X2)
+	pc, err := perfctr.New(kpc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kpm := kernel.New(cpu.Athlon64X2)
+	pm, err := perfmon.New(kpm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]core.Infrastructure{"pc": pc, "pm": pm}
+}
+
+func TestStackNames(t *testing.T) {
+	for name, b := range backends(t) {
+		if got := New(b, Low).Name(); got != "PL"+name {
+			t.Errorf("low name = %q", got)
+		}
+		if got := New(b, High).Name(); got != "PH"+name {
+			t.Errorf("high name = %q", got)
+		}
+	}
+}
+
+func TestPresetResolution(t *testing.T) {
+	for preset, want := range map[Preset]cpu.Event{
+		TOT_INS: cpu.EventInstrRetired,
+		TOT_CYC: cpu.EventCoreCycles,
+		BR_MSP:  cpu.EventBrMispRetired,
+		L1_ICM:  cpu.EventICacheMiss,
+		TLB_IM:  cpu.EventITLBMiss,
+		L1_DCM:  cpu.EventDCacheMiss,
+	} {
+		ev, err := Resolve(preset)
+		if err != nil || ev != want {
+			t.Errorf("Resolve(%s) = %v, %v; want %v", preset, ev, err, want)
+		}
+	}
+	_, err := Resolve(RES_STL)
+	var np *ErrNoPreset
+	if !errors.As(err, &np) {
+		t.Errorf("RES_STL should be unavailable, got %v", err)
+	}
+	if np.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestPresetNames(t *testing.T) {
+	if TOT_INS.String() != "PAPI_TOT_INS" {
+		t.Errorf("preset name = %q", TOT_INS)
+	}
+	if !strings.Contains(Preset(99).String(), "99") {
+		t.Error("unknown preset must render")
+	}
+	if Low.String() != "low" || High.String() != "high" {
+		t.Error("level names wrong")
+	}
+}
+
+func TestSetupPresets(t *testing.T) {
+	b := backends(t)["pm"]
+	p := New(b, Low)
+	if err := p.SetupPresets([]Preset{TOT_INS, TOT_CYC}, core.ModeUserKernel); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCounters() != 2 {
+		t.Errorf("NumCounters = %d", p.NumCounters())
+	}
+	if err := p.SetupPresets([]Preset{RES_STL}, core.ModeUser); err == nil {
+		t.Error("unavailable preset accepted")
+	}
+}
+
+// TestHighLevelWrapsLowLevel: the high-level API is built on the
+// low-level one, so each call pays both layers' user instructions.
+func TestHighLevelWrapsLowLevel(t *testing.T) {
+	for name, b := range backends(t) {
+		if err := b.Setup([]core.CounterSpec{{Event: cpu.EventInstrRetired, User: true}}); err != nil {
+			t.Fatal(err)
+		}
+		count := func(level Level) int64 {
+			p := New(b, level)
+			bld := isa.NewBuilder("x", 0x1000)
+			p.EmitStart(bld)
+			prog := bld.Emit(isa.Halt()).Build()
+			return prog.StaticRetired()
+		}
+		direct := func() int64 {
+			bld := isa.NewBuilder("x", 0x1000)
+			b.EmitStart(bld)
+			return bld.Emit(isa.Halt()).Build().StaticRetired()
+		}()
+		low, high := count(Low), count(High)
+		if !(high > low && low > direct) {
+			t.Errorf("%s: instruction counts high=%d low=%d direct=%d, want strict ordering", name, high, low, direct)
+		}
+	}
+}
+
+// TestHighLevelReadResets: PAPI_read_counters must reset the running
+// counts, the reason rr/ro are unsupported (Table 2).
+func TestHighLevelReadResets(t *testing.T) {
+	kpm := kernel.New(cpu.Athlon64X2)
+	pm, err := perfmon.New(kpm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(pm, High)
+	if err := p.Setup([]core.CounterSpec{{Event: cpu.EventInstrRetired, User: true, OS: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if p.SupportsReadWithoutReset() {
+		t.Fatal("high level must not support read-without-reset")
+	}
+
+	b := isa.NewBuilder("m", 0x1000)
+	p.EmitPrepare(b)
+	b.ALUBlock(5000)
+	p.EmitRead(b, core.PhaseC0) // implicit reset afterwards
+	b.ALUBlock(100)
+	p.EmitRead(b, core.PhaseC1)
+	b.Emit(isa.Halt())
+	kpm.Core.SeedRun(4)
+	if err := kpm.Core.Run(b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	var c0, c1 int64 = -1, -1
+	for _, c := range kpm.Core.Captures {
+		switch c.Slot {
+		case 0:
+			c0 = c.Value
+		case 1:
+			c1 = c.Value
+		}
+	}
+	if c0 < 5000 {
+		t.Errorf("c0 = %d, want > 5000", c0)
+	}
+	// After the implicit reset, the second read sees a small count —
+	// NOT c0 + 100.
+	if c1 >= c0 {
+		t.Errorf("read did not reset: c0=%d c1=%d", c0, c1)
+	}
+}
+
+func TestLowLevelSupportsRR(t *testing.T) {
+	for _, b := range backends(t) {
+		p := New(b, Low)
+		if !p.SupportsReadWithoutReset() {
+			t.Error("low level over a resettable backend must support rr")
+		}
+	}
+}
+
+func TestBackendPassthrough(t *testing.T) {
+	b := backends(t)["pc"]
+	p := New(b, Low)
+	if p.Backend() != "pc" {
+		t.Error("backend passthrough wrong")
+	}
+	if p.Level() != Low {
+		t.Error("level accessor wrong")
+	}
+	p.Teardown()
+	if b.NumCounters() != 0 {
+		t.Error("teardown not delegated")
+	}
+}

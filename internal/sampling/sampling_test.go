@@ -1,0 +1,171 @@
+package sampling
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+)
+
+func loopProgram(iters int64, base uint64) *isa.Program {
+	b := isa.NewBuilder("profiled-loop", base)
+	b.Emit(isa.ALU())
+	b.Loop(iters, func(body *isa.Builder) {
+		body.Emit(isa.ALU(), isa.ALU(), isa.Branch(0, true))
+	})
+	b.Emit(isa.Halt())
+	return b.Build()
+}
+
+func TestNewValidation(t *testing.T) {
+	k := kernel.New(cpu.Athlon64X2)
+	if _, err := New(k, cpu.EventInstrRetired, 0); !errors.Is(err, ErrBadPeriod) {
+		t.Errorf("zero period: %v", err)
+	}
+	if _, err := New(k, cpu.Event(99), 1000); err == nil {
+		t.Error("bad event accepted")
+	}
+	if _, err := New(k, cpu.EventInstrRetired, 1000); err != nil {
+		t.Errorf("valid profiler rejected: %v", err)
+	}
+}
+
+// TestEstimateAccuracy: sampling a deterministic loop must estimate its
+// instruction count within the period quantization.
+func TestEstimateAccuracy(t *testing.T) {
+	k := kernel.New(cpu.Athlon64X2)
+	p, err := New(k, cpu.EventInstrRetired, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := p.Run(loopProgram(1_000_000, 0x4000), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.TrueCount < 3_000_000 {
+		t.Fatalf("true count = %d, want >= 3e6", prof.TrueCount)
+	}
+	re := prof.RelativeError()
+	if re < -0.02 || re > 0.05 {
+		t.Errorf("relative error = %v, want within a few percent", re)
+	}
+	if len(prof.Samples) < 290 {
+		t.Errorf("samples = %d, want ~300+", len(prof.Samples))
+	}
+}
+
+// TestHotspotAttribution: nearly all samples of a tight loop must land
+// on the loop body address.
+func TestHotspotAttribution(t *testing.T) {
+	k := kernel.New(cpu.Athlon64X2)
+	p, err := New(k, cpu.EventInstrRetired, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 0x8000
+	prog := loopProgram(500_000, base)
+	prof, err := p.Run(prog, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := prof.Hotspots()
+	if len(hs) == 0 {
+		t.Fatal("no hotspots")
+	}
+	// The body starts after the 4-byte init instruction... its address
+	// is the second instruction of the program.
+	bodyAddr := prog.Addr(2)
+	if hs[0].Addr != bodyAddr {
+		t.Errorf("hottest address %#x, want loop body %#x", hs[0].Addr, bodyAddr)
+	}
+	if frac := float64(hs[0].Samples) / float64(len(prof.Samples)); frac < 0.95 {
+		t.Errorf("loop body holds %.0f%% of samples, want >95%%", frac*100)
+	}
+}
+
+// TestPerturbation: the overflow handlers execute kernel instructions,
+// so a concurrent user+kernel count is inflated by roughly
+// samples*handlerCost — the cost of the sampling usage model.
+func TestPerturbation(t *testing.T) {
+	k := kernel.New(cpu.Athlon64X2)
+	c := k.Core
+	// Counter 1 observes user+kernel instructions while counter 0
+	// drives the sampler.
+	if err := c.PMU.Configure(1, cpu.CounterConfig{Event: cpu.EventInstrRetired, User: true, OS: true}); err != nil {
+		t.Fatal(err)
+	}
+	c.PMU.Enable(0b10)
+
+	p, err := New(k, cpu.EventInstrRetired, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := p.Run(loopProgram(1_000_000, 0x4000), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, _ := c.PMU.Value(1)
+	trueInstr := int64(1 + 3*1_000_000 + 1)
+	excess := observed - trueInstr
+	wantMin := int64(len(prof.Samples)) * (handlerCost - 50)
+	if excess < wantMin {
+		t.Errorf("perturbation = %d kernel instructions, want >= %d (samples=%d)", excess, wantMin, len(prof.Samples))
+	}
+}
+
+// TestShortPeriodLosesSamples: a period shorter than the handler's own
+// instruction count makes the handler re-cross the period while the
+// interrupt is masked, so crossings are dropped.
+func TestShortPeriodLosesSamples(t *testing.T) {
+	k := kernel.New(cpu.Athlon64X2)
+	p, err := New(k, cpu.EventInstrRetired, handlerCost/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := p.Run(loopProgram(100_000, 0x4000), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Lost == 0 {
+		t.Error("expected lost crossings with a period below the handler cost")
+	}
+}
+
+// TestDeterminism: identical seeds reproduce identical profiles.
+func TestDeterminism(t *testing.T) {
+	run := func() int {
+		k := kernel.New(cpu.Core2Duo)
+		p, err := New(k, cpu.EventInstrRetired, 7_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := p.Run(loopProgram(300_000, 0x4000), 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(prof.Samples)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("profiles differ: %d vs %d samples", a, b)
+	}
+}
+
+func TestCycleSampling(t *testing.T) {
+	k := kernel.New(cpu.PentiumD)
+	p, err := New(k, cpu.EventCoreCycles, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := p.Run(loopProgram(1_000_000, 0x4000), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Samples) == 0 {
+		t.Fatal("no cycle samples")
+	}
+	if re := prof.RelativeError(); re < -0.05 || re > 0.05 {
+		t.Errorf("cycle estimate error = %v", re)
+	}
+}

@@ -1,0 +1,76 @@
+package stack
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+)
+
+func TestNewAllCodes(t *testing.T) {
+	for _, m := range cpu.AllModels {
+		for _, code := range Codes {
+			s, err := New(m, code, DefaultOptions)
+			if err != nil {
+				t.Errorf("%s/%s: %v", m.Tag, code, err)
+				continue
+			}
+			if s.Infra.Name() != code {
+				t.Errorf("%s: infra name %q", code, s.Infra.Name())
+			}
+			if s.Kernel.Model() != m {
+				t.Error("kernel bound to wrong model")
+			}
+		}
+	}
+}
+
+func TestNewUnknownCode(t *testing.T) {
+	if _, err := New(cpu.Athlon64X2, "zz", DefaultOptions); err == nil {
+		t.Error("unknown code accepted")
+	}
+	if _, err := New(cpu.Athlon64X2, "x", DefaultOptions); err == nil {
+		t.Error("short code accepted")
+	}
+}
+
+func TestBackendParsing(t *testing.T) {
+	for code, want := range map[string]string{
+		"pm": "pm", "pc": "pc",
+		"PLpm": "pm", "PLpc": "pc",
+		"PHpm": "pm", "PHpc": "pc",
+	} {
+		s, err := New(cpu.Core2Duo, code, DefaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Infra.Backend() != want {
+			t.Errorf("%s: backend %q, want %q", code, s.Infra.Backend(), want)
+		}
+	}
+}
+
+func TestGovernorOption(t *testing.T) {
+	s, err := New(cpu.PentiumD, "pm", Options{WithTSC: true, Governor: kernel.Powersave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kernel.Governor() != kernel.Powersave {
+		t.Error("governor option not applied")
+	}
+}
+
+func TestSystemMeasure(t *testing.T) {
+	s, err := New(cpu.Athlon64X2, "PLpm", DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Measure(core.Request{Bench: core.LoopBenchmark(1000), Pattern: core.StartRead, Mode: core.ModeUser, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Deltas[0] < m.Expected {
+		t.Errorf("measured %d below ground truth %d", m.Deltas[0], m.Expected)
+	}
+}

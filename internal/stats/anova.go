@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Observation is one measured response with its factor levels — one row
+// of the design matrix for the Section 4.3 factor study (processor,
+// infrastructure, pattern, optimization level, register count ->
+// instruction-count error).
+type Observation struct {
+	// Levels holds one label per factor, in the factor order passed to
+	// ANOVA.
+	Levels []string
+	// Y is the response.
+	Y float64
+}
+
+// FactorResult is one row of an ANOVA table.
+type FactorResult struct {
+	// Name is the factor's name.
+	Name string
+	// DF is the factor's degrees of freedom (levels - 1).
+	DF int
+	// SumSq and MeanSq are the between-level sums of squares.
+	SumSq, MeanSq float64
+	// F is the F statistic against the residual mean square.
+	F float64
+	// P is Pr(>F).
+	P float64
+	// Significant reports P below the conventional 0.05 threshold.
+	Significant bool
+}
+
+// AnovaTable is the result of an n-way main-effects analysis of
+// variance.
+type AnovaTable struct {
+	Factors  []FactorResult
+	Residual struct {
+		DF     int
+		SumSq  float64
+		MeanSq float64
+	}
+	TotalSS float64
+	N       int
+}
+
+// ErrBadDesign reports an ANOVA design with too few observations or
+// inconsistent factor labels.
+var ErrBadDesign = errors.New("stats: bad anova design")
+
+// ANOVA performs an n-way main-effects analysis of variance: the
+// between-level sum of squares of each factor is tested against the
+// residual variance. This is the analysis the paper runs to establish
+// that processor, infrastructure, pattern, and register count all
+// significantly affect the measurement error (Pr(>F) < 2e-16) while the
+// compiler optimization level does not (Section 4.3).
+//
+// factorNames names the columns of each observation's Levels slice.
+func ANOVA(factorNames []string, obs []Observation) (*AnovaTable, error) {
+	k := len(factorNames)
+	if k == 0 || len(obs) < 3 {
+		return nil, fmt.Errorf("%w: %d factors, %d observations", ErrBadDesign, k, len(obs))
+	}
+	for i, o := range obs {
+		if len(o.Levels) != k {
+			return nil, fmt.Errorf("%w: observation %d has %d levels, want %d", ErrBadDesign, i, len(o.Levels), k)
+		}
+	}
+
+	grand := 0.0
+	for _, o := range obs {
+		grand += o.Y
+	}
+	grand /= float64(len(obs))
+
+	totalSS := 0.0
+	for _, o := range obs {
+		d := o.Y - grand
+		totalSS += d * d
+	}
+
+	table := &AnovaTable{N: len(obs), TotalSS: totalSS}
+	dfUsed := 0
+	ssUsed := 0.0
+	for f := 0; f < k; f++ {
+		type cell struct {
+			sum float64
+			n   int
+		}
+		levels := map[string]*cell{}
+		for _, o := range obs {
+			c := levels[o.Levels[f]]
+			if c == nil {
+				c = &cell{}
+				levels[o.Levels[f]] = c
+			}
+			c.sum += o.Y
+			c.n++
+		}
+		ss := 0.0
+		for _, c := range levels {
+			m := c.sum / float64(c.n)
+			d := m - grand
+			ss += float64(c.n) * d * d
+		}
+		df := len(levels) - 1
+		fr := FactorResult{Name: factorNames[f], DF: df, SumSq: ss}
+		if df > 0 {
+			fr.MeanSq = ss / float64(df)
+		}
+		table.Factors = append(table.Factors, fr)
+		dfUsed += df
+		ssUsed += ss
+	}
+
+	resDF := len(obs) - 1 - dfUsed
+	resSS := totalSS - ssUsed
+	if resSS < 0 {
+		resSS = 0
+	}
+	table.Residual.DF = resDF
+	table.Residual.SumSq = resSS
+	if resDF > 0 {
+		table.Residual.MeanSq = resSS / float64(resDF)
+	}
+
+	for i := range table.Factors {
+		fr := &table.Factors[i]
+		if fr.DF == 0 || resDF <= 0 || table.Residual.MeanSq == 0 {
+			// No variation to test against: a zero residual with a
+			// nonzero factor effect is "infinitely significant".
+			if fr.SumSq > 0 && table.Residual.MeanSq == 0 {
+				fr.F = inf()
+				fr.P = 0
+				fr.Significant = true
+			} else {
+				fr.P = 1
+			}
+			continue
+		}
+		fr.F = fr.MeanSq / table.Residual.MeanSq
+		fr.P = 1 - FCDF(fr.F, float64(fr.DF), float64(resDF))
+		fr.Significant = fr.P < 0.05
+	}
+	return table, nil
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// String renders the table in R's anova layout.
+func (t *AnovaTable) String() string {
+	out := fmt.Sprintf("%-14s %6s %14s %14s %12s %12s\n", "Factor", "Df", "Sum Sq", "Mean Sq", "F value", "Pr(>F)")
+	rows := append([]FactorResult(nil), t.Factors...)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].F > rows[j].F })
+	for _, f := range rows {
+		sig := " "
+		if f.Significant {
+			sig = "***"
+		}
+		out += fmt.Sprintf("%-14s %6d %14.1f %14.1f %12.2f %12.3g %s\n", f.Name, f.DF, f.SumSq, f.MeanSq, f.F, f.P, sig)
+	}
+	out += fmt.Sprintf("%-14s %6d %14.1f %14.1f\n", "Residuals", t.Residual.DF, t.Residual.SumSq, t.Residual.MeanSq)
+	return out
+}

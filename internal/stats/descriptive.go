@@ -1,0 +1,199 @@
+// Package stats provides the statistical machinery the paper's analysis
+// rests on: quantiles and box-plot summaries (every figure), kernel
+// density estimates (the Figure 1 violins), least-squares regression
+// (the Section 5 error-vs-duration slopes), and n-way analysis of
+// variance with F-distribution p-values (the Section 4.3 factor study).
+//
+// Everything is implemented from scratch on the standard library, fully
+// deterministic, and validated against known closed-form values in the
+// package tests.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by statistics that need at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean. It returns 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest value; 0 for an empty sample.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value; 0 for an empty sample.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) using linear
+// interpolation between order statistics (R's default type-7 estimator,
+// matching the boxplots produced by the paper's R scripts).
+func Quantile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, p)
+}
+
+// quantileSorted is Quantile on pre-sorted data.
+func quantileSorted(s []float64, p float64) float64 {
+	n := len(s)
+	if n == 1 {
+		return s[0]
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[n-1]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	frac := h - float64(lo)
+	if hi >= n {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// MedianInt64 is Median over integer observations, the common case for
+// instruction-count errors.
+func MedianInt64(xs []int64) float64 {
+	f := make([]float64, len(xs))
+	for i, x := range xs {
+		f[i] = float64(x)
+	}
+	return Median(f)
+}
+
+// Summary is a five-number summary plus mean and count.
+type Summary struct {
+	N                     int
+	Min, Q1, Med, Q3, Max float64
+	Mean                  float64
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Summary{
+		N:    len(s),
+		Min:  s[0],
+		Q1:   quantileSorted(s, 0.25),
+		Med:  quantileSorted(s, 0.5),
+		Q3:   quantileSorted(s, 0.75),
+		Max:  s[len(s)-1],
+		Mean: Mean(s),
+	}, nil
+}
+
+// IQR returns the interquartile range.
+func (s Summary) IQR() float64 { return s.Q3 - s.Q1 }
+
+// Box is a Tukey box plot: the quartile box, whiskers at the last
+// observation within 1.5 IQR of the box, and outliers beyond.
+type Box struct {
+	Summary
+	LoWhisker, HiWhisker float64
+	Outliers             []float64
+}
+
+// BoxStats computes the Tukey box-plot statistics.
+func BoxStats(xs []float64) (Box, error) {
+	sum, err := Summarize(xs)
+	if err != nil {
+		return Box{}, err
+	}
+	loFence := sum.Q1 - 1.5*sum.IQR()
+	hiFence := sum.Q3 + 1.5*sum.IQR()
+	b := Box{Summary: sum, LoWhisker: math.Inf(1), HiWhisker: math.Inf(-1)}
+	for _, x := range xs {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		if x < b.LoWhisker {
+			b.LoWhisker = x
+		}
+		if x > b.HiWhisker {
+			b.HiWhisker = x
+		}
+	}
+	// All points outliers (degenerate): collapse whiskers to the box.
+	if math.IsInf(b.LoWhisker, 1) {
+		b.LoWhisker, b.HiWhisker = sum.Q1, sum.Q3
+	}
+	sort.Float64s(b.Outliers)
+	return b, nil
+}
+
+// Float64s converts integer observations for use with this package.
+func Float64s(xs []int64) []float64 {
+	f := make([]float64, len(xs))
+	for i, x := range xs {
+		f[i] = float64(x)
+	}
+	return f
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Regression is an ordinary-least-squares fit y = Intercept + Slope*x.
+// The paper uses exactly this to quantify how the measurement error
+// grows with benchmark duration (Figures 7-9: "we determined the
+// regression line through all points (l, i∆), and computed its slope").
+type Regression struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	// SlopeStdErr is the standard error of the slope estimate.
+	SlopeStdErr float64
+	// N is the number of points fitted.
+	N int
+}
+
+// ErrDegenerate is returned when a fit is impossible (fewer than two
+// points, or zero variance in x).
+var ErrDegenerate = errors.New("stats: degenerate regression")
+
+// LinearFit fits y = a + b*x by least squares.
+func LinearFit(x, y []float64) (Regression, error) {
+	if len(x) != len(y) {
+		return Regression{}, errors.New("stats: x/y length mismatch")
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return Regression{}, ErrDegenerate
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Regression{}, ErrDegenerate
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+
+	// Residual sum of squares and derived statistics.
+	rss := syy - slope*sxy
+	if rss < 0 {
+		rss = 0
+	}
+	r2 := 0.0
+	if syy > 0 {
+		r2 = 1 - rss/syy
+	}
+	se := 0.0
+	if len(x) > 2 {
+		se = math.Sqrt(rss / (n - 2) / sxx)
+	}
+	return Regression{Slope: slope, Intercept: intercept, R2: r2, SlopeStdErr: se, N: len(x)}, nil
+}
+
+// At evaluates the fitted line.
+func (r Regression) At(x float64) float64 { return r.Intercept + r.Slope*x }

@@ -1,0 +1,362 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "mean")
+	approx(t, Variance(xs), 32.0/7, 1e-12, "variance")
+	approx(t, StdDev(xs), math.Sqrt(32.0/7), 1e-12, "stddev")
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate cases wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Error("min/max wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty min/max should be 0")
+	}
+}
+
+// TestQuantileR7 checks against R's quantile(type=7) reference values.
+func TestQuantileR7(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	approx(t, Quantile(xs, 0.25), 3.25, 1e-12, "q1")
+	approx(t, Quantile(xs, 0.5), 5.5, 1e-12, "median")
+	approx(t, Quantile(xs, 0.75), 7.75, 1e-12, "q3")
+	approx(t, Quantile(xs, 0), 1, 1e-12, "p0")
+	approx(t, Quantile(xs, 1), 10, 1e-12, "p1")
+	approx(t, Quantile([]float64{42}, 0.3), 42, 1e-12, "single")
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			q := Quantile(xs, p)
+			if q < prev-1e-12 {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianInt64(t *testing.T) {
+	approx(t, MedianInt64([]int64{1, 2, 3, 4}), 2.5, 1e-12, "median int")
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Med != 3 {
+		t.Errorf("summary: %+v", s)
+	}
+	approx(t, s.IQR(), 2, 1e-12, "iqr")
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty summarize should fail")
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	// 100 is an outlier beyond Q3 + 1.5 IQR.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 100}
+	b, err := BoxStats(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("outliers = %v", b.Outliers)
+	}
+	if b.HiWhisker != 8 || b.LoWhisker != 1 {
+		t.Errorf("whiskers = [%v, %v]", b.LoWhisker, b.HiWhisker)
+	}
+}
+
+func TestBoxStatsAllEqual(t *testing.T) {
+	b, err := BoxStats([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.LoWhisker != 5 || b.HiWhisker != 5 || len(b.Outliers) != 0 {
+		t.Errorf("constant sample box: %+v", b)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 1 + 2x
+	r, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r.Slope, 2, 1e-12, "slope")
+	approx(t, r.Intercept, 1, 1e-12, "intercept")
+	approx(t, r.R2, 1, 1e-12, "r2")
+	approx(t, r.At(10), 21, 1e-12, "At")
+}
+
+// TestLinearFitRecoversNoisySlope: a property test that OLS recovers a
+// synthetic slope from noisy data — the Section 5 use case.
+func TestLinearFitRecoversNoisySlope(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		slope := 0.002
+		var xs, ys []float64
+		for i := 0; i < 400; i++ {
+			x := float64(r.Intn(1_000_000))
+			y := 500 + slope*x + r.NormFloat64()*50
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Slope-slope) < 0.0004
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); !errors.Is(err, ErrDegenerate) {
+		t.Error("single point accepted")
+	}
+	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); !errors.Is(err, ErrDegenerate) {
+		t.Error("zero x-variance accepted")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestRegIncBeta checks the incomplete beta against known values.
+func TestRegIncBeta(t *testing.T) {
+	// I_x(1,1) = x
+	approx(t, RegIncBeta(1, 1, 0.3), 0.3, 1e-10, "I(1,1)")
+	// I_x(2,2) = x^2 (3-2x)
+	approx(t, RegIncBeta(2, 2, 0.4), 0.4*0.4*(3-0.8), 1e-10, "I(2,2)")
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a)
+	approx(t, RegIncBeta(3, 5, 0.2), 1-RegIncBeta(5, 3, 0.8), 1e-10, "symmetry")
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+}
+
+// TestFCDF checks F-distribution quantiles against R reference values:
+// qf(0.95, 3, 10) = 3.708265, qf(0.95, 1, 5) = 6.607891.
+func TestFCDF(t *testing.T) {
+	approx(t, FCDF(3.708265, 3, 10), 0.95, 1e-5, "F(3,10) 95%")
+	approx(t, FCDF(6.607891, 1, 5), 0.95, 1e-5, "F(1,5) 95%")
+	if FCDF(-1, 2, 2) != 0 {
+		t.Error("negative F should have CDF 0")
+	}
+	if FCDF(1e9, 2, 10) < 0.999999 {
+		t.Error("huge F should have CDF ~1")
+	}
+}
+
+func TestANOVAOneWayKnown(t *testing.T) {
+	// Classic one-way example: three groups with clearly separated
+	// means and small within-group spread.
+	obs := []Observation{
+		{Levels: []string{"a"}, Y: 1}, {Levels: []string{"a"}, Y: 2}, {Levels: []string{"a"}, Y: 1.5},
+		{Levels: []string{"b"}, Y: 10}, {Levels: []string{"b"}, Y: 11}, {Levels: []string{"b"}, Y: 10.5},
+		{Levels: []string{"c"}, Y: 20}, {Levels: []string{"c"}, Y: 21}, {Levels: []string{"c"}, Y: 20.5},
+	}
+	tab, err := ANOVA([]string{"group"}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tab.Factors[0]
+	if !f.Significant || f.P > 1e-6 {
+		t.Errorf("clearly separated groups not significant: %+v", f)
+	}
+	if f.DF != 2 || tab.Residual.DF != 6 {
+		t.Errorf("df = (%d, %d), want (2, 6)", f.DF, tab.Residual.DF)
+	}
+}
+
+func TestANOVATwoWay(t *testing.T) {
+	// Factor A drives the response; factor B is noise. The design is a
+	// balanced full factorial — main-effects ANOVA with sequential sums
+	// of squares confounds factors under imbalance, and the paper's
+	// sweep (like this test) is fully crossed.
+	r := xrand.New(3)
+	var obs []Observation
+	for rep := 0; rep < 33; rep++ {
+		for _, a := range []string{"lo", "hi"} {
+			for _, b := range []string{"x", "y", "z"} {
+				y := r.NormFloat64()
+				if a == "hi" {
+					y += 50
+				}
+				obs = append(obs, Observation{Levels: []string{a, b}, Y: y})
+			}
+		}
+	}
+	tab, err := ANOVA([]string{"A", "B"}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Factors[0].Significant {
+		t.Errorf("driving factor not significant: %+v", tab.Factors[0])
+	}
+	if tab.Factors[1].Significant {
+		t.Errorf("noise factor significant: %+v", tab.Factors[1])
+	}
+	if tab.String() == "" {
+		t.Error("empty table rendering")
+	}
+}
+
+// TestANOVAInvariantToLevelRelabeling: renaming factor levels must not
+// change the sums of squares.
+func TestANOVAInvariantToLevelRelabeling(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		var obs1, obs2 []Observation
+		for i := 0; i < 60; i++ {
+			lvl := []string{"p", "q", "r"}[r.Intn(3)]
+			y := r.Float64() * 10
+			if lvl == "p" {
+				y += 5
+			}
+			obs1 = append(obs1, Observation{Levels: []string{lvl}, Y: y})
+			obs2 = append(obs2, Observation{Levels: []string{"zz-" + lvl}, Y: y})
+		}
+		t1, err1 := ANOVA([]string{"f"}, obs1)
+		t2, err2 := ANOVA([]string{"f"}, obs2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(t1.Factors[0].SumSq-t2.Factors[0].SumSq) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestANOVAErrors(t *testing.T) {
+	if _, err := ANOVA(nil, []Observation{{Levels: nil, Y: 1}}); !errors.Is(err, ErrBadDesign) {
+		t.Error("no factors accepted")
+	}
+	obs := []Observation{
+		{Levels: []string{"a"}, Y: 1},
+		{Levels: []string{"a", "b"}, Y: 2},
+		{Levels: []string{"a"}, Y: 3},
+	}
+	if _, err := ANOVA([]string{"f"}, obs); !errors.Is(err, ErrBadDesign) {
+		t.Error("ragged levels accepted")
+	}
+}
+
+func TestANOVAZeroResidual(t *testing.T) {
+	// Response fully determined by the factor: residual MS is 0 and the
+	// factor must be reported as maximally significant.
+	obs := []Observation{
+		{Levels: []string{"a"}, Y: 1}, {Levels: []string{"a"}, Y: 1},
+		{Levels: []string{"b"}, Y: 2}, {Levels: []string{"b"}, Y: 2},
+		{Levels: []string{"c"}, Y: 3}, {Levels: []string{"c"}, Y: 3},
+	}
+	tab, err := ANOVA([]string{"f"}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Factors[0].Significant || tab.Factors[0].P != 0 {
+		t.Errorf("deterministic factor: %+v", tab.Factors[0])
+	}
+}
+
+func TestKDEBasics(t *testing.T) {
+	r := xrand.New(7)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	k := NewKDE(xs)
+	if k.Bandwidth() <= 0 {
+		t.Fatal("bandwidth must be positive")
+	}
+	// Density at the mode ~ N(0,1) density at 0 = 0.3989.
+	approx(t, k.At(0), 0.3989, 0.05, "density at mode")
+	if k.At(0) <= k.At(3) {
+		t.Error("density should peak at the mode")
+	}
+	locs, dens := k.Grid(64)
+	if len(locs) != 64 || len(dens) != 64 {
+		t.Fatal("grid size wrong")
+	}
+	// Riemann integral of the density ~ 1.
+	integral := 0.0
+	for i := 1; i < len(locs); i++ {
+		integral += dens[i] * (locs[i] - locs[i-1])
+	}
+	approx(t, integral, 1, 0.05, "density integral")
+}
+
+func TestKDEDegenerate(t *testing.T) {
+	k := NewKDE([]float64{5, 5, 5})
+	if k.Bandwidth() != 1 {
+		t.Errorf("constant sample bandwidth = %v, want fallback 1", k.Bandwidth())
+	}
+	if k.At(5) <= 0 {
+		t.Error("density must be positive at the data")
+	}
+	if l, d := k.Grid(1); l != nil || d != nil {
+		t.Error("grid with n<2 should be nil")
+	}
+	if NewKDE(nil).At(0) != 0 {
+		t.Error("empty KDE should be zero")
+	}
+}
+
+func TestFloat64s(t *testing.T) {
+	f := Float64s([]int64{1, -2, 3})
+	if len(f) != 3 || f[1] != -2 {
+		t.Error("conversion wrong")
+	}
+}
+
+func TestBoxOutliersSorted(t *testing.T) {
+	xs := []float64{5, 5, 5, 5, 5, 5, 100, -100}
+	b, err := BoxStats(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(b.Outliers) {
+		t.Error("outliers must be sorted")
+	}
+}

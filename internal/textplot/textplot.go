@@ -1,0 +1,299 @@
+// Package textplot renders the paper's figure types — box plots, violin
+// plots, scatter plots, and bar charts — as plain text, so every
+// experiment binary can show its results in a terminal and in
+// EXPERIMENTS.md without external plotting dependencies.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Width is the default plot width in characters.
+const Width = 72
+
+// axis maps data values onto [0, width) columns.
+type axis struct {
+	lo, hi float64
+	width  int
+}
+
+func newAxis(lo, hi float64, width int) axis {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return axis{lo: lo, hi: hi, width: width}
+}
+
+func (a axis) col(v float64) int {
+	f := (v - a.lo) / (a.hi - a.lo)
+	c := int(f * float64(a.width-1))
+	if c < 0 {
+		c = 0
+	}
+	if c >= a.width {
+		c = a.width - 1
+	}
+	return c
+}
+
+// label formats a tick value compactly.
+func label(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// BoxRow is one labeled sample in a box-plot panel.
+type BoxRow struct {
+	Label string
+	Data  []float64
+}
+
+// Boxes renders horizontal Tukey box plots on a shared axis, the layout
+// of the paper's Figures 4-6. The scale line is printed beneath.
+func Boxes(title string, rows []BoxRow) string {
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	boxes := make([]stats.Box, len(rows))
+	ok := make([]bool, len(rows))
+	for i, r := range rows {
+		b, err := stats.BoxStats(r.Data)
+		if err != nil {
+			continue
+		}
+		boxes[i], ok[i] = b, true
+		lo = math.Min(lo, b.Summary.Min)
+		hi = math.Max(hi, b.Summary.Max)
+	}
+	if math.IsInf(lo, 1) {
+		return sb.String() + "(no data)\n"
+	}
+	labW := 0
+	for _, r := range rows {
+		if len(r.Label) > labW {
+			labW = len(r.Label)
+		}
+	}
+	ax := newAxis(lo, hi, Width)
+	for i, r := range rows {
+		if !ok[i] {
+			fmt.Fprintf(&sb, "%*s | (no data)\n", labW, r.Label)
+			continue
+		}
+		fmt.Fprintf(&sb, "%*s |%s| med=%s\n", labW, r.Label, renderBox(boxes[i], ax), label(boxes[i].Med))
+	}
+	fmt.Fprintf(&sb, "%*s  %s\n", labW, "", scaleLine(ax))
+	return sb.String()
+}
+
+// renderBox draws one box row: whisker line, box (=), median (M),
+// outliers (o).
+func renderBox(b stats.Box, ax axis) string {
+	row := make([]byte, ax.width)
+	for i := range row {
+		row[i] = ' '
+	}
+	for c := ax.col(b.LoWhisker); c <= ax.col(b.HiWhisker); c++ {
+		row[c] = '-'
+	}
+	for c := ax.col(b.Q1); c <= ax.col(b.Q3); c++ {
+		row[c] = '='
+	}
+	for _, o := range b.Outliers {
+		row[ax.col(o)] = 'o'
+	}
+	row[ax.col(b.Med)] = 'M'
+	return string(row)
+}
+
+// scaleLine renders the axis with min/mid/max ticks.
+func scaleLine(ax axis) string {
+	left := label(ax.lo)
+	mid := label((ax.lo + ax.hi) / 2)
+	right := label(ax.hi)
+	gap := ax.width - len(left) - len(mid) - len(right)
+	if gap < 2 {
+		return left + " .. " + right
+	}
+	return left + strings.Repeat(" ", gap/2) + mid + strings.Repeat(" ", gap-gap/2) + right
+}
+
+// Violin renders a vertical-axis violin plot (density trace mirrored
+// around a center line, Figure 1's presentation) using rows of width
+// proportional to the kernel density estimate.
+func Violin(title string, data []float64, rows int) string {
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	if len(data) == 0 || rows < 3 {
+		return sb.String() + "(no data)\n"
+	}
+	kde := stats.NewKDE(data)
+	locs, dens := kde.Grid(rows)
+	maxD := stats.Max(dens)
+	if maxD == 0 {
+		return sb.String() + "(flat density)\n"
+	}
+	sum, err := stats.Summarize(data)
+	if err != nil {
+		return sb.String() + "(no data)\n"
+	}
+	half := Width / 2
+	for i, d := range dens {
+		w := int(d / maxD * float64(half-1))
+		line := strings.Repeat(" ", half-w) + strings.Repeat("#", w) + "|" + strings.Repeat("#", w)
+		marker := " "
+		v := locs[i]
+		step := locs[1] - locs[0]
+		if sum.Med >= v-step/2 && sum.Med < v+step/2 {
+			marker = "M"
+		}
+		fmt.Fprintf(&sb, "%10s %s %s\n", label(v), line, marker)
+	}
+	fmt.Fprintf(&sb, "%10s n=%d median=%s iqr=%s max=%s\n", "",
+		sum.N, label(sum.Med), label(sum.IQR()), label(sum.Max))
+	return sb.String()
+}
+
+// Point is one scatter-plot point.
+type Point struct{ X, Y float64 }
+
+// Scatter renders an x/y scatter plot (the Figures 10-11 layout), with
+// optional reference lines y = k*x drawn as '/' characters.
+func Scatter(title string, pts []Point, height int, refSlopes ...float64) string {
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	if len(pts) == 0 || height < 2 {
+		return sb.String() + "(no data)\n"
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	ax := newAxis(minX, maxX, Width)
+	ay := newAxis(minY, maxY, height)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", Width))
+	}
+	for _, k := range refSlopes {
+		for c := 0; c < Width; c++ {
+			x := ax.lo + (ax.hi-ax.lo)*float64(c)/float64(Width-1)
+			y := k * x
+			if y < ay.lo || y > ay.hi {
+				continue
+			}
+			grid[height-1-ay.col(y)][c] = '/'
+		}
+	}
+	for _, p := range pts {
+		grid[height-1-ay.col(p.Y)][ax.col(p.X)] = '*'
+	}
+	for i, row := range grid {
+		yv := ay.hi - (ay.hi-ay.lo)*float64(i)/float64(height-1)
+		fmt.Fprintf(&sb, "%10s |%s\n", label(yv), string(row))
+	}
+	fmt.Fprintf(&sb, "%10s  %s\n", "", scaleLine(ax))
+	return sb.String()
+}
+
+// Bar is one labeled value in a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Bars renders a horizontal bar chart (the Figures 7-8 layout). Negative
+// values extend left from a zero baseline.
+func Bars(title string, bars []Bar, format func(float64) string) string {
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	if len(bars) == 0 {
+		return sb.String() + "(no data)\n"
+	}
+	if format == nil {
+		format = label
+	}
+	maxAbs := 0.0
+	labW := 0
+	for _, b := range bars {
+		maxAbs = math.Max(maxAbs, math.Abs(b.Value))
+		if len(b.Label) > labW {
+			labW = len(b.Label)
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	half := Width / 2
+	for _, b := range bars {
+		w := int(math.Abs(b.Value) / maxAbs * float64(half-1))
+		var line string
+		if b.Value >= 0 {
+			line = strings.Repeat(" ", half) + "|" + strings.Repeat("#", w)
+		} else {
+			line = strings.Repeat(" ", half-w) + strings.Repeat("#", w) + "|"
+		}
+		fmt.Fprintf(&sb, "%*s %-*s %s\n", labW, b.Label, Width+1, line, format(b.Value))
+	}
+	return sb.String()
+}
+
+// Table renders rows of cells with aligned columns; header is underlined.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i >= len(widths) {
+				break
+			}
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(header)
+	for i, w := range widths {
+		fmt.Fprintf(&sb, "%s  ", strings.Repeat("-", w))
+		_ = i
+	}
+	sb.WriteString("\n")
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

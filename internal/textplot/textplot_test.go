@@ -1,0 +1,166 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBoxesRendering(t *testing.T) {
+	out := Boxes("errors", []BoxRow{
+		{Label: "pm", Data: []float64{700, 710, 720, 726, 730, 750, 900}},
+		{Label: "pc", Data: []float64{150, 160, 163, 165, 170, 400}},
+	})
+	if !strings.Contains(out, "errors") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "pm |") || !strings.Contains(out, "pc |") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "M") {
+		t.Error("median marker missing")
+	}
+	if !strings.Contains(out, "med=") {
+		t.Error("median annotation missing")
+	}
+}
+
+func TestBoxesEmpty(t *testing.T) {
+	out := Boxes("t", []BoxRow{{Label: "x", Data: nil}})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty rendering: %q", out)
+	}
+}
+
+func TestBoxesOutliers(t *testing.T) {
+	out := Boxes("", []BoxRow{
+		{Label: "a", Data: []float64{1, 2, 3, 4, 5, 6, 7, 8, 1000}},
+	})
+	if !strings.Contains(out, "o") {
+		t.Errorf("outlier marker missing:\n%s", out)
+	}
+}
+
+func TestViolin(t *testing.T) {
+	data := make([]float64, 0, 600)
+	for i := 0; i < 500; i++ {
+		data = append(data, float64(i%50))
+	}
+	for i := 0; i < 100; i++ {
+		data = append(data, 2500) // heavy tail
+	}
+	out := Violin("instruction error", data, 20)
+	if !strings.Contains(out, "instruction error") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "|") {
+		t.Error("density bars missing")
+	}
+	if !strings.Contains(out, "median=") {
+		t.Error("summary line missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 20 {
+		t.Errorf("expected >= 20 rows, got %d", len(lines))
+	}
+}
+
+func TestViolinDegenerate(t *testing.T) {
+	if !strings.Contains(Violin("t", nil, 10), "no data") {
+		t.Error("nil data should render placeholder")
+	}
+	if !strings.Contains(Violin("t", []float64{1, 2}, 1), "no data") {
+		t.Error("tiny row count should render placeholder")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	var pts []Point
+	for i := 1; i <= 50; i++ {
+		pts = append(pts, Point{X: float64(i * 1000), Y: float64(i * 2000)})
+		pts = append(pts, Point{X: float64(i * 1000), Y: float64(i * 3000)})
+	}
+	out := Scatter("cycles", pts, 16, 2, 3)
+	if !strings.Contains(out, "*") {
+		t.Error("points missing")
+	}
+	if !strings.Contains(out, "/") {
+		t.Error("reference lines missing")
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	if !strings.Contains(Scatter("t", nil, 10), "no data") {
+		t.Error("empty scatter should render placeholder")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("slopes", []Bar{
+		{Label: "pm/PD", Value: 0.0026},
+		{Label: "pc/CD", Value: 0.00204},
+		{Label: "neg", Value: -0.001},
+	}, nil)
+	if !strings.Contains(out, "pm/PD") || !strings.Contains(out, "#") {
+		t.Errorf("bars missing:\n%s", out)
+	}
+	// Negative bars extend left of the baseline: the '#' must appear
+	// before the '|' on that row.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "neg") {
+			if strings.Index(line, "#") > strings.Index(line, "|") {
+				t.Errorf("negative bar direction wrong: %q", line)
+			}
+		}
+	}
+}
+
+func TestBarsEmpty(t *testing.T) {
+	if !strings.Contains(Bars("t", nil, nil), "no data") {
+		t.Error("empty bars should render placeholder")
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars("z", []Bar{{Label: "a", Value: 0}}, nil)
+	if out == "" {
+		t.Error("zero-value bars must render")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"Mode", "Tool", "Median"}, [][]string{
+		{"user+kernel", "pm", "726"},
+		{"user", "pc", "67"},
+	})
+	if !strings.Contains(out, "Mode") || !strings.Contains(out, "----") {
+		t.Errorf("header/underline missing:\n%s", out)
+	}
+	if !strings.Contains(out, "user+kernel") {
+		t.Error("row missing")
+	}
+}
+
+func TestLabelFormats(t *testing.T) {
+	for v, want := range map[float64]string{
+		0:   "0",
+		726: "726",
+		2.5: "2.5",
+	} {
+		if got := label(v); got != want {
+			t.Errorf("label(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if label(2.5e6) == "" || label(0.00204) == "" {
+		t.Error("extreme labels must render")
+	}
+}
+
+func TestAxisClamping(t *testing.T) {
+	ax := newAxis(0, 100, 10)
+	if ax.col(-5) != 0 || ax.col(500) != 9 {
+		t.Error("axis must clamp out-of-range values")
+	}
+	// Degenerate range must not divide by zero.
+	ax = newAxis(5, 5, 10)
+	_ = ax.col(5)
+}

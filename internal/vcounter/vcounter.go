@@ -1,0 +1,110 @@
+// Package vcounter implements per-thread ("virtualized") performance
+// counters, the service both perfctr and perfmon2 provide on top of the
+// raw hardware registers (Section 2.3 of the paper).
+//
+// Hardware counters count whatever runs on the core. To report per-thread
+// counts, the kernel extension saves the hardware counters into the
+// outgoing thread's accumulator at every context switch and zeroes them
+// for the incoming thread; a thread's logical count is then
+// accumulator + current hardware value.
+package vcounter
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+)
+
+// Set virtualizes the first n programmable counters of a PMU across
+// threads. It implements kernel.SwitchHook.
+type Set struct {
+	pmu     *cpu.PMU
+	n       int
+	current int
+	accum   map[int][]int64
+}
+
+// New returns a virtual counter set over counters 0..n-1 of pmu, with
+// thread initial as the running thread.
+func New(pmu *cpu.PMU, n, initial int) *Set {
+	s := &Set{pmu: pmu, n: n, current: initial, accum: make(map[int][]int64)}
+	s.accum[initial] = make([]int64, n)
+	return s
+}
+
+// N returns the number of virtualized counters.
+func (s *Set) N() int { return s.n }
+
+// Current returns the thread whose counts are live in hardware.
+func (s *Set) Current() int { return s.current }
+
+// ensure returns the accumulator slice for tid, creating it on first use.
+func (s *Set) ensure(tid int) []int64 {
+	a, ok := s.accum[tid]
+	if !ok {
+		a = make([]int64, s.n)
+		s.accum[tid] = a
+	}
+	return a
+}
+
+// Read returns the current thread's virtual value of counter ctr:
+// its saved accumulator plus the live hardware count.
+func (s *Set) Read(ctr int) int64 {
+	if ctr < 0 || ctr >= s.n {
+		return 0
+	}
+	hw, err := s.pmu.Value(ctr)
+	if err != nil {
+		return 0
+	}
+	return s.ensure(s.current)[ctr] + hw
+}
+
+// ReadThread returns the virtual value of counter ctr for an arbitrary
+// thread; for non-current threads this is just the saved accumulator.
+func (s *Set) ReadThread(tid, ctr int) (int64, error) {
+	if ctr < 0 || ctr >= s.n {
+		return 0, fmt.Errorf("vcounter: counter %d out of range [0,%d)", ctr, s.n)
+	}
+	if tid == s.current {
+		return s.Read(ctr), nil
+	}
+	return s.ensure(tid)[ctr], nil
+}
+
+// ResetAccum zeroes the current thread's accumulators for the counters
+// in mask, mirroring a hardware counter reset into the virtual state.
+func (s *Set) ResetAccum(mask uint64) {
+	a := s.ensure(s.current)
+	for i := 0; i < s.n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			a[i] = 0
+		}
+	}
+}
+
+// Save folds the live hardware counts into tid's accumulator and zeroes
+// the hardware registers (the switch-out half of a context switch).
+func (s *Set) Save(tid int) {
+	a := s.ensure(tid)
+	for i := 0; i < s.n; i++ {
+		hw, err := s.pmu.Value(i)
+		if err != nil {
+			continue
+		}
+		a[i] += hw
+		// Ignore error: i is in range by construction.
+		_ = s.pmu.SetValue(i, 0)
+	}
+}
+
+// Restore makes tid the current thread. Hardware counters restart from
+// zero; tid's past counts live in its accumulator (the switch-in half).
+func (s *Set) Restore(tid int) {
+	s.ensure(tid)
+	s.current = tid
+	for i := 0; i < s.n; i++ {
+		_ = s.pmu.SetValue(i, 0)
+	}
+}

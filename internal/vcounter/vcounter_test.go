@@ -1,0 +1,100 @@
+package vcounter
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func newPMU(t *testing.T, n int) *cpu.PMU {
+	t.Helper()
+	p := cpu.NewPMU(cpu.Athlon64X2)
+	for i := 0; i < n; i++ {
+		if err := p.Configure(i, cpu.CounterConfig{Event: cpu.EventInstrRetired, User: true, OS: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Enable((1 << uint(n)) - 1)
+	return p
+}
+
+func TestReadReflectsHardware(t *testing.T) {
+	pmu := newPMU(t, 2)
+	s := New(pmu, 2, 1)
+	pmu.AddInstr(cpu.User, 50)
+	if got := s.Read(0); got != 50 {
+		t.Errorf("Read(0) = %d, want 50", got)
+	}
+	if got := s.Read(5); got != 0 {
+		t.Errorf("out-of-range read = %d, want 0", got)
+	}
+	if s.N() != 2 || s.Current() != 1 {
+		t.Error("N/Current wrong")
+	}
+}
+
+// TestPerThreadIsolation is the core virtualization property (Section
+// 2.3): a thread's counts must not include events from other threads.
+func TestPerThreadIsolation(t *testing.T) {
+	pmu := newPMU(t, 1)
+	s := New(pmu, 1, 1)
+
+	pmu.AddInstr(cpu.User, 100) // thread 1 work
+	s.Save(1)
+	s.Restore(2)
+	pmu.AddInstr(cpu.User, 999) // thread 2 work
+
+	v2, err := s.ReadThread(2, 0)
+	if err != nil || v2 != 999 {
+		t.Errorf("thread 2 count = %d, %v; want 999", v2, err)
+	}
+	v1, err := s.ReadThread(1, 0)
+	if err != nil || v1 != 100 {
+		t.Errorf("thread 1 count = %d, %v; want 100 (isolated)", v1, err)
+	}
+
+	// Switch back: thread 1 resumes accumulating.
+	s.Save(2)
+	s.Restore(1)
+	pmu.AddInstr(cpu.User, 11)
+	if got := s.Read(0); got != 111 {
+		t.Errorf("thread 1 resumed count = %d, want 111", got)
+	}
+	v2, _ = s.ReadThread(2, 0)
+	if v2 != 999 {
+		t.Errorf("thread 2 count perturbed to %d", v2)
+	}
+}
+
+func TestResetAccum(t *testing.T) {
+	pmu := newPMU(t, 2)
+	s := New(pmu, 2, 1)
+	pmu.AddInstr(cpu.User, 10)
+	s.Save(1) // accum = 10, hw = 0
+	s.Restore(1)
+	pmu.AddInstr(cpu.User, 5)
+	if got := s.Read(0); got != 15 {
+		t.Fatalf("virtual = %d, want 15", got)
+	}
+	pmu.Reset(0b01)
+	s.ResetAccum(0b01)
+	if got := s.Read(0); got != 0 {
+		t.Errorf("after reset, counter 0 = %d, want 0", got)
+	}
+	if got := s.Read(1); got != 15 {
+		t.Errorf("counter 1 should be untouched, got %d", got)
+	}
+}
+
+func TestReadThreadErrors(t *testing.T) {
+	pmu := newPMU(t, 1)
+	s := New(pmu, 1, 1)
+	if _, err := s.ReadThread(1, 9); err == nil {
+		t.Error("out-of-range counter accepted")
+	}
+	// Unknown thread: lazily created with zero counts.
+	v, err := s.ReadThread(42, 0)
+	if err != nil || v != 0 {
+		t.Errorf("fresh thread = %d, %v", v, err)
+	}
+}

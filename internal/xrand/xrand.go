@@ -1,0 +1,85 @@
+// Package xrand provides a small, fully deterministic pseudo-random
+// number generator used throughout the simulator.
+//
+// Reproducibility is a hard requirement of this study: every experiment
+// must produce identical numbers across runs, machines, and Go releases,
+// so experiment tables in EXPERIMENTS.md stay comparable. The generator is
+// SplitMix64 (Steele, Lea, Flood 2014), which is tiny, fast, passes BigCrush
+// when used as a stream, and — unlike math/rand sources — has output fully
+// specified by this package alone.
+package xrand
+
+import "math"
+
+// Rand is a deterministic PRNG. The zero value is a valid generator
+// seeded with 0; use New to seed explicitly.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Mix combines values into a well-distributed 64-bit seed. It hashes each
+// input through the SplitMix64 finalizer, so Mix(a, b) and Mix(b, a)
+// differ. Use it to derive independent per-configuration seeds.
+func Mix(vs ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vs {
+		h ^= finalize(h + v)
+		h = h*0x2545f4914f6cdd1d + 0x632be59bd9b4e019
+	}
+	return finalize(h)
+}
+
+func finalize(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return finalize(r.state)
+}
+
+// Float64 returns a float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns an int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns an int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a normally distributed float with mean 0 and
+// standard deviation 1, via the Box-Muller transform.
+func (r *Rand) NormFloat64() float64 {
+	// Avoid log(0) by keeping u1 strictly positive.
+	u1 := (float64(r.Uint64()>>11) + 0.5) / (1 << 53)
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Geometric returns a sample in [0, max] with decaying probability:
+// P(k+1)/P(k) = p. It models "occasionally longer" code paths.
+func (r *Rand) Geometric(max int, p float64) int {
+	k := 0
+	for k < max && r.Float64() < p {
+		k++
+	}
+	return k
+}

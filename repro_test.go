@@ -1,0 +1,188 @@
+package repro_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestProcessorsAndStacks(t *testing.T) {
+	if got := repro.Processors(); len(got) != 3 || got[0] != repro.PD {
+		t.Errorf("Processors() = %v", got)
+	}
+	stacks := repro.Stacks()
+	if len(stacks) != 6 {
+		t.Errorf("Stacks() = %v", stacks)
+	}
+	for _, want := range []string{repro.StackPM, repro.StackPC, repro.StackPLpm, repro.StackPLpc, repro.StackPHpm, repro.StackPHpc} {
+		found := false
+		for _, s := range stacks {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("stack %s missing from %v", want, stacks)
+		}
+	}
+}
+
+func TestNewSystemErrors(t *testing.T) {
+	if _, err := repro.NewSystem("P6", repro.StackPM); err == nil {
+		t.Error("unknown processor accepted")
+	}
+	if _, err := repro.NewSystem(repro.K8, "zz"); err == nil {
+		t.Error("unknown stack accepted")
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	sys, err := repro.NewSystem(repro.CD, repro.StackPLpc, repro.WithTSC(true), repro.WithGovernor(repro.GovernorPerformance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stack() != repro.StackPLpc || sys.Processor() != repro.CD {
+		t.Errorf("accessors: %s %s", sys.Stack(), sys.Processor())
+	}
+	if sys.FrequencyGHz() != 2.4 {
+		t.Errorf("frequency = %v", sys.FrequencyGHz())
+	}
+	if sys.ProcessStartupCost() < 1_000_000 {
+		t.Errorf("startup cost = %d", sys.ProcessStartupCost())
+	}
+}
+
+func TestFacadeMeasure(t *testing.T) {
+	sys, err := repro.NewSystem(repro.K8, repro.StackPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.Measure(repro.Request{
+		Bench:   repro.LoopBenchmark(5000),
+		Pattern: repro.ReadRead,
+		Mode:    repro.ModeUser,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Expected != 15001 {
+		t.Errorf("expected = %d", m.Expected)
+	}
+	errv := m.Deltas[0] - m.Expected
+	if errv < 30 || errv > 50 {
+		t.Errorf("user rr error = %d, want ~37", errv)
+	}
+
+	errs, err := sys.MeasureN(repro.Request{
+		Bench:   repro.NullBenchmark(),
+		Pattern: repro.ReadRead,
+		Mode:    repro.ModeUser,
+	}, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 9 {
+		t.Errorf("MeasureN len = %d", len(errs))
+	}
+}
+
+func TestFacadeCycleMeasurement(t *testing.T) {
+	sys, err := repro.NewSystem(repro.K8, repro.StackPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.Measure(repro.Request{
+		Bench:   repro.LoopBenchmark(1_000_000),
+		Pattern: repro.StartRead,
+		Mode:    repro.ModeUserKernel,
+		Events:  []repro.Event{repro.EventCycles},
+		Seed:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpi := float64(m.Deltas[0]) / 1_000_000
+	if cpi < 1.9 || cpi > 3.3 {
+		t.Errorf("K8 cycles/iteration = %v, want in [2, 3.2] (Figure 11)", cpi)
+	}
+}
+
+func TestExperimentRegistryThroughFacade(t *testing.T) {
+	ids := repro.ExperimentIDs()
+	if len(ids) == 0 {
+		t.Fatal("no experiments")
+	}
+	for _, id := range ids {
+		if repro.ExperimentTitle(id) == "" {
+			t.Errorf("no title for %s", id)
+		}
+	}
+	var buf bytes.Buffer
+	res, err := repro.RunExperiment("table1", &buf, repro.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID() != "table1" {
+		t.Errorf("result id = %s", res.ID())
+	}
+	if !strings.Contains(buf.String(), "Pentium D 925") {
+		t.Error("render output missing processor")
+	}
+	if _, err := repro.RunExperiment("bogus", &buf, repro.Quick); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	pm, err := repro.NewSystem(repro.CD, repro.StackPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := repro.NewSystem(repro.CD, repro.StackPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := repro.Sweep(repro.SweepConfig{
+		Systems: []repro.SweepSystem{pm.ForSweep(), pc.ForSweep()},
+		Runs:    2,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records")
+	}
+	stacks := map[string]bool{}
+	for _, r := range recs {
+		stacks[r.Stack] = true
+	}
+	if !stacks["pm"] || !stacks["pc"] {
+		t.Errorf("stacks covered: %v", stacks)
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	run := func() int64 {
+		sys, err := repro.NewSystem(repro.PD, repro.StackPHpm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sys.Measure(repro.Request{
+			Bench:   repro.ArrayBenchmark(10_000),
+			Pattern: repro.StartStop,
+			Mode:    repro.ModeUserKernel,
+			Seed:    42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Deltas[0]
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("not reproducible: %d vs %d", a, b)
+	}
+}
