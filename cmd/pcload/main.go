@@ -1,0 +1,251 @@
+// Command pcload replays a mixed measurement workload against a
+// running pcserved and reports throughput, latency percentiles, and —
+// because pcserved's responses are deterministic — a cross-check that
+// every configuration returned one consistent body.
+//
+// The default mix drives four shards (K8/pc, K8/pm, CD/pc, CD/PHpm)
+// concurrently with a spread of benchmarks and seeds. With -calibrate,
+// every request asks for calibration, and the report splits each
+// configuration's first request (cold: pays for calibration) from the
+// rest (warm: served from the calibration cache), making the cache's
+// effect visible from the client side.
+//
+// Usage:
+//
+//	pcload -addr http://localhost:7090 -n 200 -c 8 -calibrate
+//	pcload -addr http://localhost:7090 -mix "K8/pc,CD/PLpm" -n 100 -c 4
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://localhost:7090", "pcserved base URL")
+		n         = flag.Int("n", 200, "total requests to send")
+		c         = flag.Int("c", 8, "concurrent client workers")
+		mixSpec   = flag.String("mix", "K8/pc,K8/pm,CD/pc,CD/PHpm", "comma-separated processor/stack pairs")
+		runs      = flag.Int("runs", 3, "measurement runs per request")
+		calibrate = flag.Bool("calibrate", false, "request calibration on every measurement")
+		seeds     = flag.Int("seeds", 8, "distinct seeds per configuration (spread defeats coalescing)")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *addr, *mixSpec, *n, *c, *runs, *seeds, *calibrate); err != nil {
+		fmt.Fprintln(os.Stderr, "pcload:", err)
+		os.Exit(1)
+	}
+}
+
+// workItem is one request to fire, tagged with its configuration key.
+type workItem struct {
+	key  string
+	req  api.MeasureRequest
+	cold bool // first request of its configuration in this plan
+}
+
+// outcome records one completed request.
+type outcome struct {
+	key     string
+	cold    bool
+	latency time.Duration
+	body    string
+	status  int
+	err     error
+}
+
+func run(w io.Writer, addr, mixSpec string, n, c, runs, seeds int, calibrate bool) error {
+	if c <= 0 {
+		return fmt.Errorf("-c must be positive (got %d)", c)
+	}
+	if seeds <= 0 {
+		return fmt.Errorf("-seeds must be positive (got %d)", seeds)
+	}
+	if n < 0 {
+		return fmt.Errorf("-n must be non-negative (got %d)", n)
+	}
+	plan, err := buildPlan(mixSpec, n, runs, seeds, calibrate)
+	if err != nil {
+		return err
+	}
+
+	work := make(chan workItem)
+	results := make(chan outcome, len(plan))
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	var wg sync.WaitGroup
+	for i := 0; i < c; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for item := range work {
+				results <- fire(client, addr, item)
+			}
+		}()
+	}
+
+	start := time.Now()
+	for _, item := range plan {
+		work <- item
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+
+	return report(w, results, elapsed, calibrate)
+}
+
+// buildPlan expands the mix into n requests: for each configuration, a
+// rotation of benchmarks and seeds. The first request of each
+// configuration is marked cold.
+func buildPlan(mixSpec string, n, runs, seeds int, calibrate bool) ([]workItem, error) {
+	var configs []api.MeasureRequest
+	for _, pair := range strings.Split(mixSpec, ",") {
+		proc, stk, ok := strings.Cut(strings.TrimSpace(pair), "/")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want PROC/stack, e.g. K8/pc)", pair)
+		}
+		configs = append(configs, api.MeasureRequest{
+			Processor: proc, Stack: stk, Runs: runs, Calibrate: calibrate,
+		})
+	}
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+
+	benches := []string{"loop:1000", "loop:10000", "null", "array:500"}
+	patterns := []string{"ar", "ao", "rr", "ro"}
+	plan := make([]workItem, 0, n)
+	seen := make(map[string]bool)
+	for i := 0; i < n; i++ {
+		req := configs[i%len(configs)]
+		req.Bench = benches[(i/len(configs))%len(benches)]
+		req.Pattern = patterns[(i/(len(configs)*len(benches)))%len(patterns)]
+		// The PAPI high-level stacks cannot express read-without-reset
+		// patterns; keep their slice of the mix on ar/ao.
+		if strings.HasPrefix(req.Stack, "PH") && (req.Pattern == "rr" || req.Pattern == "ro") {
+			req.Pattern = "ar"
+		}
+		req.Seed = uint64(1 + i%seeds)
+		key := fmt.Sprintf("%s/%s", req.Processor, req.Stack)
+		// Cold means "first request that needs this calibration": the
+		// server caches calibrations per (shard, pattern, mode, opt),
+		// and within this plan mode and opt are constant. Under high
+		// concurrency a few cold-labeled items may race warm ones, so
+		// the split is approximate; the service benchmarks isolate the
+		// exact cache effect.
+		calKey := key + "/" + req.Pattern
+		plan = append(plan, workItem{key: key, req: req, cold: !seen[calKey]})
+		seen[calKey] = true
+	}
+	return plan, nil
+}
+
+// fire sends one request and records its outcome.
+func fire(client *http.Client, addr string, item workItem) outcome {
+	body, err := json.Marshal(item.req)
+	if err != nil {
+		return outcome{key: item.key, err: err}
+	}
+	start := time.Now()
+	resp, err := client.Post(addr+"/measure", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return outcome{key: item.key, cold: item.cold, err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	out := outcome{
+		key:     item.key,
+		cold:    item.cold,
+		latency: time.Since(start),
+		status:  resp.StatusCode,
+		err:     err,
+	}
+	if err == nil && resp.StatusCode == http.StatusOK {
+		// Identity for the determinism cross-check: identical request
+		// bodies must produce identical response bodies.
+		out.body = string(body) + "=>" + string(data)
+	}
+	return out
+}
+
+// report prints throughput, latency percentiles, the cold/warm split,
+// and the determinism cross-check.
+func report(w io.Writer, results <-chan outcome, elapsed time.Duration, calibrate bool) error {
+	var (
+		all, warm, cold []time.Duration
+		failures        int
+		total           int
+		byRequest       = make(map[string]string) // request body -> response body
+		divergent       int
+	)
+	for res := range results {
+		total++
+		if res.err != nil || res.status != http.StatusOK {
+			failures++
+			continue
+		}
+		all = append(all, res.latency)
+		if res.cold {
+			cold = append(cold, res.latency)
+		} else {
+			warm = append(warm, res.latency)
+		}
+		reqBody, respBody, _ := strings.Cut(res.body, "=>")
+		if prev, ok := byRequest[reqBody]; ok && prev != respBody {
+			divergent++
+		} else {
+			byRequest[reqBody] = respBody
+		}
+	}
+
+	fmt.Fprintf(w, "requests:    %d (%d failed)\n", total, failures)
+	fmt.Fprintf(w, "elapsed:     %v\n", elapsed.Round(time.Millisecond))
+	if len(all) > 0 && elapsed > 0 {
+		fmt.Fprintf(w, "throughput:  %.1f req/s\n", float64(len(all))/elapsed.Seconds())
+	}
+	fmt.Fprintf(w, "latency:     %s\n", percentiles(all))
+	if calibrate && len(cold) > 0 && len(warm) > 0 {
+		fmt.Fprintf(w, "cold (first per config, runs calibration): %s\n", percentiles(cold))
+		fmt.Fprintf(w, "warm (calibration cache hit):              %s\n", percentiles(warm))
+	}
+	if divergent > 0 {
+		fmt.Fprintf(w, "DETERMINISM VIOLATION: %d identical requests got different bodies\n", divergent)
+		return fmt.Errorf("%d divergent responses", divergent)
+	}
+	fmt.Fprintf(w, "determinism: %d distinct requests, all responses consistent\n", len(byRequest))
+	if failures > 0 {
+		return fmt.Errorf("%d requests failed", failures)
+	}
+	return nil
+}
+
+// percentiles renders p50/p90/p99/max of a latency sample.
+func percentiles(d []time.Duration) string {
+	if len(d) == 0 {
+		return "n/a"
+	}
+	sorted := append([]time.Duration(nil), d...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pick := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return fmt.Sprintf("p50=%v p90=%v p99=%v max=%v",
+		pick(0.50).Round(time.Microsecond), pick(0.90).Round(time.Microsecond),
+		pick(0.99).Round(time.Microsecond), sorted[len(sorted)-1].Round(time.Microsecond))
+}

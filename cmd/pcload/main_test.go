@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/service"
+)
+
+// newBackend serves /measure from a real service, mirroring pcserved's
+// wire behavior closely enough for the client.
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc := service.New(service.Config{WorkersPerShard: 2, CalibrationRuns: 9})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /measure", func(w http.ResponseWriter, r *http.Request) {
+		var req api.MeasureRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := svc.Measure(r.Context(), req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestBuildPlan(t *testing.T) {
+	plan, err := buildPlan("K8/pc,CD/PHpm", 40, 3, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 40 {
+		t.Fatalf("plan size = %d, want 40", len(plan))
+	}
+	colds := 0
+	for _, item := range plan {
+		if item.cold {
+			colds++
+		}
+		if strings.HasPrefix(item.req.Stack, "PH") && (item.req.Pattern == "rr" || item.req.Pattern == "ro") {
+			t.Errorf("PH stack assigned unsupported pattern %s", item.req.Pattern)
+		}
+		if !item.req.Calibrate {
+			t.Error("calibrate flag not propagated")
+		}
+	}
+	// Cold marks follow the server's calibration identity: one per
+	// distinct (config, pattern) pair in the plan. K8/pc cycles all
+	// four patterns; CD/PHpm's rr/ro are clamped to ar, leaving ar/ao.
+	if colds != 6 {
+		t.Errorf("cold requests = %d, want one per (config, pattern) = 6", colds)
+	}
+
+	if _, err := buildPlan("garbage", 10, 1, 1, false); err == nil {
+		t.Error("bad mix accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "http://x", "K8/pc", 4, 0, 1, 1, false); err == nil {
+		t.Error("-c 0 accepted; would hang forever")
+	}
+	if err := run(&out, "http://x", "K8/pc", 4, 2, 1, 0, false); err == nil {
+		t.Error("-seeds 0 accepted; would panic")
+	}
+}
+
+func TestRunAgainstBackend(t *testing.T) {
+	srv := newBackend(t)
+	var out bytes.Buffer
+	if err := run(&out, srv.URL, "K8/pc,K8/pm,CD/pc,CD/PHpm", 32, 4, 2, 4, true); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"throughput:", "latency:", "determinism:", "cold (", "warm ("} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "DETERMINISM VIOLATION") {
+		t.Errorf("determinism violation reported:\n%s", report)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	if got := percentiles(nil); got != "n/a" {
+		t.Errorf("percentiles(nil) = %q", got)
+	}
+	d := []time.Duration{4 * time.Millisecond, 1 * time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond}
+	got := percentiles(d)
+	if !strings.Contains(got, "p50=2ms") || !strings.Contains(got, "max=4ms") {
+		t.Errorf("percentiles = %q", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Command pcserved serves the measurement apparatus over HTTP: a
+// long-running, concurrent front end to the simulated systems of the
+// paper, backed by internal/service's sharded worker pools, calibration
+// cache, and request coalescing.
+//
+// Endpoints:
+//
+//	POST /measure     api.MeasureRequest  -> api.MeasureResponse
+//	POST /experiment  api.ExperimentRequest -> api.ExperimentResponse
+//	GET  /healthz     -> api.HealthResponse
+//
+// Responses to /measure are deterministic: identical requests receive
+// byte-identical bodies, no matter how they interleave with other
+// traffic.
+//
+// Usage:
+//
+//	pcserved -addr :7090 -workers 4 -calruns 31
+//	curl -s localhost:7090/measure -d '{"processor":"K8","stack":"pc","bench":"loop:100000","pattern":"rr","runs":5,"calibrate":true}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7090", "listen address")
+		workers = flag.Int("workers", 4, "systems pooled per (processor, stack) shard")
+		calruns = flag.Int("calruns", 31, "runs per calibration estimate")
+		maxexp  = flag.Int("maxexp", 2, "maximum concurrent experiments")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		WorkersPerShard:          *workers,
+		CalibrationRuns:          *calruns,
+		MaxConcurrentExperiments: *maxexp,
+	})
+	srv := &http.Server{Addr: *addr, Handler: newHandler(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("pcserved: listening on %s (workers/shard=%d, calruns=%d)", *addr, *workers, *calruns)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("pcserved: %v", err)
+	}
+	// ListenAndServe returns as soon as Shutdown begins; wait for the
+	// drain to finish so in-flight requests complete.
+	stop()
+	<-drained
+	log.Printf("pcserved: drained, exiting")
+}
+
+// newHandler wires the service into an HTTP mux. Split out of main so
+// tests can drive the exact production routing in-process.
+func newHandler(svc *service.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /measure", func(w http.ResponseWriter, r *http.Request) {
+		var req api.MeasureRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		resp, err := svc.Measure(r.Context(), req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /experiment", func(w http.ResponseWriter, r *http.Request) {
+		var req api.ExperimentRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		resp, err := svc.Experiment(r.Context(), req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Health())
+	})
+	return mux
+}
+
+// statusFor maps service errors to HTTP statuses: invalid requests are
+// the client's fault, everything else the server's.
+func statusFor(err error) int {
+	var unsupported *core.ErrUnsupportedPattern
+	switch {
+	case errors.Is(err, api.ErrBadRequest),
+		errors.As(err, &unsupported),
+		errors.Is(err, service.ErrUnknownExperiment):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// writeJSON writes v as the JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the service's JSON error body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, api.Error{Error: err.Error()})
+}

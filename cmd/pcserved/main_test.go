@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/service"
+)
+
+// newTestServer serves the production handler over HTTP.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newHandler(service.New(service.Config{WorkersPerShard: 2})))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// post sends a JSON body and returns status and response bytes.
+func post(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, data
+}
+
+func TestMeasureEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	status, body := post(t, srv.URL+"/measure", api.MeasureRequest{
+		Processor: "K8", Stack: "pc", Bench: "loop:1000", Pattern: "rr", Runs: 3,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", status, body)
+	}
+	var resp api.MeasureResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if resp.Expected != 3001 || len(resp.Errors) != 3 {
+		t.Errorf("unexpected response: %s", body)
+	}
+}
+
+// TestConcurrentMixedRequests is the issue's acceptance scenario: at
+// least 2 processor models x 2 stacks in flight simultaneously, every
+// configuration's responses byte-identical.
+func TestConcurrentMixedRequests(t *testing.T) {
+	srv := newTestServer(t)
+	reqs := []api.MeasureRequest{
+		{Processor: "K8", Stack: "pc", Bench: "loop:800", Pattern: "rr", Runs: 3},
+		{Processor: "K8", Stack: "pm", Bench: "loop:800", Pattern: "rr", Runs: 3},
+		{Processor: "CD", Stack: "pc", Bench: "loop:800", Pattern: "ao", Runs: 3, Calibrate: true},
+		{Processor: "CD", Stack: "PHpm", Bench: "null", Pattern: "ar", Runs: 3},
+		{Processor: "PD", Stack: "PLpc", Bench: "array:200", Pattern: "ro", Runs: 3},
+	}
+	const perReq = 5
+	bodies := make([][]string, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		bodies[i] = make([]string, perReq)
+		for r := 0; r < perReq; r++ {
+			wg.Add(1)
+			go func(i, r int) {
+				defer wg.Done()
+				status, body := post(t, srv.URL+"/measure", reqs[i])
+				if status != http.StatusOK {
+					t.Errorf("request %d: status %d: %s", i, status, body)
+					return
+				}
+				bodies[i][r] = string(body)
+			}(i, r)
+		}
+	}
+	wg.Wait()
+	for i := range reqs {
+		for r := 1; r < perReq; r++ {
+			if bodies[i][r] != bodies[i][0] {
+				t.Errorf("request %d: response %d differs from response 0\n%s\nvs\n%s",
+					i, r, bodies[i][r], bodies[i][0])
+			}
+		}
+	}
+}
+
+func TestMeasureRejectsInvalid(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []any{
+		api.MeasureRequest{Processor: "Z80", Stack: "pc", Bench: "null"},
+		api.MeasureRequest{Processor: "K8", Stack: "PHpc", Bench: "null", Pattern: "rr"},
+		"not json at all",
+	}
+	for _, c := range cases {
+		status, body := post(t, srv.URL+"/measure", c)
+		if status != http.StatusBadRequest {
+			t.Errorf("payload %v: status = %d (%s), want 400", c, status, body)
+		}
+		var e api.Error
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("payload %v: error body not JSON: %s", c, body)
+		}
+	}
+}
+
+func TestExperimentEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	status, body := post(t, srv.URL+"/experiment", api.ExperimentRequest{ID: "table2"})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	var resp api.ExperimentResponse
+	if err := json.Unmarshal(body, &resp); err != nil || !strings.Contains(resp.Title, "Table 2") {
+		t.Errorf("unexpected experiment response: %s", body)
+	}
+
+	status, _ = post(t, srv.URL+"/experiment", api.ExperimentRequest{ID: "nope"})
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown experiment: status = %d, want 400", status)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	post(t, srv.URL+"/measure", api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "null"})
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h api.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.Status != "ok" || len(h.Shards) != 1 || h.Stats.Requests != 1 {
+		t.Errorf("unexpected health: %+v", h)
+	}
+}

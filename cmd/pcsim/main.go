@@ -14,10 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro"
+	"repro/internal/api"
 )
 
 func main() {
@@ -98,41 +97,18 @@ func run(cpuTag, stackID, benchSpec, patCode, modeStr string, optLvl, runs int, 
 	return nil
 }
 
+// The benchmark, pattern, and mode vocabularies are shared with the
+// measurement service's wire format (internal/api), so pcsim specs work
+// verbatim in pcserved requests.
+
 func parseBench(spec string) (*repro.Benchmark, error) {
-	name, arg, _ := strings.Cut(spec, ":")
-	switch name {
-	case "null":
-		return repro.NullBenchmark(), nil
-	case "loop", "array":
-		n, err := strconv.ParseInt(arg, 10, 64)
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("bad benchmark size %q", arg)
-		}
-		if name == "loop" {
-			return repro.LoopBenchmark(n), nil
-		}
-		return repro.ArrayBenchmark(n), nil
-	}
-	return nil, fmt.Errorf("unknown benchmark %q (want null, loop:N, array:N)", spec)
+	return api.ParseBench(spec)
 }
 
 func parsePattern(code string) (repro.Pattern, error) {
-	for _, p := range []repro.Pattern{repro.StartRead, repro.StartStop, repro.ReadRead, repro.ReadStop} {
-		if p.Code() == code {
-			return p, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown pattern %q (want ar, ao, rr, ro)", code)
+	return api.ParsePattern(code)
 }
 
 func parseMode(s string) (repro.MeasureMode, error) {
-	switch s {
-	case "user":
-		return repro.ModeUser, nil
-	case "user+kernel", "uk":
-		return repro.ModeUserKernel, nil
-	case "kernel", "os":
-		return repro.ModeKernel, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q", s)
+	return api.ParseMode(s)
 }

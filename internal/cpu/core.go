@@ -172,6 +172,20 @@ func (c *Core) SeedRun(seed uint64) {
 	}
 }
 
+// ResetClock rewinds the global cycle clock (and with it the TSC) to
+// the boot instant and re-phases the timer accordingly. Together with
+// PMU.ZeroState it erases the only execution state that survives Run:
+// absolute time. Without it, the fractional cycles accumulated by
+// earlier measurements shift the int64 truncation of later cycle
+// captures, making a system's results depend on its history.
+func (c *Core) ResetClock() {
+	c.Cycles = 0
+	c.PMU.ZeroState()
+	if c.Timer.Period > 0 {
+		c.Timer.Next = c.Timer.Period
+	}
+}
+
 // InstallTimer configures the periodic tick. hz is the tick frequency.
 func (c *Core) InstallTimer(hz float64, handler *isa.Program) {
 	c.Timer.Period = c.Model.GHz * 1e9 / hz

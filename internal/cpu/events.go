@@ -48,6 +48,17 @@ func (e Event) String() string {
 	return fmt.Sprintf("event(%d)", uint8(e))
 }
 
+// EventByName returns the event with the given generic mnemonic (the
+// String form, e.g. "INSTR_RETIRED").
+func EventByName(name string) (Event, error) {
+	for ev := Event(1); ev < numEvents; ev++ {
+		if eventNames[ev] == name {
+			return ev, nil
+		}
+	}
+	return EventNone, fmt.Errorf("cpu: unknown event %q", name)
+}
+
 // nativeEvent is a processor-specific event encoding, the level at which
 // libpfm and libperfctr program the hardware. PAPI's preset tables map
 // portable names onto these.

@@ -199,6 +199,25 @@ func (p *PMU) AddEvent(mode Mode, ev Event, n float64) {
 	}
 }
 
+// ZeroState returns the PMU to its power-on counting state: every
+// programmable counter disabled at zero, every fixed counter zeroed,
+// the TSC reset, and pending overflows dropped. Counter *configuration*
+// is left alone — infrastructures reprogram it per measurement — but no
+// residue of earlier runs survives, which is what lets a pooled system
+// serve byte-identical results regardless of its history.
+func (p *PMU) ZeroState() {
+	for i := range p.Prog {
+		p.Prog[i].Enabled = false
+		p.Prog[i].value = 0
+	}
+	for i := range p.Fixed {
+		p.Fixed[i].Enabled = false
+		p.Fixed[i].value = 0
+	}
+	p.tsc = 0
+	p.pending = nil
+}
+
 // Overflow records counter period crossings awaiting interrupt delivery.
 type Overflow struct {
 	// Counter is the programmable counter index.

@@ -145,6 +145,23 @@ func (k *Kernel) fireTick() {
 	}
 }
 
+// ResetState returns the kernel and its core to the just-booted state:
+// clock and PMU rewound, frequency policy re-applied from its initial
+// setting, the governor's random stream re-seeded, and the thread table
+// reduced to the boot thread. Extension state (registered syscalls,
+// tick work, switch hooks) is preserved — it is part of the system's
+// configuration, not its execution history. Measurement services call
+// this between requests so a pooled system behaves exactly like a
+// freshly built one.
+func (k *Kernel) ResetState() {
+	k.Core.ResetClock()
+	k.rng = xrand.New(xrand.Mix(uint64(k.model.Arch), 0xbeef))
+	k.threads = map[int]bool{1: true}
+	k.current = 1
+	k.switchCount = 0
+	k.SetGovernor(k.governor)
+}
+
 // AddTickListener registers a callback invoked after every timer tick.
 func (k *Kernel) AddTickListener(f func()) {
 	k.tickListeners = append(k.tickListeners, f)

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/api"
+)
+
+// calReq is the calibrated request both benchmarks serve; only the
+// cache temperature differs.
+var calReq = api.MeasureRequest{
+	Processor: "K8", Stack: "pc", Bench: "loop:1000", Pattern: "rr",
+	Runs: 2, Calibrate: true,
+}
+
+// BenchmarkCalibrationCold measures the cold path: every iteration
+// faces an empty calibration cache and pays for the full null-benchmark
+// calibration before measuring.
+func BenchmarkCalibrationCold(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		s := New(Config{WorkersPerShard: 1})
+		if _, err := s.Measure(ctx, calReq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCalibrationWarm measures the warm path: the calibration was
+// cached by a setup request, so each iteration only measures.
+func BenchmarkCalibrationWarm(b *testing.B) {
+	ctx := context.Background()
+	s := New(Config{WorkersPerShard: 1})
+	if _, err := s.Measure(ctx, calReq); err != nil {
+		b.Fatal(err)
+	}
+	req := calReq
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Vary the seed so iterations execute rather than coalesce into
+		// a response cache; the calibration configuration is unchanged.
+		req.Seed = uint64(i + 2)
+		if _, err := s.Measure(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureUncalibrated is the baseline measurement cost without
+// any calibration, for comparison against the two paths above.
+func BenchmarkMeasureUncalibrated(b *testing.B) {
+	ctx := context.Background()
+	s := New(Config{WorkersPerShard: 1})
+	req := calReq
+	req.Calibrate = false
+	for i := 0; i < b.N; i++ {
+		req.Seed = uint64(i + 1)
+		if _, err := s.Measure(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

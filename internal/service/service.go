@@ -1,0 +1,454 @@
+// Package service is the concurrent measurement backend behind
+// cmd/pcserved. It schedules api.MeasureRequests onto a sharded pool of
+// pre-built measurement systems — one shard per (processor, stack, TSC)
+// configuration, several interchangeable worker systems per shard — and
+// layers three mechanisms on top:
+//
+//   - Determinism. Workers are Reset to the just-booted state before
+//     every request, so a response is a pure function of the normalized
+//     request: concurrent requests on the same shard return
+//     byte-identical bodies no matter which worker serves them or how
+//     the pool interleaves.
+//   - Calibration caching. The fixed-error estimate of a (shard,
+//     pattern, mode, opt) configuration is computed once and reused;
+//     warm requests skip the paper's 31-run null-benchmark calibration
+//     entirely.
+//   - Request coalescing. Identical normalized requests that arrive
+//     while one is executing join its result instead of re-measuring —
+//     sound precisely because responses are deterministic.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/api"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+	"repro/internal/kernel"
+	stackpkg "repro/internal/stack"
+	"repro/internal/stats"
+)
+
+// Config sizes the service.
+type Config struct {
+	// WorkersPerShard is how many interchangeable systems each
+	// (processor, stack, TSC) shard pools. Zero means 2.
+	WorkersPerShard int
+	// CalibrationRuns is the sample count of a calibration estimate.
+	// Zero means 31, a typical odd count for a stable median.
+	CalibrationRuns int
+	// MaxConcurrentExperiments bounds simultaneous paper-experiment
+	// runs, which are far heavier than measurements. Zero means 2.
+	MaxConcurrentExperiments int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.WorkersPerShard <= 0 {
+		c.WorkersPerShard = 2
+	}
+	if c.CalibrationRuns <= 0 {
+		c.CalibrationRuns = 31
+	}
+	if c.MaxConcurrentExperiments <= 0 {
+		c.MaxConcurrentExperiments = 2
+	}
+	return c
+}
+
+// Service schedules measurement requests onto pooled systems. It is
+// safe for concurrent use.
+type Service struct {
+	cfg Config
+
+	mu     sync.Mutex
+	shards map[string]*shard
+	flight map[string]*call
+
+	expSem chan struct{}
+
+	requests  atomic.Uint64
+	coalesced atomic.Uint64
+	calHits   atomic.Uint64
+	calMisses atomic.Uint64
+}
+
+// call is one in-flight execution that duplicate requests can join.
+type call struct {
+	done chan struct{}
+	resp *api.MeasureResponse
+	err  error
+}
+
+// New returns a service with empty pools; shards are built on first
+// use.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:    cfg,
+		shards: make(map[string]*shard),
+		flight: make(map[string]*call),
+		expSem: make(chan struct{}, cfg.MaxConcurrentExperiments),
+	}
+}
+
+// Measure serves one measurement request. The response for a given
+// normalized request is deterministic: callers (and the coalescing
+// layer) may treat it as an immutable value.
+func (s *Service) Measure(ctx context.Context, req api.MeasureRequest) (*api.MeasureResponse, error) {
+	norm, err := req.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	s.requests.Add(1)
+
+	key := norm.Key()
+	for {
+		s.mu.Lock()
+		if c, ok := s.flight[key]; ok {
+			s.mu.Unlock()
+			s.coalesced.Add(1)
+			select {
+			case <-c.done:
+				// A context error here is the *leader's* cancellation,
+				// not ours; retry (becoming leader if the slot is free)
+				// rather than failing a still-live caller.
+				if isContextErr(c.err) && ctx.Err() == nil {
+					continue
+				}
+				return c.resp, c.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		c := &call{done: make(chan struct{})}
+		s.flight[key] = c
+		s.mu.Unlock()
+
+		c.resp, c.err = s.execute(ctx, norm)
+		s.mu.Lock()
+		delete(s.flight, key)
+		s.mu.Unlock()
+		close(c.done)
+		return c.resp, c.err
+	}
+}
+
+// isContextErr reports whether err is a cancellation or deadline error.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// execute runs a normalized request on a worker from its shard.
+func (s *Service) execute(ctx context.Context, norm api.MeasureRequest) (*api.MeasureResponse, error) {
+	sh, err := s.shard(norm)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := sh.checkout(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer sh.checkin(sys)
+
+	var cal *core.Calibration
+	if norm.Calibrate {
+		got, err := s.calibration(sh, norm, sys)
+		if err != nil {
+			return nil, err
+		}
+		cal = &got
+	}
+
+	creq, err := norm.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// A reset system measures byte-identically to a fresh one, which is
+	// what makes pooled workers interchangeable.
+	sys.Reset()
+	resp := &api.MeasureResponse{
+		Request: norm,
+		Deltas:  make([][]int64, 0, norm.Runs),
+		Errors:  make([]int64, 0, norm.Runs),
+	}
+	for i := 0; i < norm.Runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		creq.Seed = norm.Seed + uint64(i)
+		m, err := sys.Measure(creq)
+		if err != nil {
+			return nil, err
+		}
+		resp.Expected = m.Expected
+		resp.Deltas = append(resp.Deltas, append([]int64(nil), m.Deltas...))
+		resp.Errors = append(resp.Errors, m.Error(0, creq.Mode))
+	}
+	resp.Summary = summarize(resp.Errors)
+	if cal != nil {
+		resp.Calibration = &api.CalibrationInfo{
+			Offset:   cal.Offset,
+			Strategy: cal.Strategy,
+			Samples:  cal.Samples,
+		}
+		resp.CalibratedErrors = make([]float64, len(resp.Errors))
+		for i, e := range resp.Errors {
+			resp.CalibratedErrors[i] = cal.Apply(e)
+		}
+	}
+	return resp, nil
+}
+
+// ErrUnknownExperiment reports an experiment ID outside the registry.
+var ErrUnknownExperiment = errors.New("service: unknown experiment")
+
+// Experiment runs one paper experiment. Experiments build their own
+// systems and are independent of the measurement pools; a semaphore
+// keeps a burst of them from starving measurements of CPU.
+func (s *Service) Experiment(ctx context.Context, req api.ExperimentRequest) (*api.ExperimentResponse, error) {
+	title := experiments.Title(req.ID)
+	if title == "" {
+		return nil, fmt.Errorf("%w %q (have %s)", ErrUnknownExperiment, req.ID, strings.Join(experiments.IDs(), ", "))
+	}
+	if req.Runs < 0 || req.Runs > api.MaxExperimentRuns {
+		return nil, fmt.Errorf("%w: experiment runs %d out of range 0-%d", api.ErrBadRequest, req.Runs, api.MaxExperimentRuns)
+	}
+	select {
+	case s.expSem <- struct{}{}:
+		defer func() { <-s.expSem }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	cfg := experiments.QuickConfig
+	if req.Runs > 0 {
+		cfg.Runs = req.Runs
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	res, err := experiments.Run(req.ID, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		return nil, err
+	}
+	return &api.ExperimentResponse{ID: req.ID, Title: title, Text: b.String()}, nil
+}
+
+// Health reports pool and counter state.
+func (s *Service) Health() api.HealthResponse {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.shards))
+	for k := range s.shards {
+		keys = append(keys, k)
+	}
+	shards := make([]*shard, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		shards = append(shards, s.shards[k])
+	}
+	s.mu.Unlock()
+
+	h := api.HealthResponse{
+		Status: "ok",
+		Shards: make([]api.ShardHealth, 0, len(shards)),
+		Stats: api.ServiceStats{
+			Requests:          s.requests.Load(),
+			Coalesced:         s.coalesced.Load(),
+			CalibrationHits:   s.calHits.Load(),
+			CalibrationMisses: s.calMisses.Load(),
+		},
+	}
+	for _, sh := range shards {
+		h.Shards = append(h.Shards, api.ShardHealth{
+			Key:          sh.key,
+			Workers:      sh.size,
+			Idle:         len(sh.workers),
+			Calibrations: sh.calCount(),
+		})
+	}
+	return h
+}
+
+// shard returns (building if needed) the pool for a request's
+// configuration. The service mutex only guards the map insertion;
+// booting the worker systems happens outside it, so a first-touch
+// shard build never stalls traffic to other shards.
+func (s *Service) shard(norm api.MeasureRequest) (*shard, error) {
+	key := norm.ShardKey()
+	s.mu.Lock()
+	sh, ok := s.shards[key]
+	if !ok {
+		sh = &shard{
+			key:     key,
+			proc:    norm.Processor,
+			stack:   norm.Stack,
+			withTSC: !norm.NoTSC,
+			size:    s.cfg.WorkersPerShard,
+			workers: make(chan *stackpkg.System, s.cfg.WorkersPerShard),
+			cal:     make(map[string]*calEntry),
+		}
+		s.shards[key] = sh
+	}
+	s.mu.Unlock()
+
+	sh.init.Do(sh.build)
+	if sh.initErr != nil {
+		return nil, sh.initErr
+	}
+	return sh, nil
+}
+
+// shard is one pool of interchangeable systems for a (processor, stack,
+// TSC) configuration, with its calibration cache.
+type shard struct {
+	key     string
+	proc    string
+	stack   string
+	withTSC bool
+	size    int
+	workers chan *stackpkg.System
+
+	init    sync.Once
+	initErr error
+
+	calMu sync.Mutex
+	cal   map[string]*calEntry
+}
+
+// calEntry is one cached calibration, computed at most once.
+type calEntry struct {
+	once sync.Once
+	cal  core.Calibration
+	err  error
+}
+
+// build boots the shard's worker systems. Run under init.Do: requests
+// for the shard wait here, requests for other shards are unaffected.
+func (sh *shard) build() {
+	model, err := cpu.ModelByTag(sh.proc)
+	if err != nil {
+		sh.initErr = err
+		return
+	}
+	opts := stackpkg.Options{WithTSC: sh.withTSC, Governor: kernel.Performance}
+	for i := 0; i < sh.size; i++ {
+		sys, err := stackpkg.New(model, sh.stack, opts)
+		if err != nil {
+			sh.initErr = err
+			return
+		}
+		sh.workers <- sys
+	}
+}
+
+// checkout takes a worker, waiting for one to come free.
+func (sh *shard) checkout(ctx context.Context) (*stackpkg.System, error) {
+	select {
+	case sys := <-sh.workers:
+		return sys, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// checkin returns a worker to the pool.
+func (sh *shard) checkin(sys *stackpkg.System) {
+	sh.workers <- sys
+}
+
+// calCount returns how many calibrations the shard has cached.
+func (sh *shard) calCount() int {
+	sh.calMu.Lock()
+	defer sh.calMu.Unlock()
+	return len(sh.cal)
+}
+
+// calibration returns the cached fixed-error estimate for the request's
+// configuration, computing it on the caller's worker if this is the
+// first request to need it. Computing on the caller's own worker (not a
+// second checkout) keeps a size-1 pool deadlock-free; determinism makes
+// the result independent of which worker ran it.
+func (s *Service) calibration(sh *shard, norm api.MeasureRequest, sys *stackpkg.System) (core.Calibration, error) {
+	key := norm.CalibrationKey()
+	sh.calMu.Lock()
+	e, ok := sh.cal[key]
+	if !ok {
+		e = &calEntry{}
+		sh.cal[key] = e
+	}
+	sh.calMu.Unlock()
+
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		s.calMisses.Add(1)
+		pattern, err := core.PatternByCode(norm.Pattern)
+		if err != nil {
+			e.err = err
+			return
+		}
+		mode, err := api.ParseMode(norm.Mode)
+		if err != nil {
+			e.err = err
+			return
+		}
+		sys.Reset()
+		e.cal, e.err = core.CalibrateNull(
+			sys.Kernel, sys.Infra, pattern, mode,
+			compiler.OptLevel(norm.Opt), s.cfg.CalibrationRuns, calSeed(key))
+	})
+	if hit {
+		s.calHits.Add(1)
+	}
+	if e.err != nil {
+		// Leave the failed entry poisoned rather than retrying: the
+		// computation is deterministic, so a retry would fail the same
+		// way.
+		return core.Calibration{}, e.err
+	}
+	return e.cal, nil
+}
+
+// calSeed derives the deterministic calibration seed from the cache
+// key, so every worker (and every service instance) computes the same
+// estimate.
+func calSeed(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64() | 1 // never zero
+}
+
+// summarize condenses per-run errors deterministically.
+func summarize(errs []int64) api.Summary {
+	if len(errs) == 0 {
+		return api.Summary{}
+	}
+	sum := api.Summary{Min: errs[0], Max: errs[0]}
+	var total float64
+	for _, e := range errs {
+		total += float64(e)
+		if e < sum.Min {
+			sum.Min = e
+		}
+		if e > sum.Max {
+			sum.Max = e
+		}
+	}
+	sum.Mean = total / float64(len(errs))
+	sum.Median = stats.MedianInt64(errs)
+	return sum
+}

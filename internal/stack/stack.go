@@ -93,6 +93,14 @@ func levelOf(code string) string {
 	return ""
 }
 
+// Reset returns the system to its just-booted state. A reset system
+// produces byte-identical measurements to a freshly constructed one for
+// the same request, which is what allows worker pools to reuse systems
+// across requests without execution history leaking between them.
+func (s *System) Reset() {
+	s.Kernel.ResetState()
+}
+
 // Measure runs one measurement on this system.
 func (s *System) Measure(req core.Request) (*core.Measurement, error) {
 	return core.Measure(s.Kernel, s.Infra, req)

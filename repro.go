@@ -29,6 +29,29 @@
 //
 // regenerates Figure 4 (the perfctr TSC study); RunExperiment accepts
 // every ID in ExperimentIDs.
+//
+// # Concurrency
+//
+// All mutable state lives inside a System (its simulated processor,
+// kernel, and infrastructure); the package-level tables (processor
+// models, events, the experiment registry) are immutable after init.
+// Consequently distinct Systems may be used from different goroutines
+// freely, and RunExperiment is safe to call concurrently — each run
+// builds its own systems. A single System is NOT safe for concurrent
+// use; serialize access or pool several (see internal/service, which
+// does exactly that behind cmd/pcserved).
+//
+// Measurements are deterministic: a System's results are a pure
+// function of its configuration and the request (including its seed),
+// and System.Reset rewinds a used system to its just-booted state so
+// pooled systems measure byte-identically to fresh ones.
+//
+// # Serving measurements
+//
+// Command pcserved exposes this apparatus as a long-running JSON
+// service with sharded system pools, a calibration cache, and request
+// coalescing; cmd/pcload replays mixed workloads against it. See the
+// repository README for wire examples.
 package repro
 
 import (
@@ -193,6 +216,26 @@ func (s *System) Measure(req Request) (*Measurement, error) {
 // the per-run error of the first counter.
 func (s *System) MeasureN(req Request, n int, seedBase uint64) ([]int64, error) {
 	return s.inner.MeasureN(req, n, seedBase)
+}
+
+// Reset rewinds the system to its just-booted state: clock, TSC,
+// counter values, frequency policy, and thread table. After Reset the
+// system measures byte-identically to a freshly built one, so pools can
+// recycle systems across requests (see internal/service).
+func (s *System) Reset() { s.inner.Reset() }
+
+// Calibration is an estimated fixed measurement error (Section 8).
+type Calibration = core.Calibration
+
+// Calibrate estimates the fixed error of a (pattern, mode, opt)
+// configuration on this system by repeated null-benchmark runs — the
+// paper's own calibration method. The system is Reset first, so the
+// estimate is deterministic in (system configuration, runs, seed) —
+// independent of what the system measured before — which lets services
+// cache it.
+func (s *System) Calibrate(pattern Pattern, mode MeasureMode, opt OptLevel, runs int, seed uint64) (Calibration, error) {
+	s.inner.Reset()
+	return core.CalibrateNull(s.inner.Kernel, s.inner.Infra, pattern, mode, opt, runs, seed)
 }
 
 // ProcessStartupCost returns the modeled instruction cost of creating
