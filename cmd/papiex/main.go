@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -29,13 +30,15 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "seed")
 	)
 	flag.Parse()
-	if err := run(*cpuTag, *benchSpec, *seed); err != nil {
+	if err := run(os.Stdout, *cpuTag, *benchSpec, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "papiex:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cpuTag, benchSpec string, seed uint64) error {
+// run performs the whole-process measurement and writes the report to
+// w, so tests can assert on the exact output.
+func run(w io.Writer, cpuTag, benchSpec string, seed uint64) error {
 	name, arg, _ := strings.Cut(benchSpec, ":")
 	n, err := strconv.ParseInt(arg, 10, 64)
 	if err != nil || n < 0 {
@@ -68,12 +71,12 @@ func run(cpuTag, benchSpec string, seed uint64) error {
 	measured := m.Deltas[0] + startup
 	errPct := 100 * float64(measured-bench.ExpectedInstr) / float64(bench.ExpectedInstr)
 
-	fmt.Printf("papiex-style whole-process measurement on %s\n\n", cpuTag)
-	fmt.Printf("benchmark instructions (ground truth):  %d\n", bench.ExpectedInstr)
-	fmt.Printf("process startup/teardown included:      %d\n", startup)
-	fmt.Printf("reported count:                         %d\n", measured)
-	fmt.Printf("relative error:                         %.1f%%\n\n", errPct)
-	fmt.Println("For fine-grained measurements, instrument the code region")
-	fmt.Println("directly (see cmd/pcsim) instead of measuring whole processes.")
+	fmt.Fprintf(w, "papiex-style whole-process measurement on %s\n\n", cpuTag)
+	fmt.Fprintf(w, "benchmark instructions (ground truth):  %d\n", bench.ExpectedInstr)
+	fmt.Fprintf(w, "process startup/teardown included:      %d\n", startup)
+	fmt.Fprintf(w, "reported count:                         %d\n", measured)
+	fmt.Fprintf(w, "relative error:                         %.1f%%\n\n", errPct)
+	fmt.Fprintln(w, "For fine-grained measurements, instrument the code region")
+	fmt.Fprintln(w, "directly (see cmd/pcsim) instead of measuring whole processes.")
 	return nil
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunReportsWholeProcessError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "K8", "loop:1000", 1); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"whole-process measurement on K8",
+		"ground truth):  3001",
+		"process startup/teardown",
+		"relative error:",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	for _, c := range []struct{ cpu, bench string }{
+		{"K8", "loop:x"},
+		{"K8", "wat:5"},
+		{"K8", "loop"},
+		{"ZZ", "loop:10"},
+	} {
+		if err := run(io.Discard, c.cpu, c.bench, 1); err == nil {
+			t.Errorf("run(%q, %q) accepted", c.cpu, c.bench)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, "CD", "array:500", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "CD", "array:500", 3); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("reports differ:\n%s\n%s", a.String(), b.String())
+	}
+}

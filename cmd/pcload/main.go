@@ -10,10 +10,16 @@
 // rest (warm: served from the calibration cache), making the cache's
 // effect visible from the client side.
 //
+// With -analyze, requests go to the batched /analyze endpoint instead,
+// rotating through the error models (plain counting, duet pairing,
+// multiplexed estimation, sampling) so a load run exercises the whole
+// accuracy layer; the determinism cross-check applies unchanged.
+//
 // Usage:
 //
 //	pcload -addr http://localhost:7090 -n 200 -c 8 -calibrate
 //	pcload -addr http://localhost:7090 -mix "K8/pc,CD/PLpm" -n 100 -c 4
+//	pcload -addr http://localhost:7090 -n 100 -c 4 -analyze
 package main
 
 import (
@@ -41,10 +47,11 @@ func main() {
 		runs      = flag.Int("runs", 3, "measurement runs per request")
 		calibrate = flag.Bool("calibrate", false, "request calibration on every measurement")
 		seeds     = flag.Int("seeds", 8, "distinct seeds per configuration (spread defeats coalescing)")
+		analyze   = flag.Bool("analyze", false, "drive /analyze instead of /measure: rotate plain, duet, multiplexed, and sampling items")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *addr, *mixSpec, *n, *c, *runs, *seeds, *calibrate); err != nil {
+	if err := run(os.Stdout, *addr, *mixSpec, *n, *c, *runs, *seeds, *calibrate, *analyze); err != nil {
 		fmt.Fprintln(os.Stderr, "pcload:", err)
 		os.Exit(1)
 	}
@@ -55,6 +62,9 @@ type workItem struct {
 	key  string
 	req  api.MeasureRequest
 	cold bool // first request of its configuration in this plan
+	// analyze, when set, wraps req into this /analyze batch instead of
+	// posting it to /measure.
+	analyze *api.AnalyzeRequest
 }
 
 // outcome records one completed request.
@@ -67,7 +77,7 @@ type outcome struct {
 	err     error
 }
 
-func run(w io.Writer, addr, mixSpec string, n, c, runs, seeds int, calibrate bool) error {
+func run(w io.Writer, addr, mixSpec string, n, c, runs, seeds int, calibrate, analyze bool) error {
 	if c <= 0 {
 		return fmt.Errorf("-c must be positive (got %d)", c)
 	}
@@ -77,7 +87,7 @@ func run(w io.Writer, addr, mixSpec string, n, c, runs, seeds int, calibrate boo
 	if n < 0 {
 		return fmt.Errorf("-n must be non-negative (got %d)", n)
 	}
-	plan, err := buildPlan(mixSpec, n, runs, seeds, calibrate)
+	plan, err := buildPlan(mixSpec, n, runs, seeds, calibrate, analyze)
 	if err != nil {
 		return err
 	}
@@ -112,7 +122,7 @@ func run(w io.Writer, addr, mixSpec string, n, c, runs, seeds int, calibrate boo
 // buildPlan expands the mix into n requests: for each configuration, a
 // rotation of benchmarks and seeds. The first request of each
 // configuration is marked cold.
-func buildPlan(mixSpec string, n, runs, seeds int, calibrate bool) ([]workItem, error) {
+func buildPlan(mixSpec string, n, runs, seeds int, calibrate, analyze bool) ([]workItem, error) {
 	var configs []api.MeasureRequest
 	for _, pair := range strings.Split(mixSpec, ",") {
 		proc, stk, ok := strings.Cut(strings.TrimSpace(pair), "/")
@@ -149,20 +159,50 @@ func buildPlan(mixSpec string, n, runs, seeds int, calibrate bool) ([]workItem, 
 		// the split is approximate; the service benchmarks isolate the
 		// exact cache effect.
 		calKey := key + "/" + req.Pattern
-		plan = append(plan, workItem{key: key, req: req, cold: !seen[calKey]})
+		item := workItem{key: key, req: req, cold: !seen[calKey]}
+		if analyze {
+			item.analyze = analyzeWrap(req, i)
+		}
+		plan = append(plan, item)
 		seen[calKey] = true
 	}
 	return plan, nil
 }
 
+// analyzeWrap turns a measure request into a one-item /analyze batch,
+// rotating through the error models so a load run exercises all of
+// them: plain counting, duet pairing against the null benchmark,
+// multiplexed estimation, and the sampling model.
+func analyzeWrap(req api.MeasureRequest, i int) *api.AnalyzeRequest {
+	item := api.AnalyzeItem{Measure: req}
+	switch i % 4 {
+	case 1:
+		duet := req
+		duet.Bench = "null"
+		item.Duet = &duet
+	case 2:
+		item.Measure.Events = []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED"}
+		item.MpxCounters = 1
+	case 3:
+		item.SamplingPeriod = 10_000
+	}
+	return &api.AnalyzeRequest{Items: []api.AnalyzeItem{item}}
+}
+
 // fire sends one request and records its outcome.
 func fire(client *http.Client, addr string, item workItem) outcome {
-	body, err := json.Marshal(item.req)
+	path := "/measure"
+	var payload any = item.req
+	if item.analyze != nil {
+		path = "/analyze"
+		payload = item.analyze
+	}
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return outcome{key: item.key, err: err}
 	}
 	start := time.Now()
-	resp, err := client.Post(addr+"/measure", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(addr+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return outcome{key: item.key, cold: item.cold, err: err}
 	}

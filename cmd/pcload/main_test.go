@@ -33,13 +33,27 @@ func newBackend(t *testing.T) *httptest.Server {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(resp)
 	})
+	mux.HandleFunc("POST /analyze", func(w http.ResponseWriter, r *http.Request) {
+		var req api.AnalyzeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := svc.Analyze(r.Context(), req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return srv
 }
 
 func TestBuildPlan(t *testing.T) {
-	plan, err := buildPlan("K8/pc,CD/PHpm", 40, 3, 4, true)
+	plan, err := buildPlan("K8/pc,CD/PHpm", 40, 3, 4, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,17 +79,43 @@ func TestBuildPlan(t *testing.T) {
 		t.Errorf("cold requests = %d, want one per (config, pattern) = 6", colds)
 	}
 
-	if _, err := buildPlan("garbage", 10, 1, 1, false); err == nil {
+	if _, err := buildPlan("garbage", 10, 1, 1, false, false); err == nil {
 		t.Error("bad mix accepted")
+	}
+}
+
+func TestBuildPlanAnalyze(t *testing.T) {
+	plan, err := buildPlan("K8/pc", 8, 2, 4, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var duets, mpxs, samps int
+	for _, item := range plan {
+		if item.analyze == nil || len(item.analyze.Items) != 1 {
+			t.Fatalf("analyze plan item not wrapped: %+v", item)
+		}
+		ai := item.analyze.Items[0]
+		if ai.Duet != nil {
+			duets++
+		}
+		if ai.MpxCounters > 0 {
+			mpxs++
+		}
+		if ai.SamplingPeriod > 0 {
+			samps++
+		}
+	}
+	if duets == 0 || mpxs == 0 || samps == 0 {
+		t.Errorf("analyze rotation incomplete: duets=%d mpx=%d sampling=%d", duets, mpxs, samps)
 	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "http://x", "K8/pc", 4, 0, 1, 1, false); err == nil {
+	if err := run(&out, "http://x", "K8/pc", 4, 0, 1, 1, false, false); err == nil {
 		t.Error("-c 0 accepted; would hang forever")
 	}
-	if err := run(&out, "http://x", "K8/pc", 4, 2, 1, 0, false); err == nil {
+	if err := run(&out, "http://x", "K8/pc", 4, 2, 1, 0, false, false); err == nil {
 		t.Error("-seeds 0 accepted; would panic")
 	}
 }
@@ -83,7 +123,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestRunAgainstBackend(t *testing.T) {
 	srv := newBackend(t)
 	var out bytes.Buffer
-	if err := run(&out, srv.URL, "K8/pc,K8/pm,CD/pc,CD/PHpm", 32, 4, 2, 4, true); err != nil {
+	if err := run(&out, srv.URL, "K8/pc,K8/pm,CD/pc,CD/PHpm", 32, 4, 2, 4, true, false); err != nil {
 		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
 	}
 	report := out.String()
@@ -94,6 +134,24 @@ func TestRunAgainstBackend(t *testing.T) {
 	}
 	if strings.Contains(report, "DETERMINISM VIOLATION") {
 		t.Errorf("determinism violation reported:\n%s", report)
+	}
+}
+
+func TestRunAnalyzeAgainstBackend(t *testing.T) {
+	srv := newBackend(t)
+	var out bytes.Buffer
+	// 16 requests cycle the full model rotation (plain, duet, mpx,
+	// sampling) on two shards; the determinism cross-check applies to
+	// /analyze bodies exactly as to /measure.
+	if err := run(&out, srv.URL, "K8/pc,CD/pc", 16, 4, 2, 4, false, true); err != nil {
+		t.Fatalf("run -analyze: %v\noutput:\n%s", err, out.String())
+	}
+	report := out.String()
+	if strings.Contains(report, "DETERMINISM VIOLATION") {
+		t.Errorf("determinism violation reported:\n%s", report)
+	}
+	if !strings.Contains(report, "determinism:") {
+		t.Errorf("report missing determinism line:\n%s", report)
 	}
 }
 

@@ -5,13 +5,18 @@
 //
 // Endpoints:
 //
-//	POST /measure     api.MeasureRequest  -> api.MeasureResponse
+//	POST /measure     api.MeasureRequest    -> api.MeasureResponse
+//	POST /analyze     api.AnalyzeRequest    -> api.AnalyzeResponse
 //	POST /experiment  api.ExperimentRequest -> api.ExperimentResponse
 //	GET  /healthz     -> api.HealthResponse
 //
-// Responses to /measure are deterministic: identical requests receive
-// byte-identical bodies, no matter how they interleave with other
-// traffic.
+// Responses to /measure and /analyze are deterministic: identical
+// requests receive byte-identical bodies, no matter how they interleave
+// with other traffic. Every measurement response carries an accuracy
+// annotation (a corrected estimate with a confidence interval); the
+// batched /analyze endpoint evaluates the full error model — overhead
+// subtraction, multiplexing extrapolation, sampling quantization, and
+// paired duet measurement. See docs/ACCURACY.md.
 //
 // Usage:
 //
@@ -86,6 +91,19 @@ func newHandler(svc *service.Service) http.Handler {
 			return
 		}
 		resp, err := svc.Measure(r.Context(), req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /analyze", func(w http.ResponseWriter, r *http.Request) {
+		var req api.AnalyzeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		resp, err := svc.Analyze(r.Context(), req)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return

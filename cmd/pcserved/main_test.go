@@ -99,6 +99,72 @@ func TestConcurrentMixedRequests(t *testing.T) {
 	}
 }
 
+func TestAnalyzeEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	duet := api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "null", Pattern: "rr"}
+	req := api.AnalyzeRequest{Items: []api.AnalyzeItem{
+		{Measure: api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:10000", Pattern: "rr", Runs: 4}},
+		{
+			Measure: api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:20000", Pattern: "rr", Runs: 4},
+			Duet:    &duet,
+		},
+	}}
+	status, body := post(t, srv.URL+"/analyze", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", status, body)
+	}
+	var resp api.AnalyzeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(resp.Results))
+	}
+	if len(resp.Results[0].Counting) != 1 || resp.Results[0].Calibration == nil {
+		t.Errorf("first result missing counting estimate or calibration: %s", body)
+	}
+	if resp.Results[1].Duet == nil {
+		t.Errorf("second result missing duet analysis: %s", body)
+	}
+
+	// Byte-identical across repeated identical calls — the service
+	// contract pcload's cross-check relies on.
+	status2, body2 := post(t, srv.URL+"/analyze", req)
+	if status2 != http.StatusOK || string(body) != string(body2) {
+		t.Errorf("repeated /analyze diverged (status %d)", status2)
+	}
+
+	// Malformed batches are the client's fault.
+	status, _ = post(t, srv.URL+"/analyze", api.AnalyzeRequest{})
+	if status != http.StatusBadRequest {
+		t.Errorf("empty batch: status = %d, want 400", status)
+	}
+}
+
+func TestMeasureCarriesAccuracyAnnotation(t *testing.T) {
+	srv := newTestServer(t)
+	status, body := post(t, srv.URL+"/measure", api.MeasureRequest{
+		Processor: "K8", Stack: "pc", Bench: "loop:1000", Pattern: "rr", Runs: 3, Calibrate: true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", status, body)
+	}
+	var resp api.MeasureResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if resp.Accuracy == nil {
+		t.Fatalf("response carries no accuracy annotation: %s", body)
+	}
+	if resp.Accuracy.Event != "INSTR_RETIRED" || resp.Accuracy.N != 3 {
+		t.Errorf("annotation = %+v", resp.Accuracy)
+	}
+	// Calibrated request: the annotation must be overhead-corrected.
+	if len(resp.Accuracy.Terms) != 1 || resp.Accuracy.Terms[0].Name != "overhead" {
+		t.Errorf("annotation terms = %+v, want overhead", resp.Accuracy.Terms)
+	}
+}
+
 func TestMeasureRejectsInvalid(t *testing.T) {
 	srv := newTestServer(t)
 	cases := []any{

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
@@ -34,13 +35,16 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*cpuTag, *stackID, *benchSpec, *patCode, *modeStr, *optLvl, *runs, *notsc, *cycles, *seed); err != nil {
+	if err := run(os.Stdout, *cpuTag, *stackID, *benchSpec, *patCode, *modeStr, *optLvl, *runs, *notsc, *cycles, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "pcsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cpuTag, stackID, benchSpec, patCode, modeStr string, optLvl, runs int, notsc, cycles bool, seed uint64) error {
+// run performs the measurements and writes the report to w; routing
+// all output through the writer keeps the command testable and its
+// report reusable from other front ends.
+func run(w io.Writer, cpuTag, stackID, benchSpec, patCode, modeStr string, optLvl, runs int, notsc, cycles bool, seed uint64) error {
 	bench, err := parseBench(benchSpec)
 	if err != nil {
 		return err
@@ -67,9 +71,9 @@ func run(cpuTag, stackID, benchSpec, patCode, modeStr string, optLvl, runs int, 
 		ev = repro.EventCycles
 	}
 
-	fmt.Printf("system:    %s on %s (TSC %v)\n", stackID, cpuTag, !notsc)
-	fmt.Printf("benchmark: %s  pattern: %s  mode: %s  -O%d\n\n", bench, pattern, mode, optLvl)
-	fmt.Printf("%4s  %12s  %12s  %10s  %6s\n", "run", "measured", "expected", "error", "ticks")
+	fmt.Fprintf(w, "system:    %s on %s (TSC %v)\n", stackID, cpuTag, !notsc)
+	fmt.Fprintf(w, "benchmark: %s  pattern: %s  mode: %s  -O%d\n\n", bench, pattern, mode, optLvl)
+	fmt.Fprintf(w, "%4s  %12s  %12s  %10s  %6s\n", "run", "measured", "expected", "error", "ticks")
 	for i := 0; i < runs; i++ {
 		m, err := sys.Measure(repro.Request{
 			Bench:   bench,
@@ -85,14 +89,14 @@ func run(cpuTag, stackID, benchSpec, patCode, modeStr string, optLvl, runs int, 
 		expected := m.Expected
 		errv := m.Deltas[0] - expected
 		if cycles {
-			fmt.Printf("%4d  %12d  %12s  %10s  %6d\n", i, m.Deltas[0], "n/a", "n/a", m.TimerTicks)
+			fmt.Fprintf(w, "%4d  %12d  %12s  %10s  %6d\n", i, m.Deltas[0], "n/a", "n/a", m.TimerTicks)
 			continue
 		}
 		if mode == repro.ModeKernel {
 			expected = 0
 			errv = m.Deltas[0]
 		}
-		fmt.Printf("%4d  %12d  %12d  %+10d  %6d\n", i, m.Deltas[0], expected, errv, m.TimerTicks)
+		fmt.Fprintf(w, "%4d  %12d  %12d  %+10d  %6d\n", i, m.Deltas[0], expected, errv, m.TimerTicks)
 	}
 	return nil
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"strings"
 	"testing"
 
 	"repro"
@@ -57,27 +60,49 @@ func TestParseMode(t *testing.T) {
 }
 
 func TestRunEndToEnd(t *testing.T) {
-	if err := run("K8", "pc", "loop:1000", "rr", "user", 2, 2, false, false, 1); err != nil {
+	var out bytes.Buffer
+	if err := run(&out, "K8", "pc", "loop:1000", "rr", "user", 2, 2, false, false, 1); err != nil {
 		t.Errorf("run failed: %v", err)
 	}
-	if err := run("CD", "PHpm", "null", "ar", "user+kernel", 0, 1, false, false, 1); err != nil {
+	report := out.String()
+	for _, want := range []string{"system:", "benchmark:", "measured", "3001"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if err := run(io.Discard, "CD", "PHpm", "null", "ar", "user+kernel", 0, 1, false, false, 1); err != nil {
 		t.Errorf("run failed: %v", err)
 	}
-	if err := run("PD", "pc", "loop:1000", "rr", "user", 2, 1, false, true, 1); err != nil {
+	if err := run(io.Discard, "PD", "pc", "loop:1000", "rr", "user", 2, 1, false, true, 1); err != nil {
 		t.Errorf("cycles run failed: %v", err)
 	}
-	if err := run("K8", "pc", "null", "ar", "kernel", 1, 1, true, false, 1); err != nil {
+	if err := run(io.Discard, "K8", "pc", "null", "ar", "kernel", 1, 1, true, false, 1); err != nil {
 		t.Errorf("kernel-mode run failed: %v", err)
 	}
 	// Error paths.
-	if err := run("K8", "pc", "loop:1000", "rr", "user", 9, 1, false, false, 1); err == nil {
+	if err := run(io.Discard, "K8", "pc", "loop:1000", "rr", "user", 9, 1, false, false, 1); err == nil {
 		t.Error("bad opt level accepted")
 	}
-	if err := run("ZZ", "pc", "loop:1000", "rr", "user", 2, 1, false, false, 1); err == nil {
+	if err := run(io.Discard, "ZZ", "pc", "loop:1000", "rr", "user", 2, 1, false, false, 1); err == nil {
 		t.Error("bad cpu accepted")
 	}
 	// PAPI high level cannot express read-read.
-	if err := run("K8", "PHpc", "loop:10", "rr", "user", 2, 1, false, false, 1); err == nil {
+	if err := run(io.Discard, "K8", "PHpc", "loop:10", "rr", "user", 2, 1, false, false, 1); err == nil {
 		t.Error("rr on PHpc should fail")
+	}
+}
+
+// TestRunDeterministicOutput pins the writer-routed report: identical
+// invocations produce byte-identical reports.
+func TestRunDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, "K8", "pc", "loop:1000", "rr", "user", 2, 3, false, false, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "K8", "pc", "loop:1000", "rr", "user", 2, 3, false, false, 7); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("reports differ:\n%s\n%s", a.String(), b.String())
 	}
 }

@@ -1,0 +1,63 @@
+// Analyze: drive the error-model layer in process — the same engine
+// behind pcserved's batched /analyze endpoint. One batch asks for a
+// calibrated counting estimate, a multiplexed estimate (four events on
+// two hardware counters), and a duet comparison of a loop measurement
+// against the null benchmark; every answer comes back as a corrected
+// estimate with a confidence interval and named correction terms (see
+// docs/ACCURACY.md).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/api"
+	"repro/internal/service"
+)
+
+func main() {
+	svc := service.New(service.Config{WorkersPerShard: 1, CalibrationRuns: 31})
+
+	duet := api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "null", Pattern: "rr"}
+	batch := api.AnalyzeRequest{Items: []api.AnalyzeItem{
+		{Measure: api.MeasureRequest{
+			Processor: "K8", Stack: "pc", Bench: "loop:100000", Pattern: "rr", Runs: 8,
+		}},
+		{
+			Measure: api.MeasureRequest{
+				Processor: "K8", Stack: "pc", Bench: "loop:2000000", Pattern: "ar",
+				Events: []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED", "BR_MISP_RETIRED", "ICACHE_MISS"},
+				Runs:   3,
+			},
+			MpxCounters: 2,
+		},
+		{
+			Measure: api.MeasureRequest{
+				Processor: "K8", Stack: "pc", Bench: "loop:50000", Pattern: "rr", Runs: 12,
+			},
+			Duet: &duet,
+		},
+	}}
+
+	resp, err := svc.Analyze(context.Background(), batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	counting := resp.Results[0]
+	fmt.Printf("counting   (truth %d):\n  %s\n", counting.Expected, counting.Counting[0])
+	fmt.Printf("  calibration offset %.0f (%s, %d samples)\n\n",
+		counting.Calibration.Offset, counting.Calibration.Strategy, counting.Calibration.Samples)
+
+	mpx := resp.Results[1]
+	fmt.Printf("multiplexed (truth %d, 4 events on 2 counters):\n", mpx.Expected)
+	for _, est := range mpx.Multiplexed {
+		fmt.Printf("  %s\n", est)
+	}
+
+	d := resp.Results[2].Duet
+	fmt.Printf("\nduet loop:50000 vs null (counter-0 error delta):\n")
+	fmt.Printf("  mean %+.1f [%.1f, %.1f], var paired %.2f vs independent %.2f (cancellation %.0f%%)\n",
+		d.Mean, d.Lo, d.Hi, d.VarPaired, d.VarIndependent, 100*d.Cancellation)
+}

@@ -1,0 +1,241 @@
+// Package accuracy is the error-model layer of the measurement
+// service: it turns raw counter readings into corrected estimates with
+// confidence intervals, attributing each correction to a named source
+// of systematic error the paper (and the work its Section 9 surveys)
+// identifies:
+//
+//   - measurement overhead: the infrastructure's own instructions
+//     inflate every count by a fixed, calibratable offset (Sections 4
+//     and 8); the offset comes from the null-benchmark calibration that
+//     internal/service caches per configuration.
+//   - multiplexing extrapolation: time-sharing counter registers
+//     observes each event only a fraction f of the run, and scaling the
+//     observed count by 1/f adds statistical error that grows as f
+//     shrinks (Mytkowicz et al.; internal/mpx).
+//   - sampling quantization: estimating a count as samples x period
+//     discards the partial period in flight at the end of the run, a
+//     uniform bias of up to one period (Moore; internal/sampling).
+//
+// The package also implements paired "duet" analysis (after Bulej et
+// al.'s duet benchmarking): two configurations measured in interleaved
+// pairs share whatever interference is common to the pair, so the
+// per-pair delta cancels it and the delta's confidence interval
+// tightens relative to differencing two independent runs.
+//
+// Everything here is pure arithmetic on observations — deterministic,
+// free of side effects, and independent of how the observations were
+// produced — which is what lets internal/service attach an accuracy
+// annotation to every response without perturbing the measurement.
+package accuracy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mpx"
+	"repro/internal/stats"
+)
+
+// DefaultConfidence is the two-sided confidence level used when a
+// request does not name one.
+const DefaultConfidence = 0.95
+
+// Errors reported by estimate constructors.
+var (
+	// ErrNoObservations reports an empty sample.
+	ErrNoObservations = errors.New("accuracy: no observations")
+	// ErrBadConfidence reports a confidence level outside (0, 1).
+	ErrBadConfidence = errors.New("accuracy: confidence must be in (0, 1)")
+)
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// Contains reports whether x lies inside the interval.
+func (iv Interval) Contains(x float64) bool { return iv.Lo <= x && x <= iv.Hi }
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Term is one named correction applied to (or uncertainty folded into)
+// an estimate. For correction terms (TermOverhead,
+// TermSamplingQuantization) Value is the amount subtracted from the
+// raw point estimate, so Corrected = Raw - sum of correction Values.
+// Pure uncertainty terms (TermMpxExtrapolation) shift nothing: Value
+// records the positive magnitude of the inferred quantity and the
+// uncertainty is already folded into the interval.
+type Term struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Correction-term names. Wire responses carry these strings, so they
+// are part of the service contract.
+const (
+	// TermOverhead is the calibrated fixed measurement overhead.
+	TermOverhead = "overhead"
+	// TermMpxExtrapolation is the count added by scaling a multiplexed
+	// observation to full time — an uncertainty term: it records the
+	// inferred (never observed) portion without shifting Corrected.
+	TermMpxExtrapolation = "mpx-extrapolation"
+	// TermSamplingQuantization is the half-period midpoint correction
+	// of a sampling estimate (negative Value: the correction adds half
+	// a period to the raw samples-times-period estimate).
+	TermSamplingQuantization = "sampling-quantization"
+)
+
+// Estimate is a corrected measurement estimate with its confidence
+// interval and the terms that produced it.
+type Estimate struct {
+	// Raw is the uncorrected point estimate (the mean of the
+	// observations, or the model's direct output).
+	Raw float64 `json:"raw"`
+	// Corrected is Raw with every correction term applied (pure
+	// uncertainty terms shift nothing — see Term).
+	Corrected float64 `json:"corrected"`
+	// CI bounds Corrected at the stated confidence.
+	CI Interval `json:"ci"`
+	// Confidence is the two-sided level of CI, e.g. 0.95.
+	Confidence float64 `json:"confidence"`
+	// StdErr is the standard error the interval was built from.
+	StdErr float64 `json:"stdErr"`
+	// N is the number of observations behind the estimate.
+	N int `json:"n"`
+	// Terms names the corrections applied, largest first on the wire.
+	Terms []Term `json:"terms,omitempty"`
+}
+
+// zFor returns the two-sided normal critical value for a confidence
+// level, validating it.
+func zFor(confidence float64) (float64, error) {
+	if !(confidence > 0 && confidence < 1) {
+		return 0, fmt.Errorf("%w (got %v)", ErrBadConfidence, confidence)
+	}
+	return stats.NormalQuantile(0.5 + confidence/2), nil
+}
+
+// FromRuns builds the counting-model estimate from repeated raw counts
+// of one event: the mean count minus the calibrated overhead, with a
+// normal-theory interval from the run-to-run dispersion. With a single
+// run the dispersion is unobservable and the interval collapses to the
+// point; callers wanting a defensible interval should request several
+// runs (the paper uses dozens).
+func FromRuns(counts []float64, overhead float64, confidence float64) (Estimate, error) {
+	if len(counts) == 0 {
+		return Estimate{}, ErrNoObservations
+	}
+	z, err := zFor(confidence)
+	if err != nil {
+		return Estimate{}, err
+	}
+	mean := stats.Mean(counts)
+	se := 0.0
+	if len(counts) > 1 {
+		se = stats.StdDev(counts) / math.Sqrt(float64(len(counts)))
+	}
+	est := Estimate{
+		Raw:        mean,
+		Corrected:  mean - overhead,
+		Confidence: confidence,
+		StdErr:     se,
+		N:          len(counts),
+	}
+	est.CI = Interval{Lo: est.Corrected - z*se, Hi: est.Corrected + z*se}
+	if overhead != 0 {
+		est.Terms = append(est.Terms, Term{Name: TermOverhead, Value: overhead})
+	}
+	return est, nil
+}
+
+// Multiplex builds the estimate for one multiplexed event from the
+// per-run mpx estimates. The point estimate is the mean of the runs'
+// time-interpolated values; the interval folds together two error
+// sources, which are independent and therefore add in quadrature:
+//
+//   - run-to-run dispersion of the interpolated values (phase effects —
+//     the nonstationarity bias Mytkowicz et al. quantify shows up here
+//     as spread when the workload's phases beat against the rotation),
+//   - extrapolation noise: treating the observed events as a Poisson
+//     draw over the active fraction f, the estimate obs/f has standard
+//     error sqrt(obs)/f, which grows without bound as f shrinks.
+//
+// The mpx-extrapolation term records the positive magnitude of the
+// inferred (never observed) portion of the count: mean value minus
+// mean observed. It is a pure uncertainty term — Corrected stays Raw.
+func Multiplex(runs []mpx.Estimate, confidence float64) (Estimate, error) {
+	if len(runs) == 0 {
+		return Estimate{}, ErrNoObservations
+	}
+	z, err := zFor(confidence)
+	if err != nil {
+		return Estimate{}, err
+	}
+	values := make([]float64, len(runs))
+	var observed, modelVar float64
+	for i, r := range runs {
+		values[i] = r.Value
+		observed += float64(r.Observed)
+		if r.ActiveFraction > 0 {
+			// Variance of obs/f under Poisson counting: obs/f².
+			v := float64(r.Observed) / (r.ActiveFraction * r.ActiveFraction)
+			modelVar += v
+		}
+	}
+	n := float64(len(runs))
+	mean := stats.Mean(values)
+	meanObserved := observed / n
+	dispSE := 0.0
+	if len(runs) > 1 {
+		dispSE = stats.StdDev(values) / math.Sqrt(n)
+	}
+	// modelVar summed over runs estimates the variance of the *sum* of
+	// the per-run estimates; the mean's model variance is that over n².
+	modelSE := math.Sqrt(modelVar) / n
+	se := math.Hypot(dispSE, modelSE)
+	est := Estimate{
+		Raw:        mean,
+		Corrected:  mean,
+		Confidence: confidence,
+		StdErr:     se,
+		N:          len(runs),
+		Terms: []Term{{
+			Name:  TermMpxExtrapolation,
+			Value: mean - meanObserved,
+		}},
+	}
+	est.CI = Interval{Lo: mean - z*se, Hi: mean + z*se}
+	return est, nil
+}
+
+// Sampling builds the sampling-model estimate from an overflow profile:
+// samples x period, plus half a period for the partial period in flight
+// when the run ended. The residual is uniform on [0, period), so the
+// midpoint correction centers it and the interval is the exact
+// deterministic bracket [samples*period, (samples+1)*period] — the
+// quantization error cannot exceed one period regardless of confidence
+// level, which is why the interval here ignores the confidence
+// parameter's width and reports the bracket.
+func Sampling(samples int, period int64, confidence float64) (Estimate, error) {
+	if period <= 0 {
+		return Estimate{}, fmt.Errorf("accuracy: sampling period must be positive (got %d)", period)
+	}
+	if _, err := zFor(confidence); err != nil {
+		return Estimate{}, err
+	}
+	raw := float64(samples) * float64(period)
+	half := float64(period) / 2
+	return Estimate{
+		Raw:        raw,
+		Corrected:  raw + half,
+		CI:         Interval{Lo: raw, Hi: raw + float64(period)},
+		Confidence: confidence,
+		// Standard deviation of a uniform residual: period/sqrt(12).
+		StdErr: float64(period) / math.Sqrt(12),
+		N:      samples,
+		Terms:  []Term{{Name: TermSamplingQuantization, Value: -half}},
+	}, nil
+}

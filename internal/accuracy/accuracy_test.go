@@ -1,0 +1,172 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mpx"
+)
+
+func TestFromRunsCorrectsOverhead(t *testing.T) {
+	counts := []float64{1085, 1084, 1086, 1084, 1085}
+	est, err := FromRuns(counts, 84, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Raw-1084.8) > 1e-9 {
+		t.Errorf("Raw = %v, want 1084.8", est.Raw)
+	}
+	if math.Abs(est.Corrected-1000.8) > 1e-9 {
+		t.Errorf("Corrected = %v, want 1000.8", est.Corrected)
+	}
+	if !est.CI.Contains(est.Corrected) {
+		t.Errorf("CI %+v does not contain its own point %v", est.CI, est.Corrected)
+	}
+	if len(est.Terms) != 1 || est.Terms[0].Name != TermOverhead || est.Terms[0].Value != 84 {
+		t.Errorf("Terms = %+v, want one overhead=84 term", est.Terms)
+	}
+	if est.N != 5 {
+		t.Errorf("N = %d, want 5", est.N)
+	}
+}
+
+func TestFromRunsSingleRunCollapses(t *testing.T) {
+	est, err := FromRuns([]float64{500}, 0, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CI.Lo != 500 || est.CI.Hi != 500 || est.StdErr != 0 {
+		t.Errorf("single run: CI = %+v, StdErr = %v; want point interval", est.CI, est.StdErr)
+	}
+	if len(est.Terms) != 0 {
+		t.Errorf("zero overhead must not emit a term, got %+v", est.Terms)
+	}
+}
+
+func TestFromRunsValidation(t *testing.T) {
+	if _, err := FromRuns(nil, 0, 0.95); err == nil {
+		t.Error("empty sample accepted")
+	}
+	for _, conf := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := FromRuns([]float64{1}, 0, conf); err == nil {
+			t.Errorf("confidence %v accepted", conf)
+		}
+	}
+}
+
+func TestConfidenceWidensInterval(t *testing.T) {
+	counts := []float64{10, 12, 11, 13, 9, 11, 12, 10}
+	lo, err := FromRuns(counts, 0, 0.80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := FromRuns(counts, 0, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.CI.Width() <= lo.CI.Width() {
+		t.Errorf("99%% interval (%v) not wider than 80%% (%v)", hi.CI.Width(), lo.CI.Width())
+	}
+}
+
+func TestMultiplexFullObservationIsTight(t *testing.T) {
+	// ActiveFraction 1 means nothing was extrapolated: the term must be
+	// ~0 and the model SE reduces to plain Poisson sqrt(obs).
+	runs := []mpx.Estimate{{Observed: 10000, ActiveFraction: 1, Value: 10000}}
+	est, err := Multiplex(runs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Corrected != 10000 {
+		t.Errorf("Corrected = %v, want 10000", est.Corrected)
+	}
+	if est.Terms[0].Value != 0 {
+		t.Errorf("extrapolation term = %v, want 0", est.Terms[0].Value)
+	}
+	if want := math.Sqrt(10000); math.Abs(est.StdErr-want) > 1e-9 {
+		t.Errorf("StdErr = %v, want %v", est.StdErr, want)
+	}
+}
+
+func TestMultiplexSmallerFractionWiderInterval(t *testing.T) {
+	// Same estimated total, observed over shrinking fractions: the
+	// interval must widen as the observed share shrinks.
+	mk := func(f float64) []mpx.Estimate {
+		obs := 100000 * f
+		return []mpx.Estimate{{Observed: int64(obs), ActiveFraction: f, Value: obs / f}}
+	}
+	prev := -1.0
+	for _, f := range []float64{1, 0.5, 0.25, 0.125} {
+		est, err := Multiplex(mk(f), 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.CI.Width() <= prev {
+			t.Errorf("fraction %v: width %v not wider than %v", f, est.CI.Width(), prev)
+		}
+		prev = est.CI.Width()
+	}
+}
+
+func TestMultiplexExtrapolationTerm(t *testing.T) {
+	runs := []mpx.Estimate{{Observed: 5000, ActiveFraction: 0.5, Value: 10000}}
+	est, err := Multiplex(runs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The term records the inferred portion's magnitude without
+	// shifting the point estimate.
+	if est.Terms[0].Name != TermMpxExtrapolation || est.Terms[0].Value != 5000 {
+		t.Errorf("Terms = %+v, want mpx-extrapolation=5000", est.Terms)
+	}
+	if est.Corrected != est.Raw {
+		t.Errorf("uncertainty term shifted the estimate: Raw %v, Corrected %v", est.Raw, est.Corrected)
+	}
+}
+
+func TestSamplingBracket(t *testing.T) {
+	est, err := Sampling(42, 1000, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Raw != 42000 || est.Corrected != 42500 {
+		t.Errorf("Raw/Corrected = %v/%v, want 42000/42500", est.Raw, est.Corrected)
+	}
+	if est.CI.Lo != 42000 || est.CI.Hi != 43000 {
+		t.Errorf("CI = %+v, want [42000, 43000]", est.CI)
+	}
+	if _, err := Sampling(1, 0, 0.95); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestDuetBasic(t *testing.T) {
+	a := []float64{105, 106, 104, 105}
+	b := []float64{100, 101, 99, 100}
+	res, err := Duet(a, b, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean != 5 {
+		t.Errorf("Mean = %v, want 5", res.Mean)
+	}
+	// These vectors move in lockstep: the pairing removes all variance.
+	if res.VarPaired != 0 {
+		t.Errorf("VarPaired = %v, want 0", res.VarPaired)
+	}
+	if res.Cancellation != 1 {
+		t.Errorf("Cancellation = %v, want 1", res.Cancellation)
+	}
+	if !res.CI.Contains(5) {
+		t.Errorf("CI %+v excludes the mean", res.CI)
+	}
+}
+
+func TestDuetValidation(t *testing.T) {
+	if _, err := Duet(nil, nil, 0.95); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := Duet([]float64{1, 2}, []float64{1}, 0.95); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}

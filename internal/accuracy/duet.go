@@ -1,0 +1,75 @@
+package accuracy
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// ErrPairMismatch reports duet samples of different lengths.
+var ErrPairMismatch = errors.New("accuracy: duet samples must pair one-to-one")
+
+// DuetResult is the paired analysis of two interleaved measurement
+// configurations A and B: the distribution of per-pair deltas A_i -
+// B_i, its confidence interval, and how much variance the pairing
+// removed relative to differencing independent runs.
+type DuetResult struct {
+	// Deltas is the per-pair difference A_i - B_i.
+	Deltas []float64 `json:"deltas"`
+	// Mean is the average delta — the duet estimate of A - B.
+	Mean float64 `json:"mean"`
+	// CI bounds Mean at Confidence.
+	CI Interval `json:"ci"`
+	// Confidence is the two-sided level of CI.
+	Confidence float64 `json:"confidence"`
+	// VarPaired is the sample variance of the paired deltas.
+	VarPaired float64 `json:"varPaired"`
+	// VarIndependent is Var(A) + Var(B): the delta variance two
+	// independent runs of the same lengths would have produced.
+	VarIndependent float64 `json:"varIndependent"`
+	// Cancellation is 1 - VarPaired/VarIndependent: the fraction of the
+	// independent-run variance the pairing removed. Near 1 when the
+	// pairs share most of their noise, near 0 when their noise is
+	// unrelated, negative in the pathological anticorrelated case.
+	Cancellation float64 `json:"cancellation"`
+}
+
+// Duet computes the paired-measurement analysis of two equal-length
+// observation vectors, where a[i] and b[i] were measured as an
+// interleaved pair and therefore share the interference present at
+// that moment (the duet-benchmarking design of Bulej et al.). Shared
+// noise appears in both members of a pair and subtracts out of the
+// delta; only the unshared component survives into VarPaired.
+func Duet(a, b []float64, confidence float64) (DuetResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return DuetResult{}, ErrNoObservations
+	}
+	if len(a) != len(b) {
+		return DuetResult{}, ErrPairMismatch
+	}
+	z, err := zFor(confidence)
+	if err != nil {
+		return DuetResult{}, err
+	}
+	deltas := make([]float64, len(a))
+	for i := range a {
+		deltas[i] = a[i] - b[i]
+	}
+	res := DuetResult{
+		Deltas:         deltas,
+		Mean:           stats.Mean(deltas),
+		Confidence:     confidence,
+		VarPaired:      stats.Variance(deltas),
+		VarIndependent: stats.Variance(a) + stats.Variance(b),
+	}
+	se := 0.0
+	if len(deltas) > 1 {
+		se = math.Sqrt(res.VarPaired / float64(len(deltas)))
+	}
+	res.CI = Interval{Lo: res.Mean - z*se, Hi: res.Mean + z*se}
+	if res.VarIndependent > 0 {
+		res.Cancellation = 1 - res.VarPaired/res.VarIndependent
+	}
+	return res, nil
+}

@@ -1,0 +1,174 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// TestFromRunsCoverageProperty checks the contract printed on every
+// service response: on synthetic workloads with known ground truth, the
+// corrected estimate's CI contains the truth at roughly the stated
+// confidence. Counts are truth + overhead + noise; the estimator only
+// sees the counts and the overhead.
+func TestFromRunsCoverageProperty(t *testing.T) {
+	const (
+		trials     = 400
+		runs       = 20
+		confidence = 0.95
+		truth      = 300001.0
+		overhead   = 84.0
+		noiseSD    = 35.0
+	)
+	rng := xrand.New(0xacc)
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		counts := make([]float64, runs)
+		for i := range counts {
+			counts[i] = truth + overhead + noiseSD*rng.NormFloat64()
+		}
+		est, err := FromRuns(counts, overhead, confidence)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.CI.Contains(truth) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	// Normal-theory intervals at n=20 run slightly under nominal (no t
+	// correction); accept a band around 0.95 wide enough to be stable
+	// under the fixed seed but tight enough to catch a broken interval.
+	if rate < 0.88 || rate > 0.995 {
+		t.Errorf("coverage = %.3f over %d trials, want ~%.2f", rate, trials, confidence)
+	}
+}
+
+// TestFromRunsCoverageAcrossWorkloads varies the workload scale and
+// noise shape: coverage must hold regardless of the ground truth's
+// magnitude or the dispersion.
+func TestFromRunsCoverageAcrossWorkloads(t *testing.T) {
+	cases := []struct {
+		name           string
+		truth, sd, ovh float64
+	}{
+		{"null-bench", 0, 3, 84},
+		{"small-loop", 3001, 10, 12},
+		{"large-loop", 3_000_001, 500, 1500},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rng := xrand.New(xrand.Mix(0xacc, uint64(c.truth)))
+			covered, trials := 0, 200
+			for trial := 0; trial < trials; trial++ {
+				counts := make([]float64, 16)
+				for i := range counts {
+					counts[i] = c.truth + c.ovh + c.sd*rng.NormFloat64()
+				}
+				est, err := FromRuns(counts, c.ovh, 0.95)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if est.CI.Contains(c.truth) {
+					covered++
+				}
+			}
+			if rate := float64(covered) / float64(trials); rate < 0.85 {
+				t.Errorf("coverage = %.3f, want >= 0.85", rate)
+			}
+		})
+	}
+}
+
+// TestDuetCancelsSharedNoise injects a large noise component shared by
+// both members of each pair (the model of co-located interference duet
+// benchmarking targets) plus small independent jitter. The paired
+// analysis must cancel the shared part: the paired variance stays near
+// the independent jitter's scale, far below Var(A)+Var(B), and the
+// delta CI both contains the true difference and is much tighter than
+// an unpaired interval would be.
+func TestDuetCancelsSharedNoise(t *testing.T) {
+	const (
+		n        = 64
+		muA, muB = 5000.0, 4200.0 // true configuration means
+		sharedSD = 300.0          // interference hitting both members
+		ownSD    = 8.0            // per-member independent jitter
+	)
+	rng := xrand.New(0xd0e7)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		shared := sharedSD * rng.NormFloat64()
+		a[i] = muA + shared + ownSD*rng.NormFloat64()
+		b[i] = muB + shared + ownSD*rng.NormFloat64()
+	}
+	res, err := Duet(a, b, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CI.Contains(muA - muB) {
+		t.Errorf("duet CI %+v excludes true delta %v", res.CI, muA-muB)
+	}
+	// The pairing must remove nearly all of the shared variance:
+	// VarPaired ~ 2*ownSD² while VarIndependent ~ 2*sharedSD².
+	if res.VarPaired > 8*2*ownSD*ownSD {
+		t.Errorf("VarPaired = %v, want near %v (shared noise not cancelled)", res.VarPaired, 2*ownSD*ownSD)
+	}
+	if res.Cancellation < 0.95 {
+		t.Errorf("Cancellation = %v, want >= 0.95", res.Cancellation)
+	}
+	// Compare against differencing two independent runs of the same
+	// configurations: fresh noise draws, unpaired interval built from
+	// Var(A)+Var(B).
+	for i := 0; i < n; i++ {
+		a[i] = muA + sharedSD*rng.NormFloat64() + ownSD*rng.NormFloat64()
+		b[i] = muB + sharedSD*rng.NormFloat64() + ownSD*rng.NormFloat64()
+	}
+	indepSE := math.Sqrt((stats.Variance(a) + stats.Variance(b)) / n)
+	z := stats.NormalQuantile(0.975)
+	indepWidth := 2 * z * indepSE
+	if res.CI.Width() >= indepWidth/4 {
+		t.Errorf("duet CI width %v not substantially tighter than independent width %v",
+			res.CI.Width(), indepWidth)
+	}
+}
+
+// TestDuetUnsharedNoiseDoesNotCancel is the negative control: with no
+// shared component the pairing must not claim cancellation.
+func TestDuetUnsharedNoiseDoesNotCancel(t *testing.T) {
+	rng := xrand.New(0xbad)
+	n := 64
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = 100 + 50*rng.NormFloat64()
+		b[i] = 90 + 50*rng.NormFloat64()
+	}
+	res, err := Duet(a, b, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancellation > 0.5 {
+		t.Errorf("Cancellation = %v on independent noise, want near 0", res.Cancellation)
+	}
+}
+
+// TestDuetDeterministic: identical inputs must produce identical
+// results — the property the service's response determinism rests on.
+func TestDuetDeterministic(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{0.5, 1.5, 3.5, 3.9, 5.2}
+	r1, err := Duet(a, b, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Duet(a, b, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Mean != r2.Mean || r1.CI != r2.CI || r1.VarPaired != r2.VarPaired {
+		t.Errorf("nondeterministic duet: %+v vs %+v", r1, r2)
+	}
+}

@@ -1,0 +1,116 @@
+package api
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeItemNormalizedDefaults(t *testing.T) {
+	it := AnalyzeItem{Measure: MeasureRequest{Processor: "K8", Stack: "pc"}}
+	norm, err := it.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Confidence != 0.95 {
+		t.Errorf("Confidence = %v, want 0.95", norm.Confidence)
+	}
+	if norm.Measure.Bench != "null" || norm.Measure.Pattern != "ar" || norm.Measure.Runs != 1 {
+		t.Errorf("measure defaults not applied: %+v", norm.Measure)
+	}
+	// Calibrate is canonicalized away: analysis always calibrates.
+	it.Measure.Calibrate = true
+	norm2, err := it.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm2.Key() != norm.Key() {
+		t.Errorf("calibrate flag changed the item identity: %q vs %q", norm2.Key(), norm.Key())
+	}
+}
+
+func TestAnalyzeItemMultiplexAllowsMoreEventsThanCounters(t *testing.T) {
+	// CD has 2 programmable counters; 4 multiplexed events must pass.
+	it := AnalyzeItem{
+		Measure: MeasureRequest{
+			Processor: "CD", Stack: "pc",
+			Events: []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED", "BR_MISP_RETIRED", "ICACHE_MISS"},
+		},
+		MpxCounters: 2,
+	}
+	norm, err := it.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(norm.Measure.Events) != 4 {
+		t.Errorf("events = %v", norm.Measure.Events)
+	}
+	// Without multiplexing the same request must be rejected.
+	it.MpxCounters = 0
+	if _, err := it.Normalized(); err == nil {
+		t.Error("4 dedicated events on a 2-counter model accepted")
+	}
+	// More rotation counters than the model has must be rejected.
+	it.MpxCounters = 3
+	if _, err := it.Normalized(); err == nil {
+		t.Error("3 multiplex counters on a 2-counter model accepted")
+	}
+}
+
+func TestAnalyzeItemDuetForcedAlignment(t *testing.T) {
+	duet := MeasureRequest{Processor: "K8", Stack: "pc", Bench: "null", Runs: 99, Seed: 42}
+	it := AnalyzeItem{
+		Measure: MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000", Runs: 5, Seed: 7},
+		Duet:    &duet,
+	}
+	norm, err := it.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Duet.Runs != 5 || norm.Duet.Seed != 7 {
+		t.Errorf("duet runs/seed not forced to primary's: %+v", norm.Duet)
+	}
+	// Cross-shard duet is rejected with a message naming both shards.
+	bad := AnalyzeItem{
+		Measure: MeasureRequest{Processor: "K8", Stack: "pc"},
+		Duet:    &MeasureRequest{Processor: "K8", Stack: "pm"},
+	}
+	_, err = bad.Normalized()
+	if err == nil || !strings.Contains(err.Error(), "share a shard") {
+		t.Errorf("cross-shard duet: err = %v", err)
+	}
+}
+
+func TestAnalyzeRequestBatchLimits(t *testing.T) {
+	if _, err := (AnalyzeRequest{}).Normalized(); err == nil {
+		t.Error("empty batch accepted")
+	}
+	big := AnalyzeRequest{Items: make([]AnalyzeItem, MaxAnalyzeItems+1)}
+	for i := range big.Items {
+		big.Items[i] = AnalyzeItem{Measure: MeasureRequest{Processor: "K8", Stack: "pc"}}
+	}
+	if _, err := big.Normalized(); err == nil {
+		t.Error("oversized batch accepted")
+	}
+}
+
+func TestAnalyzeItemKeyDistinguishesModels(t *testing.T) {
+	base := AnalyzeItem{Measure: MeasureRequest{Processor: "K8", Stack: "pc"}}
+	variants := []AnalyzeItem{
+		base,
+		{Measure: base.Measure, Confidence: 0.9},
+		{Measure: base.Measure, MpxCounters: 1},
+		{Measure: base.Measure, SamplingPeriod: 1000},
+		{Measure: base.Measure, Duet: &MeasureRequest{Processor: "K8", Stack: "pc", Bench: "null"}},
+	}
+	seen := map[string]int{}
+	for i, v := range variants {
+		norm, err := v.Normalized()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if prev, dup := seen[norm.Key()]; dup {
+			t.Errorf("variants %d and %d share key %q", prev, i, norm.Key())
+		}
+		seen[norm.Key()] = i
+	}
+}

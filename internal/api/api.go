@@ -8,6 +8,11 @@
 // explicit; the canonical form's Key is the identity used for request
 // coalescing and calibration caching, so two requests that mean the
 // same measurement always share one execution.
+//
+// The analyze types (analyze.go) extend the vocabulary with the error
+// model of internal/accuracy: batched analysis items whose results are
+// corrected estimates with confidence intervals, and the accuracy
+// annotation every measurement response carries.
 package api
 
 import (
@@ -245,6 +250,12 @@ type MeasureResponse struct {
 	Calibration *CalibrationInfo `json:"calibration,omitempty"`
 	// CalibratedErrors is Errors minus the calibration offset.
 	CalibratedErrors []float64 `json:"calibratedErrors,omitempty"`
+	// Accuracy is the error-model annotation every response carries:
+	// the corrected estimate of the first counter's count with its
+	// confidence interval (overhead-corrected when the request asked
+	// for calibration). The paper's thesis as a service contract: no
+	// count leaves the service without an error estimate attached.
+	Accuracy *EstimateInfo `json:"accuracy,omitempty"`
 }
 
 // MaxExperimentRuns bounds ExperimentRequest.Runs. Experiments sweep
@@ -295,6 +306,9 @@ type ShardHealth struct {
 type ServiceStats struct {
 	// Requests is the number of measure calls accepted.
 	Requests uint64 `json:"requests"`
+	// Analyzes is the number of analyze items accepted (batch items,
+	// not batches).
+	Analyzes uint64 `json:"analyzes"`
 	// Coalesced is how many calls were served by joining an identical
 	// in-flight request instead of executing.
 	Coalesced uint64 `json:"coalesced"`

@@ -1,3 +1,15 @@
+// Package cpu simulates the study's three IA32 processors (Table 1) at
+// the level the paper's error analysis needs: an executing core with a
+// cycle clock and TSC, a per-model PMU with programmable (and, on Core,
+// fixed) counters that gate on privilege mode, counter overflow
+// interrupts, a periodic timer interrupt, and the per-event encodings
+// (the vendor mnemonics libpfm and libperfctr program).
+//
+// Everything above — the kernel, the counter-access infrastructures,
+// the measurement engine — observes hardware state only through this
+// package, and every simulated instruction that touches the clock or a
+// counter is deterministic in the core's seed, which is what makes
+// whole-service responses reproducible byte for byte.
 package cpu
 
 import (

@@ -109,10 +109,17 @@ type Kernel struct {
 	tickExtra     int            // extension per-tick accounting instructions
 	tickBias      float64        // extension attribution skew bias
 	hooks         []SwitchHook
-	tickListeners []func()
+	tickListeners []tickListener
+	nextListener  int
 	threads       map[int]bool
 	current       int
 	switchCount   int
+}
+
+// tickListener is one registered tick callback with its removal handle.
+type tickListener struct {
+	id int
+	f  func()
 }
 
 // New boots a kernel on a fresh core for the given processor model,
@@ -140,8 +147,8 @@ func (k *Kernel) fireTick() {
 	if k.governor == Ondemand {
 		k.ondemandTick()
 	}
-	for _, f := range k.tickListeners {
-		f()
+	for _, l := range k.tickListeners {
+		l.f()
 	}
 }
 
@@ -162,9 +169,24 @@ func (k *Kernel) ResetState() {
 	k.SetGovernor(k.governor)
 }
 
-// AddTickListener registers a callback invoked after every timer tick.
-func (k *Kernel) AddTickListener(f func()) {
-	k.tickListeners = append(k.tickListeners, f)
+// AddTickListener registers a callback invoked after every timer tick,
+// in registration order, and returns a handle for RemoveTickListener.
+func (k *Kernel) AddTickListener(f func()) int {
+	k.nextListener++
+	k.tickListeners = append(k.tickListeners, tickListener{id: k.nextListener, f: f})
+	return k.nextListener
+}
+
+// RemoveTickListener unregisters a tick callback. Transient consumers
+// (multiplexers, profilers) must remove their listeners when done so a
+// pooled system carries no observer from one request into the next.
+func (k *Kernel) RemoveTickListener(id int) {
+	for i, l := range k.tickListeners {
+		if l.id == id {
+			k.tickListeners = append(k.tickListeners[:i], k.tickListeners[i+1:]...)
+			return
+		}
+	}
 }
 
 // Model returns the processor model.

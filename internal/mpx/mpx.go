@@ -48,6 +48,9 @@ type Multiplexer struct {
 	lastSwitch   float64
 	accum        []float64
 	activeCycles []float64
+
+	listener int
+	closed   bool
 }
 
 // Errors reported by New.
@@ -93,16 +96,36 @@ func New(k *kernel.Kernel, hw int, events []cpu.Event) (*Multiplexer, error) {
 		}
 		m.groups = append(m.groups, idx)
 	}
-	k.AddTickListener(m.onTick)
+	m.listener = k.AddTickListener(m.onTick)
 	return m, nil
 }
 
 // Groups returns the number of rotation groups.
 func (m *Multiplexer) Groups() int { return len(m.groups) }
 
+// Close detaches the multiplexer from the kernel's timer tick. A
+// closed multiplexer must not be Run again. Services that borrow a
+// pooled system for a multiplexed measurement must Close before
+// returning the system, or the stale rotation callback would keep
+// firing under later requests.
+func (m *Multiplexer) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.k.RemoveTickListener(m.listener)
+}
+
+// ErrClosed reports a Run on a multiplexer whose tick listener was
+// already detached.
+var ErrClosed = errors.New("mpx: multiplexer is closed")
+
 // Run measures one program execution and returns the per-event
 // estimates.
 func (m *Multiplexer) Run(prog *isa.Program, seed uint64) ([]Estimate, error) {
+	if m.closed {
+		return nil, ErrClosed
+	}
 	c := m.k.Core
 	for i := range m.accum {
 		m.accum[i] = 0

@@ -25,9 +25,13 @@ import (
 	"repro/internal/kernel"
 )
 
-// handlerCost is the kernel instruction count of the PMU interrupt
-// handler (sample capture, buffer write, APIC acknowledgment).
-const handlerCost = 420
+// HandlerCost is the kernel instruction count of the PMU interrupt
+// handler (sample capture, buffer write, APIC acknowledgment). Exported
+// because it quantifies the sampling model's perturbation — one
+// HandlerCost of kernel instructions per recorded sample lands in any
+// concurrently running user+kernel count — which docs/ACCURACY.md
+// documents as the cost of tightening the quantization bracket.
+const HandlerCost = 420
 
 // samplingCounter is the programmable counter index the profiler uses.
 // Profilers conventionally claim the last counter so event-counting
@@ -135,7 +139,7 @@ func (p *Profiler) Run(prog *isa.Program, seed uint64) (*Profile, error) {
 		}
 	}
 	hb := isa.NewBuilder("pmu_overflow", 0xffff_c000_0000)
-	hb.ALUBlock(handlerCost)
+	hb.ALUBlock(HandlerCost)
 	hb.Emit(isa.IRet())
 	c.OverflowHandler = hb.Build()
 	defer func() {

@@ -87,7 +87,7 @@ func TestHotspotAttribution(t *testing.T) {
 
 // TestPerturbation: the overflow handlers execute kernel instructions,
 // so a concurrent user+kernel count is inflated by roughly
-// samples*handlerCost — the cost of the sampling usage model.
+// samples*HandlerCost — the cost of the sampling usage model.
 func TestPerturbation(t *testing.T) {
 	k := kernel.New(cpu.Athlon64X2)
 	c := k.Core
@@ -109,7 +109,7 @@ func TestPerturbation(t *testing.T) {
 	observed, _ := c.PMU.Value(1)
 	trueInstr := int64(1 + 3*1_000_000 + 1)
 	excess := observed - trueInstr
-	wantMin := int64(len(prof.Samples)) * (handlerCost - 50)
+	wantMin := int64(len(prof.Samples)) * (HandlerCost - 50)
 	if excess < wantMin {
 		t.Errorf("perturbation = %d kernel instructions, want >= %d (samples=%d)", excess, wantMin, len(prof.Samples))
 	}
@@ -120,7 +120,7 @@ func TestPerturbation(t *testing.T) {
 // interrupt is masked, so crossings are dropped.
 func TestShortPeriodLosesSamples(t *testing.T) {
 	k := kernel.New(cpu.Athlon64X2)
-	p, err := New(k, cpu.EventInstrRetired, handlerCost/2)
+	p, err := New(k, cpu.EventInstrRetired, HandlerCost/2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,343 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/accuracy"
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mpx"
+	"repro/internal/sampling"
+	stackpkg "repro/internal/stack"
+)
+
+// Analyze serves one batch of analysis items. Items are independent:
+// they run concurrently (each on a worker from its own shard), errors
+// are reported per batch (the lowest-index failing item fails the
+// batch, since a partial analysis would be indistinguishable from a
+// complete one), and results come back in item order. Like Measure, the response for a
+// normalized batch is deterministic, and identical in-flight items are
+// coalesced.
+func (s *Service) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
+	norm, err := req.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	s.analyzes.Add(uint64(len(norm.Items)))
+
+	resp := &api.AnalyzeResponse{Results: make([]api.AnalyzeResult, len(norm.Items))}
+	var wg sync.WaitGroup
+	errs := make([]error, len(norm.Items))
+	for i, item := range norm.Items {
+		wg.Add(1)
+		go func(i int, item api.AnalyzeItem) {
+			defer wg.Done()
+			res, err := s.analyzeItem(ctx, item)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp.Results[i] = *res
+		}(i, item)
+	}
+	wg.Wait()
+	// Report the lowest-index failure so an identical batch fails
+	// identically regardless of goroutine scheduling.
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("item %d: %w", i, err)
+		}
+	}
+	return resp, nil
+}
+
+// analyzeItem runs one normalized item with in-flight coalescing.
+func (s *Service) analyzeItem(ctx context.Context, item api.AnalyzeItem) (*api.AnalyzeResult, error) {
+	key := "analyze|" + item.Key()
+	for {
+		s.mu.Lock()
+		if c, ok := s.aflight[key]; ok {
+			s.mu.Unlock()
+			s.coalesced.Add(1)
+			select {
+			case <-c.done:
+				// As in Measure: a context error belongs to the leader,
+				// not to this caller; retry while we are still live.
+				if isContextErr(c.err) && ctx.Err() == nil {
+					continue
+				}
+				return c.res, c.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		c := &analyzeCall{done: make(chan struct{})}
+		s.aflight[key] = c
+		s.mu.Unlock()
+
+		c.res, c.err = s.executeAnalyze(ctx, item)
+		s.mu.Lock()
+		delete(s.aflight, key)
+		s.mu.Unlock()
+		close(c.done)
+		return c.res, c.err
+	}
+}
+
+// analyzeCall is one in-flight analysis that duplicates can join.
+type analyzeCall struct {
+	done chan struct{}
+	res  *api.AnalyzeResult
+	err  error
+}
+
+// executeAnalyze runs every requested error model of one item on a
+// worker from the item's shard. Each phase starts from a Reset system,
+// so the result is a pure function of the normalized item.
+func (s *Service) executeAnalyze(ctx context.Context, item api.AnalyzeItem) (*api.AnalyzeResult, error) {
+	sh, err := s.shard(item.Measure)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := sh.checkout(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer sh.checkin(sys)
+
+	// Overhead subtraction always consults the calibration cache: the
+	// calibrated fixed error is the first correction term of the
+	// counting model (the paper's Section 8 guideline).
+	cal, err := s.calibration(sh, item.Measure, sys)
+	if err != nil {
+		return nil, err
+	}
+	res := &api.AnalyzeResult{
+		Item: item,
+		Calibration: &api.CalibrationInfo{
+			Offset:   cal.Offset,
+			Strategy: cal.Strategy,
+			Samples:  cal.Samples,
+		},
+	}
+
+	bench, err := api.ParseBench(item.Measure.Bench)
+	if err != nil {
+		return nil, err
+	}
+	res.Expected = bench.ExpectedInstr
+
+	if item.MpxCounters > 0 {
+		if err := s.analyzeMultiplexed(ctx, item, sys, bench, res); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := s.analyzeCounting(ctx, item, sys, cal, res); err != nil {
+			return nil, err
+		}
+	}
+	if item.SamplingPeriod > 0 {
+		if err := s.analyzeSampling(ctx, item, sys, bench, res); err != nil {
+			return nil, err
+		}
+	}
+	if item.Duet != nil {
+		if err := s.analyzeDuet(ctx, item, sys, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// analyzeCounting measures the item's configuration through its full
+// infrastructure stack and builds the per-event counting estimates: the
+// run-mean count, overhead-corrected on the first (calibrated) counter,
+// with dispersion intervals.
+func (s *Service) analyzeCounting(ctx context.Context, item api.AnalyzeItem, sys *stackpkg.System, cal core.Calibration, res *api.AnalyzeResult) error {
+	norm := item.Measure
+	creq, err := norm.Build()
+	if err != nil {
+		return err
+	}
+	sys.Reset()
+	counts := make([][]float64, len(norm.Events))
+	for i := 0; i < norm.Runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		creq.Seed = norm.Seed + uint64(i)
+		m, err := sys.Measure(creq)
+		if err != nil {
+			return err
+		}
+		res.Expected = m.Expected
+		for ev := range norm.Events {
+			counts[ev] = append(counts[ev], float64(m.Deltas[ev]))
+		}
+	}
+	for ev, evCounts := range counts {
+		// The null-benchmark calibration estimates the fixed error of
+		// the first counter's instruction count; other events carry no
+		// overhead term, only their dispersion interval.
+		overhead := 0.0
+		if ev == 0 {
+			overhead = cal.Offset
+		}
+		est, err := accuracy.FromRuns(evCounts, overhead, item.Confidence)
+		if err != nil {
+			return err
+		}
+		res.Counting = append(res.Counting, api.EstimateInfoFrom(norm.Events[ev], est))
+	}
+	return nil
+}
+
+// analyzeMultiplexed estimates the item's events by time-sharing
+// MpxCounters hardware counters, then applies the extrapolation error
+// model: Poisson noise on the observed share plus run-to-run phase
+// dispersion.
+func (s *Service) analyzeMultiplexed(ctx context.Context, item api.AnalyzeItem, sys *stackpkg.System, bench *core.Benchmark, res *api.AnalyzeResult) error {
+	norm := item.Measure
+	events := make([]cpu.Event, len(norm.Events))
+	for i, name := range norm.Events {
+		ev, err := cpu.EventByName(name)
+		if err != nil {
+			return err
+		}
+		events[i] = ev
+	}
+	sys.Reset()
+	m, err := mpx.New(sys.Kernel, item.MpxCounters, events)
+	if err != nil {
+		return err
+	}
+	// The rotation callback must not outlive this analysis: the worker
+	// goes back into the pool when we return.
+	defer m.Close()
+
+	prog := benchProgram(bench)
+	perEvent := make([][]mpx.Estimate, len(events))
+	for i := 0; i < norm.Runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ests, err := m.Run(prog, norm.Seed+uint64(i))
+		if err != nil {
+			return err
+		}
+		for ev, est := range ests {
+			perEvent[ev] = append(perEvent[ev], est)
+		}
+	}
+	for ev, runs := range perEvent {
+		est, err := accuracy.Multiplex(runs, item.Confidence)
+		if err != nil {
+			return err
+		}
+		res.Multiplexed = append(res.Multiplexed, api.EstimateInfoFrom(norm.Events[ev], est))
+	}
+	return nil
+}
+
+// analyzeSampling estimates the first event with the sampling usage
+// model at the item's overflow period and applies the quantization
+// error model: the deterministic one-period bracket with the midpoint
+// correction.
+func (s *Service) analyzeSampling(ctx context.Context, item api.AnalyzeItem, sys *stackpkg.System, bench *core.Benchmark, res *api.AnalyzeResult) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	norm := item.Measure
+	ev, err := cpu.EventByName(norm.Events[0])
+	if err != nil {
+		return err
+	}
+	sys.Reset()
+	p, err := sampling.New(sys.Kernel, ev, item.SamplingPeriod)
+	if err != nil {
+		return err
+	}
+	prof, err := p.Run(benchProgram(bench), norm.Seed)
+	if err != nil {
+		return err
+	}
+	est, err := accuracy.Sampling(len(prof.Samples), item.SamplingPeriod, item.Confidence)
+	if err != nil {
+		return err
+	}
+	info := api.EstimateInfoFrom(norm.Events[0], est)
+	res.Sampling = &info
+	return nil
+}
+
+// analyzeDuet interleaves the item's configuration A with its paired
+// configuration B on this one worker — A_1 B_1 A_2 B_2 ... — and
+// reports the paired analysis of their counter-0 errors. Interleaving
+// on one system is what makes the pairs share their interference;
+// errors (not raw counts) are paired so configurations with different
+// benchmarks still compare their infrastructures.
+func (s *Service) analyzeDuet(ctx context.Context, item api.AnalyzeItem, sys *stackpkg.System, res *api.AnalyzeResult) error {
+	// Pairing compares counter-0 errors, so only the first event is
+	// measured here. This also keeps duet valid on multiplexed items,
+	// whose widened event list exceeds the dedicated-counter limit.
+	measureA := item.Measure
+	measureA.Events = measureA.Events[:1]
+	reqA, err := measureA.Build()
+	if err != nil {
+		return err
+	}
+	reqB, err := item.Duet.Build()
+	if err != nil {
+		return err
+	}
+	sys.Reset()
+	n := item.Measure.Runs
+	errsA := make([]float64, 0, n)
+	errsB := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		reqA.Seed = item.Measure.Seed + uint64(i)
+		reqB.Seed = item.Duet.Seed + uint64(i)
+		mA, err := sys.Measure(reqA)
+		if err != nil {
+			return err
+		}
+		mB, err := sys.Measure(reqB)
+		if err != nil {
+			return err
+		}
+		errsA = append(errsA, float64(mA.Error(0, reqA.Mode)))
+		errsB = append(errsB, float64(mB.Error(0, reqB.Mode)))
+	}
+	duet, err := accuracy.Duet(errsA, errsB, item.Confidence)
+	if err != nil {
+		return err
+	}
+	res.Duet = &api.DuetInfo{
+		Request:        *item.Duet,
+		Deltas:         duet.Deltas,
+		Mean:           duet.Mean,
+		Lo:             duet.CI.Lo,
+		Hi:             duet.CI.Hi,
+		VarPaired:      duet.VarPaired,
+		VarIndependent: duet.VarIndependent,
+		Cancellation:   duet.Cancellation,
+	}
+	return nil
+}
+
+// benchProgram builds the raw benchmark program (no infrastructure
+// harness) used by the multiplexing and sampling models, which observe
+// the PMU directly rather than through a counter-access stack.
+func benchProgram(bench *core.Benchmark) *isa.Program {
+	b := isa.NewBuilder("analyze-"+bench.Name, 0x4000)
+	bench.Emit(b)
+	b.Emit(isa.Halt())
+	return b.Build()
+}

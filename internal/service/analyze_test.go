@@ -1,0 +1,354 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/api"
+)
+
+func TestAnalyzeCountingDeterministicAndCorrected(t *testing.T) {
+	svc := New(Config{WorkersPerShard: 2, CalibrationRuns: 9})
+	req := api.AnalyzeRequest{Items: []api.AnalyzeItem{{
+		Measure: api.MeasureRequest{
+			Processor: "K8", Stack: "pc", Bench: "loop:100000", Pattern: "rr", Runs: 8,
+		},
+	}}}
+	r1, err := svc.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := svc.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if string(b1) != string(b2) {
+		t.Fatalf("repeated identical /analyze bodies differ:\n%s\n%s", b1, b2)
+	}
+
+	res := r1.Results[0]
+	if res.Expected != 300001 {
+		t.Errorf("Expected = %d, want 300001", res.Expected)
+	}
+	if len(res.Counting) != 1 {
+		t.Fatalf("Counting estimates = %d, want 1", len(res.Counting))
+	}
+	est := res.Counting[0]
+	if est.Event != "INSTR_RETIRED" {
+		t.Errorf("event = %s", est.Event)
+	}
+	// The raw count includes the infrastructure overhead; the corrected
+	// estimate must subtract the calibrated offset and land far closer
+	// to the analytic truth.
+	if res.Calibration == nil || res.Calibration.Offset <= 0 {
+		t.Fatalf("calibration not applied: %+v", res.Calibration)
+	}
+	rawErr := est.Raw - float64(res.Expected)
+	corrErr := est.Corrected - float64(res.Expected)
+	if abs(corrErr) >= abs(rawErr) {
+		t.Errorf("correction did not improve: raw error %v, corrected error %v", rawErr, corrErr)
+	}
+	if abs(corrErr) > 10 {
+		t.Errorf("corrected error %v instructions, want within a few", corrErr)
+	}
+	if est.Lo > est.Corrected || est.Hi < est.Corrected {
+		t.Errorf("CI [%v, %v] excludes its own point %v", est.Lo, est.Hi, est.Corrected)
+	}
+	if len(est.Terms) != 1 || est.Terms[0].Name != accuracy.TermOverhead {
+		t.Errorf("Terms = %+v, want one overhead term", est.Terms)
+	}
+}
+
+func TestAnalyzeMultiplexedWithinCI(t *testing.T) {
+	svc := New(Config{WorkersPerShard: 1, CalibrationRuns: 5})
+	req := api.AnalyzeRequest{Items: []api.AnalyzeItem{{
+		Measure: api.MeasureRequest{
+			Processor: "K8", Stack: "pc", Bench: "loop:2000000", Pattern: "ar",
+			Events: []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED", "BR_MISP_RETIRED",
+				"ICACHE_MISS", "DCACHE_MISS", "ITLB_MISS"},
+			Runs: 3,
+		},
+		MpxCounters: 2, // 6 events over 2 counters: 3 rotation groups
+	}}}
+	resp, err := svc.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resp.Results[0]
+	if len(res.Counting) != 0 {
+		t.Errorf("multiplexed item also produced counting estimates")
+	}
+	if len(res.Multiplexed) != 6 {
+		t.Fatalf("Multiplexed estimates = %d, want 6", len(res.Multiplexed))
+	}
+	instr := res.Multiplexed[0]
+	if instr.Event != "INSTR_RETIRED" {
+		t.Fatalf("first estimate is %s", instr.Event)
+	}
+	// The acceptance contract: a multiplexed request returns a
+	// corrected estimate whose stated interval contains the analytic
+	// ground truth (the workload is stationary, so interpolation is
+	// nearly exact and the Poisson interval covers the residual).
+	truth := float64(res.Expected)
+	if instr.Lo > truth || truth > instr.Hi {
+		t.Errorf("truth %v outside multiplexed CI [%v, %v] (corrected %v)",
+			truth, instr.Lo, instr.Hi, instr.Corrected)
+	}
+	// Extrapolation must be recorded: with 3 groups each event was
+	// observed roughly a third of the time.
+	found := false
+	for _, term := range instr.Terms {
+		if term.Name == accuracy.TermMpxExtrapolation && term.Value != 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no extrapolation term on %+v", instr.Terms)
+	}
+
+	// Determinism across repeated identical calls.
+	resp2, err := svc.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(resp)
+	b2, _ := json.Marshal(resp2)
+	if string(b1) != string(b2) {
+		t.Errorf("repeated multiplexed analyze bodies differ")
+	}
+}
+
+func TestAnalyzeSamplingBracketsTruth(t *testing.T) {
+	svc := New(Config{WorkersPerShard: 1, CalibrationRuns: 5})
+	req := api.AnalyzeRequest{Items: []api.AnalyzeItem{{
+		Measure: api.MeasureRequest{
+			Processor: "K8", Stack: "pc", Bench: "loop:1000000", Pattern: "ar",
+		},
+		SamplingPeriod: 50_000,
+	}}}
+	resp, err := svc.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resp.Results[0]
+	if res.Sampling == nil {
+		t.Fatal("no sampling estimate")
+	}
+	truth := float64(res.Expected)
+	if res.Sampling.Lo > truth || truth > res.Sampling.Hi {
+		t.Errorf("truth %v outside sampling bracket [%v, %v]", truth, res.Sampling.Lo, res.Sampling.Hi)
+	}
+	if res.Sampling.Hi-res.Sampling.Lo != 50_000 {
+		t.Errorf("bracket width = %v, want one period", res.Sampling.Hi-res.Sampling.Lo)
+	}
+}
+
+func TestAnalyzeDuetPairsAndCancels(t *testing.T) {
+	svc := New(Config{WorkersPerShard: 1, CalibrationRuns: 5})
+	duet := api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "null", Pattern: "rr"}
+	req := api.AnalyzeRequest{Items: []api.AnalyzeItem{{
+		Measure: api.MeasureRequest{
+			Processor: "K8", Stack: "pc", Bench: "loop:50000", Pattern: "rr", Runs: 12,
+		},
+		Duet: &duet,
+	}}}
+	resp, err := svc.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resp.Results[0]
+	if res.Duet == nil {
+		t.Fatal("no duet analysis")
+	}
+	if len(res.Duet.Deltas) != 12 {
+		t.Fatalf("duet deltas = %d, want 12 (one per pair)", len(res.Duet.Deltas))
+	}
+	// Both configurations read the counters the same way with the same
+	// per-pair seeds, so the jitter they observe is shared and the
+	// paired delta must not be noisier than independent differencing.
+	if res.Duet.VarPaired > res.Duet.VarIndependent {
+		t.Errorf("VarPaired %v > VarIndependent %v: pairing added noise",
+			res.Duet.VarPaired, res.Duet.VarIndependent)
+	}
+	if res.Duet.Lo > res.Duet.Mean || res.Duet.Mean > res.Duet.Hi {
+		t.Errorf("duet CI [%v, %v] excludes mean %v", res.Duet.Lo, res.Duet.Hi, res.Duet.Mean)
+	}
+
+	// Determinism of the full duet body.
+	resp2, err := svc.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(resp)
+	b2, _ := json.Marshal(resp2)
+	if string(b1) != string(b2) {
+		t.Errorf("repeated duet analyze bodies differ")
+	}
+}
+
+// TestAnalyzeDuetCombinesWithMultiplex guards the combination the API
+// accepts: a multiplexed item (events beyond the dedicated-counter
+// limit) with a duet pair. The duet phase must measure only the first
+// event, not the widened list.
+func TestAnalyzeDuetCombinesWithMultiplex(t *testing.T) {
+	svc := New(Config{WorkersPerShard: 1, CalibrationRuns: 5})
+	duet := api.MeasureRequest{Processor: "CD", Stack: "pc", Bench: "null"}
+	resp, err := svc.Analyze(context.Background(), api.AnalyzeRequest{Items: []api.AnalyzeItem{{
+		Measure: api.MeasureRequest{
+			Processor: "CD", Stack: "pc", Bench: "loop:200000",
+			// CD has 2 programmable counters; 3 events need multiplexing.
+			Events: []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED", "BR_MISP_RETIRED"},
+			Runs:   3,
+		},
+		MpxCounters: 1,
+		Duet:        &duet,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resp.Results[0]
+	if len(res.Multiplexed) != 3 {
+		t.Errorf("Multiplexed = %d estimates, want 3", len(res.Multiplexed))
+	}
+	if res.Duet == nil || len(res.Duet.Deltas) != 3 {
+		t.Errorf("duet missing or mis-paired: %+v", res.Duet)
+	}
+}
+
+func TestAnalyzeBatchErrorDeterministic(t *testing.T) {
+	svc := New(Config{WorkersPerShard: 1, CalibrationRuns: 5})
+	// Items 1 and 3 both fail at execution time (rr is inexpressible on
+	// the PAPI high-level stack); the reported error must name the
+	// lowest failing index on every attempt.
+	batch := api.AnalyzeRequest{Items: []api.AnalyzeItem{
+		{Measure: api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "null"}},
+		{Measure: api.MeasureRequest{Processor: "K8", Stack: "PHpc", Bench: "null", Pattern: "rr"}},
+		{Measure: api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000"}},
+		{Measure: api.MeasureRequest{Processor: "CD", Stack: "PHpm", Bench: "null", Pattern: "ro"}},
+	}}
+	for attempt := 0; attempt < 5; attempt++ {
+		_, err := svc.Analyze(context.Background(), batch)
+		if err == nil {
+			t.Fatal("failing batch accepted")
+		}
+		if got := err.Error(); len(got) < 7 || got[:7] != "item 1:" {
+			t.Fatalf("attempt %d: error = %q, want it to name item 1", attempt, err)
+		}
+	}
+}
+
+func TestAnalyzeBatchOrderAndConcurrency(t *testing.T) {
+	svc := New(Config{WorkersPerShard: 2, CalibrationRuns: 5})
+	batch := api.AnalyzeRequest{Items: []api.AnalyzeItem{
+		{Measure: api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000", Runs: 2}},
+		{Measure: api.MeasureRequest{Processor: "CD", Stack: "pm", Bench: "loop:2000", Runs: 2}},
+		{Measure: api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "null", Runs: 2}},
+	}}
+	want, err := svc.Analyze(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Results[0].Expected != 3001 || want.Results[1].Expected != 6001 || want.Results[2].Expected != 0 {
+		t.Fatalf("results out of order: %d %d %d",
+			want.Results[0].Expected, want.Results[1].Expected, want.Results[2].Expected)
+	}
+	wantBody, _ := json.Marshal(want)
+
+	// Concurrent identical batches must all observe the same bytes.
+	var wg sync.WaitGroup
+	bodies := make([]string, 8)
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := svc.Analyze(context.Background(), batch)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b, _ := json.Marshal(got)
+			bodies[i] = string(b)
+		}(i)
+	}
+	wg.Wait()
+	for i, b := range bodies {
+		if b != string(wantBody) {
+			t.Errorf("concurrent batch %d diverged", i)
+		}
+	}
+}
+
+func TestAnalyzeRejectsBadItems(t *testing.T) {
+	svc := New(Config{WorkersPerShard: 1})
+	cases := []api.AnalyzeRequest{
+		{}, // empty batch
+		{Items: []api.AnalyzeItem{{Measure: api.MeasureRequest{Processor: "Z80", Stack: "pc"}}}},
+		{Items: []api.AnalyzeItem{{
+			Measure:    api.MeasureRequest{Processor: "K8", Stack: "pc"},
+			Confidence: 0.2,
+		}}},
+		{Items: []api.AnalyzeItem{{
+			Measure:     api.MeasureRequest{Processor: "K8", Stack: "pc"},
+			MpxCounters: 99,
+		}}},
+		{Items: []api.AnalyzeItem{{
+			Measure:        api.MeasureRequest{Processor: "K8", Stack: "pc"},
+			SamplingPeriod: 1,
+		}}},
+		{Items: []api.AnalyzeItem{{
+			Measure: api.MeasureRequest{Processor: "K8", Stack: "pc"},
+			// duet on a different shard
+			Duet: &api.MeasureRequest{Processor: "CD", Stack: "pc"},
+		}}},
+	}
+	for i, req := range cases {
+		if _, err := svc.Analyze(context.Background(), req); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestAnalyzeLeavesWorkerClean runs a multiplexed analysis and then a
+// plain measurement on a size-1 pool: if the multiplexer's tick
+// listener leaked into the pooled worker, the follow-up measurement
+// would diverge from a fresh system's.
+func TestAnalyzeLeavesWorkerClean(t *testing.T) {
+	svc := New(Config{WorkersPerShard: 1, CalibrationRuns: 5})
+	mreq := api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:10000", Pattern: "rr", Runs: 3}
+	before, err := svc.Measure(context.Background(), mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = svc.Analyze(context.Background(), api.AnalyzeRequest{Items: []api.AnalyzeItem{{
+		Measure: api.MeasureRequest{
+			Processor: "K8", Stack: "pc", Bench: "loop:500000", Pattern: "ar",
+			Events: []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED", "BR_MISP_RETIRED"},
+			Runs:   2,
+		},
+		MpxCounters: 1,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := svc.Measure(context.Background(), mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(before)
+	b2, _ := json.Marshal(after)
+	if string(b1) != string(b2) {
+		t.Errorf("measurement after multiplexed analysis diverged:\n%s\n%s", b1, b2)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

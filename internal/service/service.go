@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/accuracy"
 	"repro/internal/api"
 	"repro/internal/compiler"
 	"repro/internal/core"
@@ -70,13 +71,15 @@ func (c Config) withDefaults() Config {
 type Service struct {
 	cfg Config
 
-	mu     sync.Mutex
-	shards map[string]*shard
-	flight map[string]*call
+	mu      sync.Mutex
+	shards  map[string]*shard
+	flight  map[string]*call
+	aflight map[string]*analyzeCall
 
 	expSem chan struct{}
 
 	requests  atomic.Uint64
+	analyzes  atomic.Uint64
 	coalesced atomic.Uint64
 	calHits   atomic.Uint64
 	calMisses atomic.Uint64
@@ -94,10 +97,11 @@ type call struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:    cfg,
-		shards: make(map[string]*shard),
-		flight: make(map[string]*call),
-		expSem: make(chan struct{}, cfg.MaxConcurrentExperiments),
+		cfg:     cfg,
+		shards:  make(map[string]*shard),
+		flight:  make(map[string]*call),
+		aflight: make(map[string]*analyzeCall),
+		expSem:  make(chan struct{}, cfg.MaxConcurrentExperiments),
 	}
 }
 
@@ -207,7 +211,30 @@ func (s *Service) execute(ctx context.Context, norm api.MeasureRequest) (*api.Me
 			resp.CalibratedErrors[i] = cal.Apply(e)
 		}
 	}
+	resp.Accuracy = annotate(resp, cal)
 	return resp, nil
+}
+
+// annotate builds the accuracy annotation every measurement response
+// carries: the corrected estimate of the first counter's count, with a
+// dispersion confidence interval, overhead-corrected when the request
+// was calibrated. The annotation is pure arithmetic on values already
+// in the response, so it cannot perturb determinism.
+func annotate(resp *api.MeasureResponse, cal *core.Calibration) *api.EstimateInfo {
+	counts := make([]float64, len(resp.Deltas))
+	for i, row := range resp.Deltas {
+		counts[i] = float64(row[0])
+	}
+	overhead := 0.0
+	if cal != nil {
+		overhead = cal.Offset
+	}
+	est, err := accuracy.FromRuns(counts, overhead, accuracy.DefaultConfidence)
+	if err != nil {
+		return nil
+	}
+	info := api.EstimateInfoFrom(resp.Request.Events[0], est)
+	return &info
 }
 
 // ErrUnknownExperiment reports an experiment ID outside the registry.
@@ -267,6 +294,7 @@ func (s *Service) Health() api.HealthResponse {
 		Shards: make([]api.ShardHealth, 0, len(shards)),
 		Stats: api.ServiceStats{
 			Requests:          s.requests.Load(),
+			Analyzes:          s.analyzes.Load(),
 			Coalesced:         s.coalesced.Load(),
 			CalibrationHits:   s.calHits.Load(),
 			CalibrationMisses: s.calMisses.Load(),

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	// Reference values from standard normal tables (to 1e-6).
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.995, 2.575829},
+		{0.841344746, 1}, // Phi(1)
+		{0.9, 1.281552},
+		{0.99, 2.326348},
+		{0.999, 3.090232},
+		{0.001, -3.090232},
+		{1e-6, -4.753424},
+	}
+	for _, c := range cases {
+		got := NormalQuantile(c.p)
+		if math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for p := 0.0005; p < 1; p += 0.0101 {
+		x := NormalQuantile(p)
+		back := NormalCDF(x)
+		if math.Abs(back-p) > 1e-9 {
+			t.Fatalf("NormalCDF(NormalQuantile(%v)) = %v, off by %v", p, back, back-p)
+		}
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Errorf("endpoints: got %v, %v", NormalQuantile(0), NormalQuantile(1))
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(NormalQuantile(p)) {
+			t.Errorf("NormalQuantile(%v) = %v, want NaN", p, NormalQuantile(p))
+		}
+	}
+}
