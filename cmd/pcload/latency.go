@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// latencySummary is a latency sample sorted once at construction, so
+// every percentile read afterwards is O(1) — the report paths used to
+// copy and re-sort the slice at each call site.
+type latencySummary struct {
+	sorted []time.Duration
+}
+
+// summarizeLatency copies and sorts the sample. The input is not
+// modified.
+func summarizeLatency(d []time.Duration) latencySummary {
+	sorted := append([]time.Duration(nil), d...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return latencySummary{sorted: sorted}
+}
+
+// N returns the sample size.
+func (s latencySummary) N() int { return len(s.sorted) }
+
+// Percentile returns the p-quantile (0 <= p <= 1) by nearest-rank on
+// the sorted sample; an empty sample yields 0. A single-sample summary
+// returns that sample for every p.
+func (s latencySummary) Percentile(p float64) time.Duration {
+	if len(s.sorted) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return s.sorted[int(p*float64(len(s.sorted)-1))]
+}
+
+// Max returns the largest sample, 0 when empty.
+func (s latencySummary) Max() time.Duration {
+	if len(s.sorted) == 0 {
+		return 0
+	}
+	return s.sorted[len(s.sorted)-1]
+}
+
+// String renders the p50/p90/p99/max line of the reports.
+func (s latencySummary) String() string {
+	if len(s.sorted) == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("p50=%v p90=%v p99=%v max=%v",
+		s.Percentile(0.50).Round(time.Microsecond),
+		s.Percentile(0.90).Round(time.Microsecond),
+		s.Percentile(0.99).Round(time.Microsecond),
+		s.Max().Round(time.Microsecond))
+}

@@ -15,11 +15,19 @@
 // multiplexed estimation, sampling) so a load run exercises the whole
 // accuracy layer; the determinism cross-check applies unchanged.
 //
+// With -monitor, the workload shifts from request/response to
+// continuous monitoring: pcload opens -sessions streaming sessions in
+// identical-configuration pairs, consumes every NDJSON stream to its
+// end event, and cross-checks that paired sessions streamed
+// byte-identical sample series — the determinism contract extended to
+// the stateful session layer.
+//
 // Usage:
 //
 //	pcload -addr http://localhost:7090 -n 200 -c 8 -calibrate
 //	pcload -addr http://localhost:7090 -mix "K8/pc,CD/PLpm" -n 100 -c 4
 //	pcload -addr http://localhost:7090 -n 100 -c 4 -analyze
+//	pcload -addr http://localhost:7090 -monitor -sessions 8 -steps 64
 package main
 
 import (
@@ -30,7 +38,6 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -48,10 +55,20 @@ func main() {
 		calibrate = flag.Bool("calibrate", false, "request calibration on every measurement")
 		seeds     = flag.Int("seeds", 8, "distinct seeds per configuration (spread defeats coalescing)")
 		analyze   = flag.Bool("analyze", false, "drive /analyze instead of /measure: rotate plain, duet, multiplexed, and sampling items")
+		monitor   = flag.Bool("monitor", false, "drive /sessions instead of /measure: open paired streaming sessions and cross-check their series")
+		sessions  = flag.Int("sessions", 4, "monitoring sessions to open with -monitor (rounded up to pairs)")
+		steps     = flag.Int("steps", 32, "samples per monitoring session with -monitor")
+		window    = flag.Int("window", 8, "samples per window with -monitor")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *addr, *mixSpec, *n, *c, *runs, *seeds, *calibrate, *analyze); err != nil {
+	var err error
+	if *monitor {
+		err = runMonitor(os.Stdout, *addr, *mixSpec, *sessions, *steps, *window, *c)
+	} else {
+		err = run(os.Stdout, *addr, *mixSpec, *n, *c, *runs, *seeds, *calibrate, *analyze)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pcload:", err)
 		os.Exit(1)
 	}
@@ -258,10 +275,10 @@ func report(w io.Writer, results <-chan outcome, elapsed time.Duration, calibrat
 	if len(all) > 0 && elapsed > 0 {
 		fmt.Fprintf(w, "throughput:  %.1f req/s\n", float64(len(all))/elapsed.Seconds())
 	}
-	fmt.Fprintf(w, "latency:     %s\n", percentiles(all))
+	fmt.Fprintf(w, "latency:     %s\n", summarizeLatency(all))
 	if calibrate && len(cold) > 0 && len(warm) > 0 {
-		fmt.Fprintf(w, "cold (first per config, runs calibration): %s\n", percentiles(cold))
-		fmt.Fprintf(w, "warm (calibration cache hit):              %s\n", percentiles(warm))
+		fmt.Fprintf(w, "cold (first per config, runs calibration): %s\n", summarizeLatency(cold))
+		fmt.Fprintf(w, "warm (calibration cache hit):              %s\n", summarizeLatency(warm))
 	}
 	if divergent > 0 {
 		fmt.Fprintf(w, "DETERMINISM VIOLATION: %d identical requests got different bodies\n", divergent)
@@ -272,20 +289,4 @@ func report(w io.Writer, results <-chan outcome, elapsed time.Duration, calibrat
 		return fmt.Errorf("%d requests failed", failures)
 	}
 	return nil
-}
-
-// percentiles renders p50/p90/p99/max of a latency sample.
-func percentiles(d []time.Duration) string {
-	if len(d) == 0 {
-		return "n/a"
-	}
-	sorted := append([]time.Duration(nil), d...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	pick := func(p float64) time.Duration {
-		i := int(p * float64(len(sorted)-1))
-		return sorted[i]
-	}
-	return fmt.Sprintf("p50=%v p90=%v p99=%v max=%v",
-		pick(0.50).Round(time.Microsecond), pick(0.90).Round(time.Microsecond),
-		pick(0.99).Round(time.Microsecond), sorted[len(sorted)-1].Round(time.Microsecond))
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/monitor"
 	"repro/internal/service"
 )
 
@@ -46,6 +47,57 @@ func newBackend(t *testing.T) *httptest.Server {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(resp)
+	})
+	// Session routes, mirroring pcserved's wire behavior for the
+	// -monitor workload.
+	reg := monitor.NewRegistry(svc, monitor.Config{SweepInterval: -1})
+	t.Cleanup(reg.Close)
+	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req api.SessionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sess, err := reg.Open(r.Context(), req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(api.SessionCreated{ID: sess.ID, Config: sess.Config()})
+	})
+	mux.HandleFunc("GET /sessions/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		sess, err := reg.Get(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		sess.Subscribe()
+		defer sess.Unsubscribe()
+		flusher := w.(http.Flusher)
+		i := 0
+		for {
+			lines, next, wait, done := sess.Events(i)
+			i = next
+			if len(lines) > 0 {
+				for _, line := range lines {
+					w.Write(line)
+					w.Write([]byte("\n"))
+				}
+				flusher.Flush()
+				continue
+			}
+			if done {
+				return
+			}
+			select {
+			case <-wait:
+			case <-r.Context().Done():
+				return
+			}
+		}
 	})
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
@@ -155,13 +207,42 @@ func TestRunAnalyzeAgainstBackend(t *testing.T) {
 	}
 }
 
-func TestPercentiles(t *testing.T) {
-	if got := percentiles(nil); got != "n/a" {
-		t.Errorf("percentiles(nil) = %q", got)
-	}
+func TestReportLatencyLine(t *testing.T) {
 	d := []time.Duration{4 * time.Millisecond, 1 * time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond}
-	got := percentiles(d)
+	got := summarizeLatency(d).String()
 	if !strings.Contains(got, "p50=2ms") || !strings.Contains(got, "max=4ms") {
-		t.Errorf("percentiles = %q", got)
+		t.Errorf("summary = %q", got)
+	}
+}
+
+func TestRunMonitorAgainstBackend(t *testing.T) {
+	srv := newBackend(t)
+	var out bytes.Buffer
+	// Four sessions = two identical pairs; the cross-check must see
+	// every pair stream the same series.
+	if err := runMonitor(&out, srv.URL, "K8/pc,CD/pc", 4, 24, 8, 2); err != nil {
+		t.Fatalf("runMonitor: %v\noutput:\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"sessions:    4 (0 failed, 0 ended early)", "samples:     96 streamed", "open:", "stream:", "determinism: 2 distinct configs"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "DETERMINISM VIOLATION") {
+		t.Errorf("determinism violation reported:\n%s", report)
+	}
+}
+
+func TestRunMonitorRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := runMonitor(&out, "http://x", "K8/pc", 4, 8, 4, 0); err == nil {
+		t.Error("-c 0 accepted; would hang forever")
+	}
+	if err := runMonitor(&out, "http://x", "K8/pc", 0, 8, 4, 2); err == nil {
+		t.Error("-sessions 0 accepted")
+	}
+	if err := runMonitor(&out, "http://x", "garbage", 2, 8, 4, 2); err == nil {
+		t.Error("bad mix accepted")
 	}
 }

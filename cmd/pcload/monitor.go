@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+// sessionJob is one monitoring session to open and consume.
+type sessionJob struct {
+	req api.SessionRequest
+}
+
+// sessionOutcome records one fully consumed session stream.
+type sessionOutcome struct {
+	// configKey groups sessions that must stream identical series: the
+	// SessionKey of the server's normalized-config echo, so client-side
+	// default guessing can't split a group.
+	configKey string
+	open      time.Duration // POST /sessions latency
+	stream    time.Duration // first byte to end event
+	samples   int
+	windows   int
+	drifts    int
+	series    string // concatenated sample lines
+	endReason string
+	err       error
+}
+
+// runMonitor opens sessions in identical-configuration pairs,
+// consumes every stream to completion with c concurrent consumers,
+// and cross-checks that sessions sharing a configuration streamed
+// byte-identical sample series.
+func runMonitor(w io.Writer, addr, mixSpec string, sessions, steps, window, c int) error {
+	if c <= 0 {
+		return fmt.Errorf("-c must be positive (got %d)", c)
+	}
+	if sessions <= 0 {
+		return fmt.Errorf("-sessions must be positive (got %d)", sessions)
+	}
+	if sessions%2 != 0 {
+		sessions++ // pairs: every config is opened twice
+	}
+	var configs []api.MeasureRequest
+	for _, pair := range strings.Split(mixSpec, ",") {
+		proc, stk, ok := strings.Cut(strings.TrimSpace(pair), "/")
+		if !ok {
+			return fmt.Errorf("bad mix entry %q (want PROC/stack, e.g. K8/pc)", pair)
+		}
+		configs = append(configs, api.MeasureRequest{Processor: proc, Stack: stk})
+	}
+	if len(configs) == 0 {
+		return fmt.Errorf("empty mix")
+	}
+
+	benches := []string{"loop:1000", "loop:10000", "null", "array:500"}
+	jobs := make([]sessionJob, sessions)
+	for i := range jobs {
+		pair := i / 2 // both members of a pair share everything
+		m := configs[pair%len(configs)]
+		m.Bench = benches[pair%len(benches)]
+		m.Seed = uint64(1 + pair)
+		jobs[i] = sessionJob{req: api.SessionRequest{
+			Measure:    m,
+			Steps:      steps,
+			WindowSize: window,
+		}}
+	}
+
+	work := make(chan sessionJob)
+	results := make(chan sessionOutcome, len(jobs))
+	client := &http.Client{} // no timeout: streams are long-lived
+	var wg sync.WaitGroup
+	for i := 0; i < c; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range work {
+				results <- consumeSession(client, addr, job)
+			}
+		}()
+	}
+	start := time.Now()
+	for _, job := range jobs {
+		work <- job
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+
+	return reportMonitor(w, results, elapsed)
+}
+
+// consumeSession opens one session and reads its stream to the end
+// event.
+func consumeSession(client *http.Client, addr string, job sessionJob) sessionOutcome {
+	body, err := json.Marshal(job.req)
+	if err != nil {
+		return sessionOutcome{err: err}
+	}
+	openStart := time.Now()
+	resp, err := client.Post(addr+"/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sessionOutcome{err: err}
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return sessionOutcome{err: err}
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return sessionOutcome{err: fmt.Errorf("POST /sessions: status %d: %s", resp.StatusCode, data)}
+	}
+	var created api.SessionCreated
+	if err := json.Unmarshal(data, &created); err != nil {
+		return sessionOutcome{err: err}
+	}
+	out := sessionOutcome{configKey: created.Config.SessionKey(), open: time.Since(openStart)}
+
+	streamStart := time.Now()
+	sresp, err := client.Get(fmt.Sprintf("%s/sessions/%s/stream", addr, created.ID))
+	if err != nil {
+		out.err = err
+		return out
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		out.err = fmt.Errorf("GET stream: status %d", sresp.StatusCode)
+		return out
+	}
+	var series strings.Builder
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		var ev api.StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			out.err = fmt.Errorf("bad stream line %q: %w", sc.Bytes(), err)
+			return out
+		}
+		switch ev.Type {
+		case api.StreamSample:
+			out.samples++
+			series.Write(sc.Bytes())
+			series.WriteByte('\n')
+		case api.StreamWindow:
+			out.windows++
+		case api.StreamDrift:
+			out.drifts++
+		case api.StreamEnd:
+			out.endReason = ev.Reason
+		}
+	}
+	if err := sc.Err(); err != nil {
+		out.err = err
+		return out
+	}
+	if out.endReason == "" {
+		out.err = fmt.Errorf("stream closed without an end event")
+		return out
+	}
+	out.stream = time.Since(streamStart)
+	out.series = series.String()
+	return out
+}
+
+// reportMonitor prints the monitoring workload report and the
+// determinism cross-check over paired sessions.
+func reportMonitor(w io.Writer, results <-chan sessionOutcome, elapsed time.Duration) error {
+	var (
+		opens, streams  []time.Duration
+		total, failures int
+		samples, drifts int
+		unfinished      int
+		bySeries        = make(map[string]string) // config -> first series
+		divergent       int
+	)
+	for res := range results {
+		total++
+		if res.err != nil {
+			failures++
+			fmt.Fprintf(w, "session error: %v\n", res.err)
+			continue
+		}
+		opens = append(opens, res.open)
+		streams = append(streams, res.stream)
+		samples += res.samples
+		drifts += res.drifts
+		if res.endReason != api.SessionDone {
+			// A truncated stream (deleted, evicted, drained) is a
+			// lifecycle outcome, not a determinism signal; only complete
+			// series are cross-checked.
+			unfinished++
+			continue
+		}
+		if prev, ok := bySeries[res.configKey]; ok && prev != res.series {
+			divergent++
+		} else {
+			bySeries[res.configKey] = res.series
+		}
+	}
+
+	fmt.Fprintf(w, "sessions:    %d (%d failed, %d ended early)\n", total, failures, unfinished)
+	fmt.Fprintf(w, "elapsed:     %v\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "samples:     %d streamed, %d drift events\n", samples, drifts)
+	fmt.Fprintf(w, "open:        %s\n", summarizeLatency(opens))
+	fmt.Fprintf(w, "stream:      %s\n", summarizeLatency(streams))
+	if divergent > 0 {
+		fmt.Fprintf(w, "DETERMINISM VIOLATION: %d sessions streamed a different series than their pair\n", divergent)
+		return fmt.Errorf("%d divergent session series", divergent)
+	}
+	fmt.Fprintf(w, "determinism: %d distinct configs, all paired series identical\n", len(bySeries))
+	if failures > 0 {
+		return fmt.Errorf("%d sessions failed", failures)
+	}
+	return nil
+}

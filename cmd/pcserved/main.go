@@ -5,10 +5,14 @@
 //
 // Endpoints:
 //
-//	POST /measure     api.MeasureRequest    -> api.MeasureResponse
-//	POST /analyze     api.AnalyzeRequest    -> api.AnalyzeResponse
-//	POST /experiment  api.ExperimentRequest -> api.ExperimentResponse
-//	GET  /healthz     -> api.HealthResponse
+//	POST   /measure              api.MeasureRequest    -> api.MeasureResponse
+//	POST   /analyze              api.AnalyzeRequest    -> api.AnalyzeResponse
+//	POST   /experiment           api.ExperimentRequest -> api.ExperimentResponse
+//	POST   /sessions             api.SessionRequest    -> api.SessionCreated
+//	GET    /sessions/{id}        -> api.SessionSnapshot
+//	GET    /sessions/{id}/stream -> NDJSON api.StreamEvent lines
+//	DELETE /sessions/{id}        -> 204
+//	GET    /healthz              -> api.HealthResponse
 //
 // Responses to /measure and /analyze are deterministic: identical
 // requests receive byte-identical bodies, no matter how they interleave
@@ -17,6 +21,10 @@
 // batched /analyze endpoint evaluates the full error model — overhead
 // subtraction, multiplexing extrapolation, sampling quantization, and
 // paired duet measurement. See docs/ACCURACY.md.
+//
+// The /sessions endpoints open continuous monitoring sessions:
+// long-lived observers that stream corrected samples, window
+// summaries, and drift events over NDJSON. See docs/MONITORING.md.
 //
 // Usage:
 //
@@ -39,15 +47,18 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/monitor"
 	"repro/internal/service"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7090", "listen address")
-		workers = flag.Int("workers", 4, "systems pooled per (processor, stack) shard")
-		calruns = flag.Int("calruns", 31, "runs per calibration estimate")
-		maxexp  = flag.Int("maxexp", 2, "maximum concurrent experiments")
+		addr        = flag.String("addr", ":7090", "listen address")
+		workers     = flag.Int("workers", 4, "systems pooled per (processor, stack) shard")
+		calruns     = flag.Int("calruns", 31, "runs per calibration estimate")
+		maxexp      = flag.Int("maxexp", 2, "maximum concurrent experiments")
+		maxsessions = flag.Int("maxsessions", 16, "maximum concurrent monitoring sessions")
+		sessionidle = flag.Duration("sessionidle", 2*time.Minute, "evict monitoring sessions idle this long")
 	)
 	flag.Parse()
 
@@ -56,7 +67,25 @@ func main() {
 		CalibrationRuns:          *calruns,
 		MaxConcurrentExperiments: *maxexp,
 	})
-	srv := &http.Server{Addr: *addr, Handler: newHandler(svc)}
+	reg := monitor.NewRegistry(svc, monitor.Config{
+		MaxSessions: *maxsessions,
+		IdleTimeout: *sessionidle,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newHandler(svc, reg),
+		// A hostile or stalled client must not hold a connection open
+		// while it dribbles in headers or a request body.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// WriteTimeout stays 0 deliberately: /sessions/{id}/stream holds
+		// its response open for the session's whole lifetime, and a
+		// server-wide write deadline would sever every live stream. The
+		// non-streaming handlers respond in bounded time anyway; if a
+		// per-handler write deadline is ever needed, set it in the
+		// handler via http.ResponseController, not here.
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -64,6 +93,11 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
+		// Drain order matters: closing the registry first ends every
+		// session with a drained end event, so open NDJSON streams
+		// terminate cleanly and Shutdown's wait for in-flight requests
+		// can finish instead of hanging on live streams.
+		reg.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
@@ -80,10 +114,12 @@ func main() {
 	log.Printf("pcserved: drained, exiting")
 }
 
-// newHandler wires the service into an HTTP mux. Split out of main so
-// tests can drive the exact production routing in-process.
-func newHandler(svc *service.Service) http.Handler {
+// newHandler wires the service and session registry into an HTTP mux.
+// Split out of main so tests can drive the exact production routing
+// in-process.
+func newHandler(svc *service.Service, reg *monitor.Registry) http.Handler {
 	mux := http.NewServeMux()
+	registerSessionRoutes(mux, reg)
 	mux.HandleFunc("POST /measure", func(w http.ResponseWriter, r *http.Request) {
 		var req api.MeasureRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {

@@ -11,13 +11,17 @@ import (
 	"testing"
 
 	"repro/internal/api"
+	"repro/internal/monitor"
 	"repro/internal/service"
 )
 
 // newTestServer serves the production handler over HTTP.
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(newHandler(service.New(service.Config{WorkersPerShard: 2})))
+	svc := service.New(service.Config{WorkersPerShard: 2, CalibrationRuns: 5})
+	reg := monitor.NewRegistry(svc, monitor.Config{SweepInterval: -1})
+	t.Cleanup(reg.Close)
+	srv := httptest.NewServer(newHandler(svc, reg))
 	t.Cleanup(srv.Close)
 	return srv
 }

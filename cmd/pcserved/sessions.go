@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/monitor"
+)
+
+// registerSessionRoutes wires the continuous-monitoring endpoints:
+//
+//	POST   /sessions             api.SessionRequest -> api.SessionCreated
+//	GET    /sessions/{id}        -> api.SessionSnapshot
+//	GET    /sessions/{id}/stream -> NDJSON api.StreamEvent lines
+//	DELETE /sessions/{id}        -> 204
+func registerSessionRoutes(mux *http.ServeMux, reg *monitor.Registry) {
+	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req api.SessionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		sess, err := reg.Open(r.Context(), req)
+		if err != nil {
+			writeError(w, sessionStatusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, api.SessionCreated{ID: sess.ID, Config: sess.Config()})
+	})
+
+	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		sess, err := reg.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, sessionStatusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sess.Snapshot())
+	})
+
+	mux.HandleFunc("GET /sessions/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		sess, err := reg.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, sessionStatusFor(err), err)
+			return
+		}
+		streamSession(w, r, sess)
+	})
+
+	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := reg.Delete(r.PathValue("id")); err != nil {
+			writeError(w, sessionStatusFor(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+}
+
+// streamSession writes the session's event log as NDJSON, replaying
+// everything already produced and then following live until the
+// session ends (done, deleted, evicted, or drained) or the client
+// disconnects. Each event is one line, flushed as it happens. The
+// replay-then-follow design is what makes the stream independent of
+// attach timing: a client that connects late still receives the
+// complete, byte-identical series.
+func streamSession(w http.ResponseWriter, r *http.Request, sess *monitor.Session) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	// The server's ReadTimeout governs reading the *request* and does
+	// not cancel a running handler, but clear this connection's read
+	// deadline anyway so a stream outliving it can never be severed by
+	// a toolchain that polices the deadline from its background read.
+	// The next request on the connection gets a fresh deadline.
+	http.NewResponseController(w).SetReadDeadline(time.Time{})
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+
+	sess.Subscribe()
+	defer sess.Unsubscribe()
+
+	i := 0
+	for {
+		lines, next, wait, done := sess.Events(i)
+		i = next
+		if len(lines) > 0 {
+			for _, line := range lines {
+				w.Write(line)
+				w.Write([]byte("\n"))
+			}
+			if canFlush {
+				flusher.Flush()
+			}
+			continue
+		}
+		if done {
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// sessionStatusFor maps registry errors to HTTP statuses: bad requests
+// are the client's fault, unknown IDs are 404, and capacity or
+// shutdown conditions are 503 (retryable elsewhere or later).
+func sessionStatusFor(err error) int {
+	switch {
+	case errors.Is(err, api.ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, monitor.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, monitor.ErrTooManySessions),
+		errors.Is(err, monitor.ErrClosed):
+		return http.StatusServiceUnavailable
+	}
+	return statusFor(err)
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/api"
+)
+
+func sessionBody() api.SessionRequest {
+	return api.SessionRequest{
+		Measure:    api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000", Pattern: "rr"},
+		Steps:      24,
+		WindowSize: 8,
+	}
+}
+
+// openSession creates a session and returns its ID.
+func openSession(t *testing.T, base string, req api.SessionRequest) string {
+	t.Helper()
+	status, body := post(t, base+"/sessions", req)
+	if status != http.StatusCreated {
+		t.Fatalf("POST /sessions: status %d, body %s", status, body)
+	}
+	var created api.SessionCreated
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatalf("unmarshal created: %v", err)
+	}
+	if created.ID == "" || created.Config.Steps != req.Steps {
+		t.Fatalf("unexpected creation response: %s", body)
+	}
+	return created.ID
+}
+
+// readStream consumes a session's NDJSON stream to its end event and
+// returns every line.
+func readStream(t *testing.T, base, id string) [][]byte {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/sessions/%s/stream", base, id))
+	if err != nil {
+		t.Fatalf("GET stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type = %q", ct)
+	}
+	var lines [][]byte
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scanning stream: %v", err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("empty stream")
+	}
+	return lines
+}
+
+// TestSessionLifecycleOverHTTP drives create -> snapshot -> stream ->
+// delete through the production routing.
+func TestSessionLifecycleOverHTTP(t *testing.T) {
+	srv := newTestServer(t)
+	id := openSession(t, srv.URL, sessionBody())
+
+	lines := readStream(t, srv.URL, id)
+	var last api.StreamEvent
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != api.StreamEnd || last.Reason != api.SessionDone {
+		t.Errorf("final event = %s, want end/done", lines[len(lines)-1])
+	}
+
+	resp, err := http.Get(srv.URL + "/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap api.SessionSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode snapshot: %v", err)
+	}
+	if snap.ID != id || snap.State != api.SessionDone || snap.Total != 24 {
+		t.Errorf("snapshot = id %s state %s total %d, want %s/done/24", snap.ID, snap.State, snap.Total, id)
+	}
+	if len(snap.Windows) != 3 {
+		t.Errorf("snapshot has %d windows, want 3", len(snap.Windows))
+	}
+	if snap.Calibration == nil {
+		t.Error("snapshot missing calibration info")
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/sessions/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Errorf("DELETE status = %d, want 204", dresp.StatusCode)
+	}
+	gresp, err := http.Get(srv.URL + "/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET after delete = %d, want 404", gresp.StatusCode)
+	}
+}
+
+// TestIdenticalSessionsStreamIdenticalNDJSON is the acceptance
+// criterion at the HTTP layer: two sessions created from the same
+// body stream byte-identical sample series.
+func TestIdenticalSessionsStreamIdenticalNDJSON(t *testing.T) {
+	srv := newTestServer(t)
+	idA := openSession(t, srv.URL, sessionBody())
+	idB := openSession(t, srv.URL, sessionBody())
+	linesA := readStream(t, srv.URL, idA)
+	linesB := readStream(t, srv.URL, idB)
+	if len(linesA) != len(linesB) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(linesA), len(linesB))
+	}
+	for i := range linesA {
+		if !bytes.Equal(linesA[i], linesB[i]) {
+			t.Fatalf("line %d diverges:\n  a: %s\n  b: %s", i, linesA[i], linesB[i])
+		}
+	}
+}
+
+// TestSessionStreamCarriesDrift checks an injected step change
+// surfaces as a drift event on the wire.
+func TestSessionStreamCarriesDrift(t *testing.T) {
+	srv := newTestServer(t)
+	body := sessionBody()
+	body.Steps = 32
+	body.Inject = &api.InjectSpec{AfterStep: 16, Offset: 500_000}
+	id := openSession(t, srv.URL, body)
+	var drifts int
+	for _, line := range readStream(t, srv.URL, id) {
+		var ev api.StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type == api.StreamDrift {
+			drifts++
+		}
+	}
+	if drifts == 0 {
+		t.Error("no drift event on the stream despite injected step change")
+	}
+}
+
+func TestSessionEndpointErrors(t *testing.T) {
+	srv := newTestServer(t)
+	bad := sessionBody()
+	bad.WindowSize = 1
+	status, _ := post(t, srv.URL+"/sessions", bad)
+	if status != http.StatusBadRequest {
+		t.Errorf("bad session request: status %d, want 400", status)
+	}
+	resp, err := http.Get(srv.URL + "/sessions/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: status %d, want 404", resp.StatusCode)
+	}
+	sresp, err := http.Get(srv.URL + "/sessions/nope/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown stream: status %d, want 404", sresp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/sessions/nope", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown delete: status %d, want 404", dresp.StatusCode)
+	}
+}

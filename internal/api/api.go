@@ -316,6 +316,9 @@ type ServiceStats struct {
 	// lookups that were served warm versus computed.
 	CalibrationHits   uint64 `json:"calibrationHits"`
 	CalibrationMisses uint64 `json:"calibrationMisses"`
+	// PinnedWorkers is how many workers are currently checked out to
+	// long-lived holders (monitoring sessions) rather than requests.
+	PinnedWorkers uint64 `json:"pinnedWorkers"`
 }
 
 // Error is the service's JSON error body.

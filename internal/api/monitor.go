@@ -1,0 +1,256 @@
+package api
+
+import (
+	"fmt"
+
+	"repro/internal/accuracy"
+)
+
+// Limits and defaults of the session (continuous monitoring) endpoints.
+const (
+	// DefaultSessionSteps is the sample count when a session request
+	// leaves Steps 0.
+	DefaultSessionSteps = 64
+	// MaxSessionSteps bounds the samples one session may produce; a
+	// session pins a pooled worker for its whole lifetime, so the bound
+	// keeps one client from monopolizing a shard forever.
+	MaxSessionSteps = 100_000
+	// DefaultWindowSize is the samples-per-window when unset.
+	DefaultWindowSize = 8
+	// MaxWindowSize bounds samples per window.
+	MaxWindowSize = 1024
+	// DefaultSessionCapacity is the sample-ring size when unset.
+	DefaultSessionCapacity = 1024
+	// MaxSessionCapacity bounds the sample-ring size.
+	MaxSessionCapacity = 65_536
+	// MaxSessionIntervalMS bounds the wall-clock pacing between samples.
+	MaxSessionIntervalMS = 10_000
+)
+
+// InjectSpec is a synthetic step change: from AfterStep on, every raw
+// count is shifted by Offset before correction. It simulates the
+// regime changes continuous monitoring exists to catch (a placement
+// change, a multiplexing phase shift) with a known ground truth, which
+// is what makes drift detection testable end to end.
+type InjectSpec struct {
+	// AfterStep is the first step the shift applies to.
+	AfterStep int `json:"afterStep"`
+	// Offset is the count added to every raw sample from AfterStep on.
+	Offset float64 `json:"offset"`
+}
+
+// SessionRequest opens a continuous monitoring session: a pinned
+// worker measures the configuration once per virtual-time step,
+// appends the corrected sample to a windowed ring store, and flags
+// drift when a window's confidence interval stops overlapping the
+// baseline window's.
+type SessionRequest struct {
+	// Measure is the configuration to monitor. Runs is forced to 1
+	// (each step is one measurement) and Calibrate is implied: every
+	// sample is overhead-corrected with the cached calibration.
+	Measure MeasureRequest `json:"measure"`
+	// Steps is how many samples the session produces (default
+	// DefaultSessionSteps, capped at MaxSessionSteps).
+	Steps int `json:"steps,omitempty"`
+	// WindowSize is how many consecutive samples one window condenses
+	// (default DefaultWindowSize; at least 2 so dispersion is
+	// observable).
+	WindowSize int `json:"windowSize,omitempty"`
+	// Capacity is the sample-ring size (default DefaultSessionCapacity).
+	Capacity int `json:"capacity,omitempty"`
+	// Confidence is the two-sided level of window intervals (0 means
+	// accuracy.DefaultConfidence).
+	Confidence float64 `json:"confidence,omitempty"`
+	// IntervalMS is the wall-clock pacing between samples in
+	// milliseconds. It shapes delivery only: sample values and their
+	// virtual timestamps are independent of wall time.
+	IntervalMS int `json:"intervalMS,omitempty"`
+	// Inject, when set, applies a synthetic step change (see InjectSpec).
+	Inject *InjectSpec `json:"inject,omitempty"`
+}
+
+// Normalized validates the session request and makes every default
+// explicit. Like MeasureRequest.Normalized, the result is canonical:
+// requests that mean the same session normalize identically, which is
+// what lets clients cross-check that identical configurations stream
+// identical series.
+func (r SessionRequest) Normalized() (SessionRequest, error) {
+	// One measurement per step; the repetition plan lives in Steps.
+	r.Measure.Runs = 1
+	// Calibration is implied: samples are corrected, so the flag would
+	// only split identical sessions into different canonical forms.
+	r.Measure.Calibrate = false
+	norm, err := r.Measure.Normalized()
+	if err != nil {
+		return r, err
+	}
+	r.Measure = norm
+
+	if r.Steps == 0 {
+		r.Steps = DefaultSessionSteps
+	}
+	if r.Steps < 0 || r.Steps > MaxSessionSteps {
+		return r, badf("api: session steps %d out of range 1-%d", r.Steps, MaxSessionSteps)
+	}
+	if r.WindowSize == 0 {
+		r.WindowSize = DefaultWindowSize
+	}
+	if r.WindowSize < 2 || r.WindowSize > MaxWindowSize {
+		return r, badf("api: session window size %d out of range 2-%d", r.WindowSize, MaxWindowSize)
+	}
+	if r.Capacity == 0 {
+		r.Capacity = DefaultSessionCapacity
+	}
+	if r.Capacity < r.WindowSize || r.Capacity > MaxSessionCapacity {
+		return r, badf("api: session capacity %d out of range %d-%d", r.Capacity, r.WindowSize, MaxSessionCapacity)
+	}
+	if r.Confidence == 0 {
+		r.Confidence = accuracy.DefaultConfidence
+	}
+	if r.Confidence < MinConfidence || r.Confidence > MaxConfidence {
+		return r, badf("api: confidence %v out of range %v-%v", r.Confidence, MinConfidence, MaxConfidence)
+	}
+	if r.IntervalMS < 0 || r.IntervalMS > MaxSessionIntervalMS {
+		return r, badf("api: session interval %dms out of range 0-%d", r.IntervalMS, MaxSessionIntervalMS)
+	}
+	if r.Inject != nil {
+		if r.Inject.AfterStep < 0 || r.Inject.AfterStep >= r.Steps {
+			return r, badf("api: inject afterStep %d out of range 0-%d", r.Inject.AfterStep, r.Steps-1)
+		}
+		inj := *r.Inject
+		r.Inject = &inj
+	}
+	return r, nil
+}
+
+// Session states reported by snapshots and end events.
+const (
+	// SessionRunning: the sampler is still producing.
+	SessionRunning = "running"
+	// SessionDone: all Steps samples were produced.
+	SessionDone = "done"
+	// SessionDeleted: the session was deleted by a client.
+	SessionDeleted = "deleted"
+	// SessionEvicted: the registry evicted the session as idle.
+	SessionEvicted = "evicted"
+	// SessionDrained: the service shut down gracefully.
+	SessionDrained = "drained"
+	// SessionFailed: a measurement error ended the session early.
+	SessionFailed = "failed"
+)
+
+// SessionCreated is the response of POST /sessions.
+type SessionCreated struct {
+	// ID addresses the session in GET/DELETE /sessions/{id}.
+	ID string `json:"id"`
+	// Config echoes the normalized session request.
+	Config SessionRequest `json:"config"`
+}
+
+// SamplePoint is one corrected sample on the wire.
+type SamplePoint struct {
+	// Step is the 0-based sample index.
+	Step int `json:"step"`
+	// Time is the virtual timestamp (cumulative simulated cycles).
+	Time float64 `json:"time"`
+	// Raw is the uncorrected counter delta.
+	Raw float64 `json:"raw"`
+	// Value is the corrected estimate (raw minus calibrated overhead).
+	Value float64 `json:"value"`
+}
+
+// WindowInfo is one window summary on the wire.
+type WindowInfo struct {
+	// Index is the 0-based window sequence number.
+	Index int `json:"index"`
+	// FirstStep and LastStep bound the covered samples.
+	FirstStep int `json:"firstStep"`
+	LastStep  int `json:"lastStep"`
+	// Start and End are the covered virtual-time span.
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Min and Max bound the corrected values.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// Estimate is the window mean with its confidence interval.
+	Estimate EstimateInfo `json:"estimate"`
+}
+
+// DriftInfo reports a detected shift of the corrected estimate: the
+// current window's confidence interval no longer overlaps the
+// baseline window's.
+type DriftInfo struct {
+	// Step is the last sample step of the window that triggered the
+	// event.
+	Step int `json:"step"`
+	// FromWindow and Window are the baseline and triggering window
+	// indices.
+	FromWindow int `json:"fromWindow"`
+	Window     int `json:"window"`
+	// Shift is the change of the corrected estimate (current mean
+	// minus baseline mean).
+	Shift float64 `json:"shift"`
+	// Baseline and Current are the two non-overlapping estimates.
+	Baseline EstimateInfo `json:"baseline"`
+	Current  EstimateInfo `json:"current"`
+}
+
+// Stream event types of GET /sessions/{id}/stream.
+const (
+	// StreamSample carries one new sample.
+	StreamSample = "sample"
+	// StreamWindow carries one completed window summary.
+	StreamWindow = "window"
+	// StreamDrift carries one drift event.
+	StreamDrift = "drift"
+	// StreamEnd is the final event of every stream.
+	StreamEnd = "end"
+)
+
+// StreamEvent is one NDJSON line of a session stream. Events are
+// deterministic functions of the session configuration (the end
+// event's Reason aside), so two sessions with identical normalized
+// configurations stream byte-identical sample series.
+type StreamEvent struct {
+	Type   string       `json:"type"`
+	Sample *SamplePoint `json:"sample,omitempty"`
+	Window *WindowInfo  `json:"window,omitempty"`
+	Drift  *DriftInfo   `json:"drift,omitempty"`
+	// Reason qualifies end events: done, deleted, evicted, drained, or
+	// failed.
+	Reason string `json:"reason,omitempty"`
+	// Error carries the failure message of a failed session's end event.
+	Error string `json:"error,omitempty"`
+}
+
+// SessionSnapshot is the response of GET /sessions/{id}: the current
+// state plus the retained rings.
+type SessionSnapshot struct {
+	ID     string         `json:"id"`
+	Config SessionRequest `json:"config"`
+	// State is one of the Session* states.
+	State string `json:"state"`
+	// Total is how many samples were produced so far; Samples retains
+	// the newest Config.Capacity of them, oldest first.
+	Total   int           `json:"total"`
+	Samples []SamplePoint `json:"samples"`
+	// Windows holds the retained window summaries, oldest first.
+	Windows []WindowInfo `json:"windows"`
+	// Drifts lists every drift event of the session so far.
+	Drifts []DriftInfo `json:"drifts"`
+	// Calibration reports the overhead estimate correcting every sample.
+	Calibration *CalibrationInfo `json:"calibration,omitempty"`
+}
+
+// SessionKey returns the canonical identity of a normalized session
+// configuration. Sessions are stateful instances, so the key is not
+// used for coalescing; clients use it to group sessions that must
+// stream identical series.
+func (r SessionRequest) SessionKey() string {
+	inject := ""
+	if r.Inject != nil {
+		inject = fmt.Sprintf("%d@%g", r.Inject.AfterStep, r.Inject.Offset)
+	}
+	return fmt.Sprintf("%s|n%d|w%d|cap%d|conf%v|inj[%s]",
+		r.Measure.Key(), r.Steps, r.WindowSize, r.Capacity, r.Confidence, inject)
+}

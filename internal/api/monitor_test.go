@@ -1,0 +1,108 @@
+package api
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func validSession() SessionRequest {
+	return SessionRequest{
+		Measure: MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000"},
+	}
+}
+
+func TestSessionRequestDefaults(t *testing.T) {
+	norm, err := validSession().Normalized()
+	if err != nil {
+		t.Fatalf("Normalized: %v", err)
+	}
+	if norm.Steps != DefaultSessionSteps {
+		t.Errorf("Steps = %d, want %d", norm.Steps, DefaultSessionSteps)
+	}
+	if norm.WindowSize != DefaultWindowSize {
+		t.Errorf("WindowSize = %d, want %d", norm.WindowSize, DefaultWindowSize)
+	}
+	if norm.Capacity != DefaultSessionCapacity {
+		t.Errorf("Capacity = %d, want %d", norm.Capacity, DefaultSessionCapacity)
+	}
+	if norm.Confidence != 0.95 {
+		t.Errorf("Confidence = %v, want 0.95", norm.Confidence)
+	}
+	if norm.Measure.Runs != 1 {
+		t.Errorf("Measure.Runs = %d, want forced 1", norm.Measure.Runs)
+	}
+	if norm.Measure.Calibrate {
+		t.Error("Measure.Calibrate survived normalization; calibration is implied")
+	}
+}
+
+// TestSessionRequestCanonical pins the property the determinism
+// cross-check relies on: requests that mean the same session share a
+// canonical form and key.
+func TestSessionRequestCanonical(t *testing.T) {
+	a := validSession()
+	b := validSession()
+	b.Measure.Runs = 7         // forced to 1
+	b.Measure.Calibrate = true // canonicalized away
+	b.Steps = DefaultSessionSteps
+	na, err := a.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := b.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.SessionKey() != nb.SessionKey() {
+		t.Errorf("keys differ:\n  %s\n  %s", na.SessionKey(), nb.SessionKey())
+	}
+}
+
+func TestSessionKeyDistinguishesInjection(t *testing.T) {
+	a := validSession()
+	b := validSession()
+	b.Inject = &InjectSpec{AfterStep: 4, Offset: 100}
+	na, _ := a.Normalized()
+	nb, _ := b.Normalized()
+	if na.SessionKey() == nb.SessionKey() {
+		t.Error("injection did not change the session key")
+	}
+}
+
+func TestSessionRequestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*SessionRequest)
+		want string
+	}{
+		{"bad processor", func(r *SessionRequest) { r.Measure.Processor = "Z80" }, "processor"},
+		{"steps over cap", func(r *SessionRequest) { r.Steps = MaxSessionSteps + 1 }, "steps"},
+		{"negative steps", func(r *SessionRequest) { r.Steps = -1 }, "steps"},
+		{"window too small", func(r *SessionRequest) { r.WindowSize = 1 }, "window"},
+		{"window over cap", func(r *SessionRequest) { r.WindowSize = MaxWindowSize + 1 }, "window"},
+		{"capacity below window", func(r *SessionRequest) { r.Capacity = 4; r.WindowSize = 8 }, "capacity"},
+		{"capacity over cap", func(r *SessionRequest) { r.Capacity = MaxSessionCapacity + 1 }, "capacity"},
+		{"bad confidence", func(r *SessionRequest) { r.Confidence = 0.3 }, "confidence"},
+		{"negative interval", func(r *SessionRequest) { r.IntervalMS = -5 }, "interval"},
+		{"interval over cap", func(r *SessionRequest) { r.IntervalMS = MaxSessionIntervalMS + 1 }, "interval"},
+		{"inject before start", func(r *SessionRequest) { r.Inject = &InjectSpec{AfterStep: -1} }, "inject"},
+		{"inject past end", func(r *SessionRequest) { r.Steps = 8; r.Inject = &InjectSpec{AfterStep: 8} }, "inject"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := validSession()
+			tc.mut(&req)
+			_, err := req.Normalized()
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !errors.Is(err, ErrBadRequest) {
+				t.Errorf("error %v does not wrap ErrBadRequest", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,357 @@
+package monitor
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	stackpkg "repro/internal/stack"
+	"repro/internal/tsdb"
+)
+
+// quantizationSlack widens each window interval by half a count on
+// both sides before the overlap test. Counter values are integers, so
+// two windows whose means differ by less than one count are
+// indistinguishable even when their dispersion intervals are
+// degenerate points; the slack keeps a jitter-free series from firing
+// spurious drift events.
+const quantizationSlack = 0.5
+
+// Session is one continuous monitoring run: a pinned worker measuring
+// one configuration per virtual-time step, a windowed ring store of
+// the corrected samples, and an append-only event log that snapshots
+// and NDJSON streams read from. All mutable state is behind mu; the
+// sampler goroutine is the only writer of samples.
+type Session struct {
+	// ID addresses the session on the wire.
+	ID string
+
+	cfg  api.SessionRequest
+	cal  core.Calibration
+	creq core.Request
+	now  func() time.Time
+
+	// stop ends the sampler early (delete, eviction, drain).
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	mu       sync.Mutex
+	store    *tsdb.Store
+	state    string
+	failure  string
+	baseline *tsdb.Window // drift-detection reference window
+	drifts   []api.DriftInfo
+	// log holds marshaled NDJSON event lines in emission order. It is
+	// a bounded ring: logStart is the absolute index of log[0], and
+	// lines older than roughly two rings' worth of samples are dropped
+	// so a max-step session cannot hold megabytes of history. Streams
+	// that attach while the full log is retained (any attach within
+	// Capacity samples of the start — pcload attaches immediately)
+	// replay the complete series; later attaches replay the tail.
+	log         [][]byte
+	logStart    int
+	logCap      int
+	notify      chan struct{} // closed and renewed on every append
+	ended       bool          // end event written; log is complete
+	subscribers int
+	lastAccess  time.Time
+}
+
+// newSession builds a registered-but-not-yet-running session.
+func newSession(id string, cfg api.SessionRequest, cal core.Calibration, now func() time.Time) (*Session, error) {
+	store, err := tsdb.New(tsdb.Config{
+		Capacity:   cfg.Capacity,
+		WindowSize: cfg.WindowSize,
+		Confidence: cfg.Confidence,
+	})
+	if err != nil {
+		return nil, err
+	}
+	creq, err := cfg.Measure.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		ID:    id,
+		cfg:   cfg,
+		cal:   cal,
+		creq:  creq,
+		now:   now,
+		stop:  make(chan struct{}),
+		store: store,
+		state: api.SessionRunning,
+		// Per Capacity samples the log gains at most one sample line
+		// plus one window line per WindowSize >= 2 samples plus one
+		// drift line per window, so 2x Capacity (and slack for the end
+		// event) always covers a full sample ring.
+		logCap:     2*cfg.Capacity + 16,
+		notify:     make(chan struct{}),
+		lastAccess: now(),
+	}, nil
+}
+
+// run is the sampler: one measurement per step on the pinned system,
+// paced by IntervalMS wall time but timestamped in virtual time. The
+// system is Reset once up front — the same discipline as the request
+// path — so the sample series is a pure function of the configuration.
+func (s *Session) run(sys *stackpkg.System) {
+	sys.Reset()
+	var vt float64
+	interval := time.Duration(s.cfg.IntervalMS) * time.Millisecond
+	for step := 0; step < s.cfg.Steps; step++ {
+		select {
+		case <-s.stop:
+			return // the closer already wrote the end event
+		default:
+		}
+		s.creq.Seed = s.cfg.Measure.Seed + uint64(step)
+		m, err := sys.Measure(s.creq)
+		if err != nil {
+			s.close(api.SessionFailed, err.Error())
+			return
+		}
+		raw := float64(m.Deltas[0])
+		if inj := s.cfg.Inject; inj != nil && step >= inj.AfterStep {
+			raw += inj.Offset
+		}
+		vt += m.Cycles
+		s.observe(tsdb.Sample{
+			Step:  step,
+			Time:  vt,
+			Raw:   raw,
+			Value: raw - s.cal.Offset,
+		})
+		if interval > 0 && step+1 < s.cfg.Steps {
+			t := time.NewTimer(interval)
+			select {
+			case <-s.stop:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+	}
+	s.close(api.SessionDone, "")
+}
+
+// observe appends one sample to the store and the event log, emitting
+// window and drift events as windows complete. Dropped silently if the
+// session already ended (a closer won the race mid-measurement).
+func (s *Session) observe(p tsdb.Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	w, completed := s.store.Append(p)
+	sp := samplePoint(p)
+	s.appendLocked(api.StreamEvent{Type: api.StreamSample, Sample: &sp})
+	if !completed {
+		return
+	}
+	wi := windowInfo(w)
+	s.appendLocked(api.StreamEvent{Type: api.StreamWindow, Window: &wi})
+	if drift, ok := s.detectLocked(w); ok {
+		s.drifts = append(s.drifts, drift)
+		s.appendLocked(api.StreamEvent{Type: api.StreamDrift, Drift: &drift})
+	}
+}
+
+// detectLocked runs the drift rule on a completed window: the first
+// window becomes the baseline; a later window whose (slack-widened)
+// confidence interval fails to overlap the baseline's is a drift
+// event, and becomes the new baseline so a persistent shift fires
+// once, not once per window.
+func (s *Session) detectLocked(w tsdb.Window) (api.DriftInfo, bool) {
+	if s.baseline == nil {
+		base := w
+		s.baseline = &base
+		return api.DriftInfo{}, false
+	}
+	b := *s.baseline
+	if overlap(b, w) {
+		return api.DriftInfo{}, false
+	}
+	base := w
+	s.baseline = &base
+	return api.DriftInfo{
+		Step:       w.LastStep,
+		FromWindow: b.Index,
+		Window:     w.Index,
+		Shift:      w.Est.Corrected - b.Est.Corrected,
+		Baseline:   api.EstimateInfoFrom(s.cfg.Measure.Events[0], b.Est),
+		Current:    api.EstimateInfoFrom(s.cfg.Measure.Events[0], w.Est),
+	}, true
+}
+
+// overlap reports whether two windows' slack-widened confidence
+// intervals intersect.
+func overlap(a, b tsdb.Window) bool {
+	return a.Est.CI.Lo-quantizationSlack <= b.Est.CI.Hi+quantizationSlack &&
+		b.Est.CI.Lo-quantizationSlack <= a.Est.CI.Hi+quantizationSlack
+}
+
+// appendLocked marshals one event onto the log and wakes waiters.
+// Stream-event marshaling is deterministic (fixed field order, no
+// maps), which is what makes identical sessions byte-identical on the
+// wire.
+func (s *Session) appendLocked(ev api.StreamEvent) {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		// Unreachable: every event type marshals. Keep the log
+		// consistent rather than panicking a sampler.
+		return
+	}
+	s.log = append(s.log, line)
+	// Trim in chunks (a quarter over the cap) so the copy that
+	// releases dropped lines' backing array amortizes to O(1) per
+	// append.
+	if len(s.log) > s.logCap+s.logCap/4 {
+		drop := len(s.log) - s.logCap
+		s.log = append([][]byte(nil), s.log[drop:]...)
+		s.logStart += drop
+	}
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+// close ends the session with a final end event carrying the reason.
+// Idempotent: the first closer (sampler completion, delete, eviction,
+// drain, failure) wins and later calls are no-ops.
+func (s *Session) close(state, failure string) {
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.state = state
+	s.failure = failure
+	s.appendLocked(api.StreamEvent{Type: api.StreamEnd, Reason: state, Error: failure})
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// Events returns the retained log lines from absolute index i on,
+// and the next index to resume from (i plus the delivered lines;
+// ahead of that when lines older than the retention bound were
+// dropped). When no new lines exist, it returns a channel that is
+// closed on the next append and whether the log is already complete
+// (the end event is written, so a reader that has consumed everything
+// can stop). Reading counts as client activity for idle accounting.
+func (s *Session) Events(i int) (lines [][]byte, next int, wait <-chan struct{}, done bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastAccess = s.now()
+	if i < s.logStart {
+		i = s.logStart
+	}
+	if idx := i - s.logStart; idx < len(s.log) {
+		lines = s.log[idx:]
+		return lines, i + len(lines), nil, s.ended
+	}
+	return nil, i, s.notify, s.ended
+}
+
+// Subscribe registers an attached stream; subscribed sessions are
+// never evicted as idle.
+func (s *Session) Subscribe() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subscribers++
+	s.lastAccess = s.now()
+}
+
+// Unsubscribe detaches a stream.
+func (s *Session) Unsubscribe() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subscribers--
+	s.lastAccess = s.now()
+}
+
+// idleSince returns how long the session has been without client
+// activity. A session with an attached stream is never idle; a
+// session nobody watches is idle from its last access even while its
+// sampler still produces — eviction is what reclaims the pinned
+// worker of an abandoned session.
+func (s *Session) idleSince(now time.Time) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.subscribers > 0 {
+		return 0
+	}
+	return now.Sub(s.lastAccess)
+}
+
+// Config returns the normalized session configuration.
+func (s *Session) Config() api.SessionRequest { return s.cfg }
+
+// Ended reports whether the session has stopped producing (its end
+// event is written and its worker released or releasing).
+func (s *Session) Ended() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ended
+}
+
+// lastAccessed returns the last client-activity time.
+func (s *Session) lastAccessed() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastAccess
+}
+
+// State returns the current session state.
+func (s *Session) State() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Snapshot reports the session's current state and retained rings.
+func (s *Session) Snapshot() api.SessionSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastAccess = s.now()
+	snap := api.SessionSnapshot{
+		ID:     s.ID,
+		Config: s.cfg,
+		State:  s.state,
+		Total:  s.store.Total(),
+		Drifts: append([]api.DriftInfo(nil), s.drifts...),
+		Calibration: &api.CalibrationInfo{
+			Offset:   s.cal.Offset,
+			Strategy: s.cal.Strategy,
+			Samples:  s.cal.Samples,
+		},
+	}
+	for _, p := range s.store.Samples() {
+		snap.Samples = append(snap.Samples, samplePoint(p))
+	}
+	for _, w := range s.store.Windows() {
+		snap.Windows = append(snap.Windows, windowInfo(w))
+	}
+	return snap
+}
+
+// samplePoint converts a store sample to its wire form.
+func samplePoint(p tsdb.Sample) api.SamplePoint {
+	return api.SamplePoint{Step: p.Step, Time: p.Time, Raw: p.Raw, Value: p.Value}
+}
+
+// windowInfo converts a window summary to its wire form.
+func windowInfo(w tsdb.Window) api.WindowInfo {
+	return api.WindowInfo{
+		Index:     w.Index,
+		FirstStep: w.FirstStep,
+		LastStep:  w.LastStep,
+		Start:     w.Start,
+		End:       w.End,
+		Min:       w.Min,
+		Max:       w.Max,
+		Estimate:  api.EstimateInfoFrom("", w.Est),
+	}
+}

@@ -83,6 +83,7 @@ type Service struct {
 	coalesced atomic.Uint64
 	calHits   atomic.Uint64
 	calMisses atomic.Uint64
+	pins      atomic.Uint64
 }
 
 // call is one in-flight execution that duplicate requests can join.
@@ -298,6 +299,7 @@ func (s *Service) Health() api.HealthResponse {
 			Coalesced:         s.coalesced.Load(),
 			CalibrationHits:   s.calHits.Load(),
 			CalibrationMisses: s.calMisses.Load(),
+			PinnedWorkers:     s.pins.Load(),
 		},
 	}
 	for _, sh := range shards {

@@ -1,0 +1,207 @@
+// Package tsdb is the time-series store of the continuous-monitoring
+// subsystem: a fixed-capacity ring buffer of corrected counter samples
+// with windowed downsampling. A monitoring session (internal/monitor)
+// appends one sample per virtual-time step; the store keeps the most
+// recent Capacity samples and condenses every WindowSize consecutive
+// samples into a window summary — min, max, mean, and a confidence
+// interval computed with the internal/accuracy error model, the same
+// dispersion interval a /measure response carries.
+//
+// The store is deliberately not concurrency-safe: a session owns its
+// store and serializes access through its own mutex, so the ring never
+// pays for locking twice. Everything here is pure, allocation-frugal
+// arithmetic — appending a sample is O(1) and aggregating a window is
+// one pass over WindowSize values — which is what lets a registry run
+// many sessions without the store showing up in profiles (see the
+// package benchmarks).
+package tsdb
+
+import (
+	"fmt"
+
+	"repro/internal/accuracy"
+)
+
+// Sample is one observation of a counter at a virtual-time step.
+type Sample struct {
+	// Step is the 0-based sample index within the session.
+	Step int `json:"step"`
+	// Time is the virtual timestamp: cumulative simulated cycles at
+	// the end of the step's measurement.
+	Time float64 `json:"time"`
+	// Raw is the uncorrected counter delta.
+	Raw float64 `json:"raw"`
+	// Value is the corrected estimate (raw minus calibrated overhead).
+	Value float64 `json:"value"`
+}
+
+// Window condenses WindowSize consecutive samples.
+type Window struct {
+	// Index is the 0-based window sequence number.
+	Index int
+	// FirstStep and LastStep bound the samples the window covers.
+	FirstStep int
+	LastStep  int
+	// Start and End are the virtual timestamps of the first and last
+	// covered samples.
+	Start float64
+	End   float64
+	// Min and Max bound the corrected values in the window.
+	Min float64
+	Max float64
+	// Est is the window's corrected estimate: the mean of the values
+	// with the dispersion confidence interval of internal/accuracy.
+	Est accuracy.Estimate
+}
+
+// Config sizes a store.
+type Config struct {
+	// Capacity is how many samples the ring retains. Must be positive.
+	Capacity int
+	// WindowSize is how many consecutive samples one window condenses.
+	// Must be at least 2, so the window's dispersion is observable.
+	WindowSize int
+	// WindowCapacity is how many window summaries the ring retains.
+	// Zero means enough to cover Capacity samples plus one.
+	WindowCapacity int
+	// Confidence is the two-sided level of window intervals. Zero means
+	// accuracy.DefaultConfidence.
+	Confidence float64
+}
+
+// Store is the windowed ring-buffer time series of one session.
+type Store struct {
+	cfg Config
+
+	samples []Sample // ring
+	head    int      // index of oldest
+	count   int
+	total   int // samples appended ever
+
+	windows []Window // ring
+	whead   int
+	wcount  int
+	wtotal  int // windows completed ever
+
+	pending []Sample // samples of the in-progress window
+}
+
+// New builds an empty store, validating the configuration.
+func New(cfg Config) (*Store, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("tsdb: capacity must be positive (got %d)", cfg.Capacity)
+	}
+	if cfg.WindowSize < 2 {
+		return nil, fmt.Errorf("tsdb: window size must be at least 2 (got %d)", cfg.WindowSize)
+	}
+	if cfg.Confidence == 0 {
+		cfg.Confidence = accuracy.DefaultConfidence
+	}
+	if !(cfg.Confidence > 0 && cfg.Confidence < 1) {
+		return nil, fmt.Errorf("tsdb: confidence must be in (0, 1) (got %v)", cfg.Confidence)
+	}
+	if cfg.WindowCapacity <= 0 {
+		cfg.WindowCapacity = cfg.Capacity/cfg.WindowSize + 1
+	}
+	return &Store{
+		cfg:     cfg,
+		samples: make([]Sample, cfg.Capacity),
+		windows: make([]Window, cfg.WindowCapacity),
+		pending: make([]Sample, 0, cfg.WindowSize),
+	}, nil
+}
+
+// Append adds one sample. When the sample completes a window, the
+// window summary is returned with ok true.
+func (st *Store) Append(p Sample) (w Window, ok bool) {
+	tail := (st.head + st.count) % len(st.samples)
+	st.samples[tail] = p
+	if st.count < len(st.samples) {
+		st.count++
+	} else {
+		st.head = (st.head + 1) % len(st.samples)
+	}
+	st.total++
+
+	st.pending = append(st.pending, p)
+	if len(st.pending) < st.cfg.WindowSize {
+		return Window{}, false
+	}
+	w = st.aggregate()
+	st.pending = st.pending[:0]
+
+	wtail := (st.whead + st.wcount) % len(st.windows)
+	st.windows[wtail] = w
+	if st.wcount < len(st.windows) {
+		st.wcount++
+	} else {
+		st.whead = (st.whead + 1) % len(st.windows)
+	}
+	st.wtotal++
+	return w, true
+}
+
+// aggregate condenses the pending samples into one window summary.
+func (st *Store) aggregate() Window {
+	first, last := st.pending[0], st.pending[len(st.pending)-1]
+	w := Window{
+		Index:     st.wtotal,
+		FirstStep: first.Step,
+		LastStep:  last.Step,
+		Start:     first.Time,
+		End:       last.Time,
+		Min:       first.Value,
+		Max:       first.Value,
+	}
+	values := make([]float64, len(st.pending))
+	for i, p := range st.pending {
+		values[i] = p.Value
+		if p.Value < w.Min {
+			w.Min = p.Value
+		}
+		if p.Value > w.Max {
+			w.Max = p.Value
+		}
+	}
+	// The samples are already overhead-corrected, so the window estimate
+	// applies no further correction — FromRuns contributes the mean and
+	// the dispersion interval. The error is impossible by construction
+	// (values is non-empty, confidence validated by New).
+	w.Est, _ = accuracy.FromRuns(values, 0, st.cfg.Confidence)
+	return w
+}
+
+// Len returns how many samples the ring currently holds.
+func (st *Store) Len() int { return st.count }
+
+// Total returns how many samples were ever appended.
+func (st *Store) Total() int { return st.total }
+
+// WindowTotal returns how many windows were ever completed.
+func (st *Store) WindowTotal() int { return st.wtotal }
+
+// Samples returns the retained samples, oldest first.
+func (st *Store) Samples() []Sample {
+	out := make([]Sample, st.count)
+	for i := 0; i < st.count; i++ {
+		out[i] = st.samples[(st.head+i)%len(st.samples)]
+	}
+	return out
+}
+
+// Windows returns the retained window summaries, oldest first.
+func (st *Store) Windows() []Window {
+	out := make([]Window, st.wcount)
+	for i := 0; i < st.wcount; i++ {
+		out[i] = st.windows[(st.whead+i)%len(st.windows)]
+	}
+	return out
+}
+
+// Latest returns the most recent sample, if any.
+func (st *Store) Latest() (Sample, bool) {
+	if st.count == 0 {
+		return Sample{}, false
+	}
+	return st.samples[(st.head+st.count-1)%len(st.samples)], true
+}

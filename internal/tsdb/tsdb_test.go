@@ -1,0 +1,196 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/accuracy"
+)
+
+func mustNew(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return st
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Capacity: 0, WindowSize: 4},
+		{Capacity: -1, WindowSize: 4},
+		{Capacity: 8, WindowSize: 1},
+		{Capacity: 8, WindowSize: 4, Confidence: 1.5},
+		{Capacity: 8, WindowSize: 4, Confidence: -0.5},
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v): want error, got nil", cfg)
+		}
+	}
+}
+
+// sample builds a test sample whose value encodes its step.
+func sample(step int) Sample {
+	return Sample{Step: step, Time: float64(step) * 100, Raw: float64(1000 + step), Value: float64(step)}
+}
+
+func TestRingRetainsNewest(t *testing.T) {
+	st := mustNew(t, Config{Capacity: 4, WindowSize: 2})
+	for i := 0; i < 10; i++ {
+		st.Append(sample(i))
+	}
+	if st.Total() != 10 || st.Len() != 4 {
+		t.Fatalf("Total=%d Len=%d, want 10, 4", st.Total(), st.Len())
+	}
+	got := st.Samples()
+	for i, p := range got {
+		if want := 6 + i; p.Step != want {
+			t.Errorf("Samples()[%d].Step = %d, want %d", i, p.Step, want)
+		}
+	}
+	latest, ok := st.Latest()
+	if !ok || latest.Step != 9 {
+		t.Errorf("Latest() = %+v, %v; want step 9", latest, ok)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	st := mustNew(t, Config{Capacity: 4, WindowSize: 2})
+	if _, ok := st.Latest(); ok {
+		t.Error("Latest() on empty store reported ok")
+	}
+	if n := len(st.Samples()); n != 0 {
+		t.Errorf("Samples() on empty store has %d entries", n)
+	}
+	if n := len(st.Windows()); n != 0 {
+		t.Errorf("Windows() on empty store has %d entries", n)
+	}
+}
+
+func TestWindowEmission(t *testing.T) {
+	st := mustNew(t, Config{Capacity: 64, WindowSize: 4})
+	var windows []Window
+	for i := 0; i < 11; i++ {
+		w, ok := st.Append(sample(i))
+		if wantOK := (i+1)%4 == 0; ok != wantOK {
+			t.Fatalf("Append(step %d): window emitted = %v, want %v", i, ok, wantOK)
+		}
+		if ok {
+			windows = append(windows, w)
+		}
+	}
+	if len(windows) != 2 || st.WindowTotal() != 2 {
+		t.Fatalf("got %d windows (total %d), want 2", len(windows), st.WindowTotal())
+	}
+	w := windows[1]
+	if w.Index != 1 || w.FirstStep != 4 || w.LastStep != 7 {
+		t.Errorf("window = %+v, want index 1 covering steps 4-7", w)
+	}
+	if w.Start != 400 || w.End != 700 {
+		t.Errorf("window span = [%v, %v], want [400, 700]", w.Start, w.End)
+	}
+	if w.Min != 4 || w.Max != 7 {
+		t.Errorf("window min/max = %v/%v, want 4/7", w.Min, w.Max)
+	}
+}
+
+// TestWindowEstimateMatchesAccuracy pins the window estimate to the
+// accuracy package's dispersion interval: same values, same answer.
+func TestWindowEstimateMatchesAccuracy(t *testing.T) {
+	st := mustNew(t, Config{Capacity: 16, WindowSize: 4, Confidence: 0.9})
+	values := []float64{10, 12, 11, 14}
+	var got Window
+	for i, v := range values {
+		p := sample(i)
+		p.Value = v
+		if w, ok := st.Append(p); ok {
+			got = w
+		}
+	}
+	want, err := accuracy.FromRuns(values, 0, 0.9)
+	if err != nil {
+		t.Fatalf("FromRuns: %v", err)
+	}
+	if got.Est.Corrected != want.Corrected || got.Est.CI != want.CI || got.Est.StdErr != want.StdErr {
+		t.Errorf("window estimate = %+v, want %+v", got.Est, want)
+	}
+	if got.Est.Corrected != 11.75 {
+		t.Errorf("window mean = %v, want 11.75", got.Est.Corrected)
+	}
+	if got.Est.CI.Width() <= 0 {
+		t.Errorf("window CI has non-positive width: %+v", got.Est.CI)
+	}
+}
+
+func TestWindowRingRetainsNewest(t *testing.T) {
+	st := mustNew(t, Config{Capacity: 8, WindowSize: 2, WindowCapacity: 3})
+	for i := 0; i < 20; i++ { // 10 windows through a 3-window ring
+		st.Append(sample(i))
+	}
+	ws := st.Windows()
+	if len(ws) != 3 || st.WindowTotal() != 10 {
+		t.Fatalf("got %d windows retained (total %d), want 3 of 10", len(ws), st.WindowTotal())
+	}
+	for i, w := range ws {
+		if want := 7 + i; w.Index != want {
+			t.Errorf("Windows()[%d].Index = %d, want %d", i, w.Index, want)
+		}
+	}
+}
+
+func TestDefaultWindowCapacityCoversRing(t *testing.T) {
+	st := mustNew(t, Config{Capacity: 64, WindowSize: 8})
+	for i := 0; i < 64; i++ {
+		st.Append(sample(i))
+	}
+	if len(st.Windows()) != 8 {
+		t.Errorf("retained %d windows, want all 8 covering the ring", len(st.Windows()))
+	}
+}
+
+func TestConstantSeriesHasPointInterval(t *testing.T) {
+	st := mustNew(t, Config{Capacity: 8, WindowSize: 4})
+	var w Window
+	for i := 0; i < 4; i++ {
+		p := sample(i)
+		p.Value = 42
+		w, _ = st.Append(p)
+	}
+	if w.Est.CI.Width() != 0 || w.Est.Corrected != 42 {
+		t.Errorf("constant window estimate = %+v, want point interval at 42", w.Est)
+	}
+	if math.IsNaN(w.Est.StdErr) {
+		t.Error("constant window produced NaN standard error")
+	}
+}
+
+func BenchmarkStoreAppend(b *testing.B) {
+	st, err := New(Config{Capacity: 4096, WindowSize: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Append(Sample{Step: i, Time: float64(i), Raw: float64(i), Value: float64(i % 97)})
+	}
+}
+
+func BenchmarkWindowAggregate(b *testing.B) {
+	st, err := New(Config{Capacity: 4096, WindowSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-fill all but one sample of a window, then complete it each
+	// iteration: the benchmark isolates the aggregation cost.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 63; j++ {
+			st.Append(Sample{Step: j, Value: float64(j)})
+		}
+		if _, ok := st.Append(Sample{Step: 63, Value: 63}); !ok {
+			b.Fatal("window did not complete")
+		}
+	}
+}
