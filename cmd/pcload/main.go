@@ -22,12 +22,19 @@
 // byte-identical sample series — the determinism contract extended to
 // the stateful session layer.
 //
+// With -plan, requests go to the planning layer: accuracy-targeted
+// /plan requests issued in identical pairs, asserting that identical
+// plans return byte-identical bodies, that every fused interval is at
+// most its naive multiplexed interval, and that plans attain their
+// CI-width targets under load.
+//
 // Usage:
 //
 //	pcload -addr http://localhost:7090 -n 200 -c 8 -calibrate
 //	pcload -addr http://localhost:7090 -mix "K8/pc,CD/PLpm" -n 100 -c 4
 //	pcload -addr http://localhost:7090 -n 100 -c 4 -analyze
 //	pcload -addr http://localhost:7090 -monitor -sessions 8 -steps 64
+//	pcload -addr http://localhost:7090 -plan -plans 24 -c 4
 package main
 
 import (
@@ -59,13 +66,26 @@ func main() {
 		sessions  = flag.Int("sessions", 4, "monitoring sessions to open with -monitor (rounded up to pairs)")
 		steps     = flag.Int("steps", 32, "samples per monitoring session with -monitor")
 		window    = flag.Int("window", 8, "samples per window with -monitor")
+		planMode  = flag.Bool("plan", false, "drive /plan instead of /measure: accuracy-targeted plans, asserting determinism, fused-interval narrowing, and CI-target attainment")
+		plans     = flag.Int("plans", 12, "plan requests to send with -plan (issued as identical pairs)")
 	)
 	flag.Parse()
 
 	var err error
-	if *monitor {
+	modes := 0
+	for _, on := range []bool{*monitor, *planMode, *analyze} {
+		if on {
+			modes++
+		}
+	}
+	switch {
+	case modes > 1:
+		err = fmt.Errorf("-analyze, -monitor, and -plan are mutually exclusive workloads")
+	case *monitor:
 		err = runMonitor(os.Stdout, *addr, *mixSpec, *sessions, *steps, *window, *c)
-	} else {
+	case *planMode:
+		err = runPlan(os.Stdout, *addr, *mixSpec, *plans, *c)
+	default:
 		err = run(os.Stdout, *addr, *mixSpec, *n, *c, *runs, *seeds, *calibrate, *analyze)
 	}
 	if err != nil {
@@ -136,22 +156,36 @@ func run(w io.Writer, addr, mixSpec string, n, c, runs, seeds int, calibrate, an
 	return report(w, results, elapsed, calibrate)
 }
 
-// buildPlan expands the mix into n requests: for each configuration, a
-// rotation of benchmarks and seeds. The first request of each
-// configuration is marked cold.
-func buildPlan(mixSpec string, n, runs, seeds int, calibrate, analyze bool) ([]workItem, error) {
+// parseMix parses a -mix spec — comma-separated PROC/stack pairs —
+// into measure-request stubs carrying only the configuration identity.
+// Shared by every workload builder so the mix format and its errors
+// have one definition.
+func parseMix(mixSpec string) ([]api.MeasureRequest, error) {
 	var configs []api.MeasureRequest
 	for _, pair := range strings.Split(mixSpec, ",") {
 		proc, stk, ok := strings.Cut(strings.TrimSpace(pair), "/")
 		if !ok {
 			return nil, fmt.Errorf("bad mix entry %q (want PROC/stack, e.g. K8/pc)", pair)
 		}
-		configs = append(configs, api.MeasureRequest{
-			Processor: proc, Stack: stk, Runs: runs, Calibrate: calibrate,
-		})
+		configs = append(configs, api.MeasureRequest{Processor: proc, Stack: stk})
 	}
 	if len(configs) == 0 {
 		return nil, fmt.Errorf("empty mix")
+	}
+	return configs, nil
+}
+
+// buildPlan expands the mix into n requests: for each configuration, a
+// rotation of benchmarks and seeds. The first request of each
+// configuration is marked cold.
+func buildPlan(mixSpec string, n, runs, seeds int, calibrate, analyze bool) ([]workItem, error) {
+	configs, err := parseMix(mixSpec)
+	if err != nil {
+		return nil, err
+	}
+	for i := range configs {
+		configs[i].Runs = runs
+		configs[i].Calibrate = calibrate
 	}
 
 	benches := []string{"loop:1000", "loop:10000", "null", "array:500"}

@@ -49,16 +49,9 @@ func runMonitor(w io.Writer, addr, mixSpec string, sessions, steps, window, c in
 	if sessions%2 != 0 {
 		sessions++ // pairs: every config is opened twice
 	}
-	var configs []api.MeasureRequest
-	for _, pair := range strings.Split(mixSpec, ",") {
-		proc, stk, ok := strings.Cut(strings.TrimSpace(pair), "/")
-		if !ok {
-			return fmt.Errorf("bad mix entry %q (want PROC/stack, e.g. K8/pc)", pair)
-		}
-		configs = append(configs, api.MeasureRequest{Processor: proc, Stack: stk})
-	}
-	if len(configs) == 0 {
-		return fmt.Errorf("empty mix")
+	configs, err := parseMix(mixSpec)
+	if err != nil {
+		return err
 	}
 
 	benches := []string{"loop:1000", "loop:10000", "null", "array:500"}

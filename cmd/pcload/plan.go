@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+// planItem is one /plan request to fire, tagged with its configuration
+// key for the determinism cross-check.
+type planItem struct {
+	key string
+	req api.PlanRequest
+}
+
+// planOutcome records one completed /plan call and the two assertions
+// the workload makes about it: the fused interval of every event must
+// be at most the naive one, and the plan must attain its target.
+type planOutcome struct {
+	key       string
+	latency   time.Duration
+	status    int
+	err       error
+	body      string // request=>response for the determinism cross-check
+	attained  bool
+	widened   int // events whose fused interval exceeded the naive one
+	narrowing float64
+	events    int
+	rounds    int
+	totalRuns int
+}
+
+// buildPlanPlans expands the mix into n plan requests cycling a set of
+// accuracy-targeted variants. Every variant uses events whose counts
+// are either large (so the relative target is attainable within the
+// budget) or exactly zero (attained trivially), keeping the attainment
+// assertion sound under load.
+func buildPlanPlans(mixSpec string, n int) ([]planItem, error) {
+	type variant struct {
+		bench    string
+		events   []string
+		counters int
+	}
+	variants := []variant{
+		// Multiplexed: 3 events on 2 counters, anchor-pinned groups.
+		{"array:1000000", []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED", "DCACHE_MISS"}, 2},
+		// Dedicated: fits the hardware, exercises calibration reuse.
+		{"loop:2000000", []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED"}, 0},
+		// Multiplexed, wider set: 4 events on 2 counters.
+		{"array:2000000", []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED", "DCACHE_MISS", "BR_MISP_RETIRED"}, 2},
+	}
+	configs, err := parseMix(mixSpec)
+	if err != nil {
+		return nil, err
+	}
+	plan := make([]planItem, 0, n)
+	for i := 0; i < n; i++ {
+		// i/2: every request is issued twice, so identical pairs exercise
+		// the determinism cross-check (and in-flight coalescing) exactly
+		// like pcload's other workloads.
+		v := variants[(i/2)%len(variants)]
+		cfg := configs[(i/(2*len(variants)))%len(configs)]
+		req := api.PlanRequest{
+			Measure: api.MeasureRequest{
+				Processor: cfg.Processor, Stack: cfg.Stack,
+				Bench:  v.bench,
+				Events: v.events,
+			},
+			TargetRelWidth: 0.1,
+			Counters:       v.counters,
+			PilotRuns:      2,
+			MaxRuns:        16,
+		}
+		plan = append(plan, planItem{key: cfg.Processor + "/" + cfg.Stack, req: req})
+	}
+	return plan, nil
+}
+
+// runPlan drives the /plan workload: n requests (issued as identical
+// pairs) across c workers, then asserts determinism, fused-interval
+// narrowing, and CI-target attainment.
+func runPlan(w io.Writer, addr, mixSpec string, n, c int) error {
+	if c <= 0 {
+		return fmt.Errorf("-c must be positive (got %d)", c)
+	}
+	if n < 0 {
+		return fmt.Errorf("-plans must be non-negative (got %d)", n)
+	}
+	plan, err := buildPlanPlans(mixSpec, n)
+	if err != nil {
+		return err
+	}
+
+	work := make(chan planItem)
+	results := make(chan planOutcome, len(plan))
+	client := &http.Client{Timeout: 120 * time.Second}
+
+	var wg sync.WaitGroup
+	for i := 0; i < c; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for item := range work {
+				results <- firePlan(client, addr, item)
+			}
+		}()
+	}
+	start := time.Now()
+	for _, item := range plan {
+		work <- item
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+
+	return reportPlan(w, results, elapsed)
+}
+
+// firePlan sends one /plan request and evaluates its assertions.
+func firePlan(client *http.Client, addr string, item planItem) planOutcome {
+	body, err := json.Marshal(item.req)
+	if err != nil {
+		return planOutcome{key: item.key, err: err}
+	}
+	start := time.Now()
+	resp, err := client.Post(addr+"/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return planOutcome{key: item.key, err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	out := planOutcome{
+		key:     item.key,
+		latency: time.Since(start),
+		status:  resp.StatusCode,
+		err:     err,
+	}
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return out
+	}
+	out.body = string(body) + "=>" + string(data)
+	var pr api.PlanResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		out.err = err
+		return out
+	}
+	out.attained = pr.Attained
+	out.rounds = pr.Rounds
+	out.totalRuns = pr.TotalRuns
+	for _, est := range pr.Estimates {
+		naiveHalf := (est.Naive.Hi - est.Naive.Lo) / 2
+		fusedHalf := (est.Fused.Hi - est.Fused.Lo) / 2
+		if fusedHalf > naiveHalf*(1+1e-9) {
+			out.widened++
+		}
+		out.narrowing += est.Narrowing
+		out.events++
+	}
+	return out
+}
+
+// reportPlan prints throughput, latency, attainment, and the
+// determinism cross-check, failing on any violated assertion.
+func reportPlan(w io.Writer, results <-chan planOutcome, elapsed time.Duration) error {
+	var (
+		all                []time.Duration
+		failures, total    int
+		attained, missed   int
+		widened, events    int
+		narrowingSum       float64
+		runsSum, roundsMax int
+		byRequest          = make(map[string]string)
+		divergent          int
+	)
+	for res := range results {
+		total++
+		if res.err != nil || res.status != http.StatusOK {
+			failures++
+			continue
+		}
+		all = append(all, res.latency)
+		if res.attained {
+			attained++
+		} else {
+			missed++
+		}
+		widened += res.widened
+		events += res.events
+		narrowingSum += res.narrowing
+		runsSum += res.totalRuns
+		roundsMax = max(roundsMax, res.rounds)
+		reqBody, respBody, _ := strings.Cut(res.body, "=>")
+		if prev, ok := byRequest[reqBody]; ok && prev != respBody {
+			divergent++
+		} else {
+			byRequest[reqBody] = respBody
+		}
+	}
+
+	fmt.Fprintf(w, "plans:       %d (%d failed)\n", total, failures)
+	fmt.Fprintf(w, "elapsed:     %v\n", elapsed.Round(time.Millisecond))
+	if len(all) > 0 && elapsed > 0 {
+		fmt.Fprintf(w, "throughput:  %.1f plans/s\n", float64(len(all))/elapsed.Seconds())
+	}
+	fmt.Fprintf(w, "latency:     %s\n", summarizeLatency(all))
+	ok := total - failures
+	if ok > 0 {
+		fmt.Fprintf(w, "attained:    %d/%d plans met their CI target (max rounds %d, %.1f runs/plan)\n",
+			attained, ok, roundsMax, float64(runsSum)/float64(ok))
+	}
+	if events > 0 {
+		fmt.Fprintf(w, "narrowing:   %.1f%% mean fused-vs-naive interval reduction\n", 100*narrowingSum/float64(events))
+	}
+	if divergent > 0 {
+		fmt.Fprintf(w, "DETERMINISM VIOLATION: %d identical plans got different bodies\n", divergent)
+		return fmt.Errorf("%d divergent plan responses", divergent)
+	}
+	fmt.Fprintf(w, "determinism: %d distinct plans, all responses consistent\n", len(byRequest))
+	if widened > 0 {
+		return fmt.Errorf("%d events reported a fused interval wider than the naive one", widened)
+	}
+	if missed > 0 {
+		return fmt.Errorf("%d plans missed an attainable CI target", missed)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d plans failed", failures)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@
 //
 //	POST   /measure              api.MeasureRequest    -> api.MeasureResponse
 //	POST   /analyze              api.AnalyzeRequest    -> api.AnalyzeResponse
+//	POST   /plan                 api.PlanRequest       -> api.PlanResponse
 //	POST   /experiment           api.ExperimentRequest -> api.ExperimentResponse
 //	POST   /sessions             api.SessionRequest    -> api.SessionCreated
 //	GET    /sessions/{id}        -> api.SessionSnapshot
@@ -14,13 +15,19 @@
 //	DELETE /sessions/{id}        -> 204
 //	GET    /healthz              -> api.HealthResponse
 //
-// Responses to /measure and /analyze are deterministic: identical
-// requests receive byte-identical bodies, no matter how they interleave
-// with other traffic. Every measurement response carries an accuracy
-// annotation (a corrected estimate with a confidence interval); the
-// batched /analyze endpoint evaluates the full error model — overhead
-// subtraction, multiplexing extrapolation, sampling quantization, and
-// paired duet measurement. See docs/ACCURACY.md.
+// Responses to /measure, /analyze, and /plan are deterministic:
+// identical requests receive byte-identical bodies, no matter how they
+// interleave with other traffic. Every measurement response carries an
+// accuracy annotation (a corrected estimate with a confidence
+// interval); the batched /analyze endpoint evaluates the full error
+// model — overhead subtraction, multiplexing extrapolation, sampling
+// quantization, and paired duet measurement. See docs/ACCURACY.md.
+//
+// The /plan endpoint is the planning layer: callers state an accuracy
+// goal and the planner derives a multiplexing schedule and replication
+// count that meets it, executes the schedule, and fuses the partial
+// observations into estimates never wider than the naive ones. See
+// docs/PLANNING.md.
 //
 // The /sessions endpoints open continuous monitoring sessions:
 // long-lived observers that stream corrected samples, window
@@ -48,6 +55,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/monitor"
+	"repro/internal/plan"
 	"repro/internal/service"
 )
 
@@ -71,9 +79,10 @@ func main() {
 		MaxSessions: *maxsessions,
 		IdleTimeout: *sessionidle,
 	})
+	planner := plan.New(svc)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newHandler(svc, reg),
+		Handler: newHandler(svc, reg, planner),
 		// A hostile or stalled client must not hold a connection open
 		// while it dribbles in headers or a request body.
 		ReadHeaderTimeout: 5 * time.Second,
@@ -114,55 +123,53 @@ func main() {
 	log.Printf("pcserved: drained, exiting")
 }
 
-// newHandler wires the service and session registry into an HTTP mux.
-// Split out of main so tests can drive the exact production routing
-// in-process.
-func newHandler(svc *service.Service, reg *monitor.Registry) http.Handler {
+// newHandler wires the service, session registry, and planner into an
+// HTTP mux. Split out of main so tests can drive the exact production
+// routing in-process.
+func newHandler(svc *service.Service, reg *monitor.Registry, planner *plan.Planner) http.Handler {
 	mux := http.NewServeMux()
 	registerSessionRoutes(mux, reg)
-	mux.HandleFunc("POST /measure", func(w http.ResponseWriter, r *http.Request) {
-		var req api.MeasureRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-			return
-		}
-		resp, err := svc.Measure(r.Context(), req)
-		if err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("POST /analyze", func(w http.ResponseWriter, r *http.Request) {
-		var req api.AnalyzeRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-			return
-		}
-		resp, err := svc.Analyze(r.Context(), req)
-		if err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("POST /experiment", func(w http.ResponseWriter, r *http.Request) {
-		var req api.ExperimentRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-			return
-		}
-		resp, err := svc.Experiment(r.Context(), req)
-		if err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
+	mux.HandleFunc("POST /measure", handleJSON(statusFor, http.StatusOK,
+		func(r *http.Request, req api.MeasureRequest) (*api.MeasureResponse, error) {
+			return svc.Measure(r.Context(), req)
+		}))
+	mux.HandleFunc("POST /analyze", handleJSON(statusFor, http.StatusOK,
+		func(r *http.Request, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
+			return svc.Analyze(r.Context(), req)
+		}))
+	mux.HandleFunc("POST /plan", handleJSON(statusFor, http.StatusOK,
+		func(r *http.Request, req api.PlanRequest) (*api.PlanResponse, error) {
+			return planner.Do(r.Context(), req)
+		}))
+	mux.HandleFunc("POST /experiment", handleJSON(statusFor, http.StatusOK,
+		func(r *http.Request, req api.ExperimentRequest) (*api.ExperimentResponse, error) {
+			return svc.Experiment(r.Context(), req)
+		}))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Health())
 	})
 	return mux
+}
+
+// handleJSON is the one shape every JSON endpoint shares: decode the
+// body (a malformed body is always the client's fault), run the
+// handler, map its error to a status with the given policy, and write
+// either the api.Error body or the response at the success code. One
+// helper means every endpoint emits the same error shape.
+func handleJSON[Req, Resp any](status func(error) int, code int, do func(*http.Request, Req) (Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		resp, err := do(r, req)
+		if err != nil {
+			writeError(w, status(err), err)
+			return
+		}
+		writeJSON(w, code, resp)
+	}
 }
 
 // statusFor maps service errors to HTTP statuses: invalid requests are

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/monitor"
+	"repro/internal/plan"
 	"repro/internal/service"
 )
 
@@ -21,7 +22,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 	svc := service.New(service.Config{WorkersPerShard: 2, CalibrationRuns: 5})
 	reg := monitor.NewRegistry(svc, monitor.Config{SweepInterval: -1})
 	t.Cleanup(reg.Close)
-	srv := httptest.NewServer(newHandler(svc, reg))
+	srv := httptest.NewServer(newHandler(svc, reg, plan.New(svc)))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -142,6 +143,86 @@ func TestAnalyzeEndpoint(t *testing.T) {
 	status, _ = post(t, srv.URL+"/analyze", api.AnalyzeRequest{})
 	if status != http.StatusBadRequest {
 		t.Errorf("empty batch: status = %d, want 400", status)
+	}
+}
+
+// TestPlanEndpoint drives the acceptance property over the production
+// routing: an event set larger than the scheduled counter count plans,
+// executes, and fuses; every fused interval is at most its naive
+// per-group multiplexed interval; and two identical requests return
+// byte-identical plans and estimates.
+func TestPlanEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	req := api.PlanRequest{
+		Measure: api.MeasureRequest{
+			Processor: "K8", Stack: "pc", Bench: "array:2000000", Pattern: "rr",
+			Events: []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED", "DCACHE_MISS", "BR_MISP_RETIRED"},
+		},
+		TargetRelWidth: 0.1,
+		Counters:       2,
+		PilotRuns:      2,
+		MaxRuns:        10,
+	}
+	status, body := post(t, srv.URL+"/plan", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", status, body)
+	}
+	var resp api.PlanResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if resp.Plan.Mode != "multiplexed" || len(resp.Plan.Groups) != 3 {
+		t.Errorf("plan = %+v, want 3 multiplexed groups", resp.Plan)
+	}
+	if len(resp.Estimates) != 4 {
+		t.Fatalf("estimates = %d, want 4", len(resp.Estimates))
+	}
+	for _, est := range resp.Estimates {
+		naiveHalf := (est.Naive.Hi - est.Naive.Lo) / 2
+		fusedHalf := (est.Fused.Hi - est.Fused.Lo) / 2
+		if fusedHalf > naiveHalf*(1+1e-9) {
+			t.Errorf("%s: fused half-width %v exceeds naive %v", est.Event, fusedHalf, naiveHalf)
+		}
+	}
+
+	status2, body2 := post(t, srv.URL+"/plan", req)
+	if status2 != http.StatusOK || string(body) != string(body2) {
+		t.Errorf("repeated /plan diverged (status %d)", status2)
+	}
+}
+
+func TestPlanRejectsInvalid(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []any{
+		api.PlanRequest{Measure: api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "null"}}, // no target
+		api.PlanRequest{Measure: api.MeasureRequest{Processor: "Z80", Stack: "pc", Bench: "null"}, TargetRelWidth: 0.1},
+		"not json",
+	}
+	for _, c := range cases {
+		status, body := post(t, srv.URL+"/plan", c)
+		if status != http.StatusBadRequest {
+			t.Errorf("payload %v: status = %d (%s), want 400", c, status, body)
+		}
+		var e api.Error
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("payload %v: error body not the shared JSON shape: %s", c, body)
+		}
+	}
+}
+
+// TestErrorShapeUniform: every JSON endpoint must emit the same error
+// body shape through the shared handler.
+func TestErrorShapeUniform(t *testing.T) {
+	srv := newTestServer(t)
+	for _, path := range []string{"/measure", "/analyze", "/plan", "/experiment", "/sessions"} {
+		status, body := post(t, srv.URL+path, "garbage")
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, status)
+		}
+		var e api.Error
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body = %s, want api.Error shape", path, body)
+		}
 	}
 }
 

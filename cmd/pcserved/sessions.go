@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
 	"time"
 
@@ -18,19 +16,14 @@ import (
 //	GET    /sessions/{id}/stream -> NDJSON api.StreamEvent lines
 //	DELETE /sessions/{id}        -> 204
 func registerSessionRoutes(mux *http.ServeMux, reg *monitor.Registry) {
-	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
-		var req api.SessionRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-			return
-		}
-		sess, err := reg.Open(r.Context(), req)
-		if err != nil {
-			writeError(w, sessionStatusFor(err), err)
-			return
-		}
-		writeJSON(w, http.StatusCreated, api.SessionCreated{ID: sess.ID, Config: sess.Config()})
-	})
+	mux.HandleFunc("POST /sessions", handleJSON(sessionStatusFor, http.StatusCreated,
+		func(r *http.Request, req api.SessionRequest) (api.SessionCreated, error) {
+			sess, err := reg.Open(r.Context(), req)
+			if err != nil {
+				return api.SessionCreated{}, err
+			}
+			return api.SessionCreated{ID: sess.ID, Config: sess.Config()}, nil
+		}))
 
 	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		sess, err := reg.Get(r.PathValue("id"))

@@ -1,0 +1,61 @@
+// Plan: drive the experiment planner in process — the same engine
+// behind pcserved's /plan endpoint. State an accuracy goal (a relative
+// confidence-interval half-width) for an event set larger than the
+// hardware counter budget; the planner builds an anchor-pinned
+// multiplexing schedule, chooses the replication count from a pilot's
+// observed dispersion, executes it on the service's worker pools, and
+// fuses the per-group estimates so every interval is at most the naive
+// multiplexed one (see docs/PLANNING.md).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/api"
+	"repro/internal/plan"
+	"repro/internal/service"
+)
+
+func main() {
+	svc := service.New(service.Config{WorkersPerShard: 1, CalibrationRuns: 31})
+	planner := plan.New(svc)
+
+	resp, err := planner.Do(context.Background(), api.PlanRequest{
+		Measure: api.MeasureRequest{
+			Processor: "K8", Stack: "pc", Bench: "array:2000000",
+			Events: []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED", "DCACHE_MISS", "BR_MISP_RETIRED"},
+		},
+		TargetRelWidth: 0.05, // +-5% at 95% confidence
+		Counters:       2,    // pretend the machine spares us two registers
+		PilotRuns:      3,
+		MaxRuns:        24,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mode %s, anchor %s, %d groups:\n", resp.Plan.Mode, resp.Plan.Anchor, len(resp.Plan.Groups))
+	for g, group := range resp.Plan.Groups {
+		fmt.Printf("  group %d: %v\n", g, group.Events)
+	}
+	fmt.Printf("pilot %d runs -> planned %d runs; executed %d total (rounds %d)\n\n",
+		resp.Plan.PilotRuns, resp.Plan.PlannedRuns, resp.TotalRuns, resp.Rounds)
+
+	for _, est := range resp.Estimates {
+		fmt.Printf("%-18s naive [%.0f, %.0f]  fused [%.0f, %.0f]  narrowing %4.1f%%  rel %.4f  attained %v\n",
+			est.Event, est.Naive.Lo, est.Naive.Hi, est.Fused.Lo, est.Fused.Hi,
+			100*est.Narrowing, est.RelWidth, est.Attained)
+	}
+	fmt.Printf("\ntarget +-%.0f%% attained: %v\n", 100*resp.Plan.Request.TargetRelWidth, resp.Attained)
+
+	// The same request again: the calibrations, shard pools, and plan
+	// determinism make the repeat cheap and byte-identical.
+	again, err := planner.Do(context.Background(), resp.Plan.Request)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replanned: attained=%v, same anchor estimate: %v\n",
+		again.Attained, again.Estimates[0].Fused.Corrected == resp.Estimates[0].Fused.Corrected)
+}

@@ -86,6 +86,11 @@ const (
 	// of a sampling estimate (negative Value: the correction adds half
 	// a period to the raw samples-times-period estimate).
 	TermSamplingQuantization = "sampling-quantization"
+	// TermAnchorFusion is the anchor-constraint correction the planning
+	// layer's fusion applies to a multiplexed estimate: the portion of
+	// the estimate explained by the shared-window error of the anchor
+	// event measured alongside it (Value is subtracted from Raw).
+	TermAnchorFusion = "anchor-fusion"
 )
 
 // Estimate is a corrected measurement estimate with its confidence

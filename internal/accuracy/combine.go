@@ -1,0 +1,58 @@
+package accuracy
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Combine fuses independent estimates of one quantity by
+// inverse-variance weighting (stats.InverseVarianceMean): the
+// minimum-variance linear combination, so the fused interval is never
+// wider than the tightest input interval. This is the fusion step the
+// planning layer applies when the same event has been observed through
+// several schedules — per-group anchor copies, dedicated reference
+// runs — and the BayesPerf-style linear event constraint reduces to
+// "all of these estimate the same count".
+//
+// Estimates with zero standard error are exact observations and
+// dominate the combination (see stats.InverseVarianceMean). The fused
+// N sums the observation counts; correction terms are not carried
+// over, since they describe the individual measurement procedures, not
+// the fused quantity.
+func Combine(ests []Estimate, confidence float64) (Estimate, error) {
+	if len(ests) == 0 {
+		return Estimate{}, ErrNoObservations
+	}
+	z, err := zFor(confidence)
+	if err != nil {
+		return Estimate{}, err
+	}
+	points := make([]float64, len(ests))
+	raws := make([]float64, len(ests))
+	variances := make([]float64, len(ests))
+	n := 0
+	for i, e := range ests {
+		points[i] = e.Corrected
+		raws[i] = e.Raw
+		variances[i] = e.StdErr * e.StdErr
+		n += e.N
+	}
+	point, v, err := stats.InverseVarianceMean(points, variances)
+	if err != nil {
+		return Estimate{}, err
+	}
+	raw, _, err := stats.InverseVarianceMean(raws, variances)
+	if err != nil {
+		return Estimate{}, err
+	}
+	se := math.Sqrt(v)
+	return Estimate{
+		Raw:        raw,
+		Corrected:  point,
+		CI:         Interval{Lo: point - z*se, Hi: point + z*se},
+		Confidence: confidence,
+		StdErr:     se,
+		N:          n,
+	}, nil
+}

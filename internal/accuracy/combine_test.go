@@ -1,0 +1,86 @@
+package accuracy
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestCombineNeverWidens(t *testing.T) {
+	a := Estimate{Raw: 102, Corrected: 100, StdErr: 4, N: 8, Confidence: 0.95}
+	b := Estimate{Raw: 107, Corrected: 106, StdErr: 2, N: 4, Confidence: 0.95}
+	got, err := Combine([]Estimate{a, b}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StdErr > b.StdErr {
+		t.Errorf("fused StdErr %v exceeds tightest input %v", got.StdErr, b.StdErr)
+	}
+	if got.N != 12 {
+		t.Errorf("fused N = %d, want 12", got.N)
+	}
+	// The fused point must sit between the inputs, nearer the precise one.
+	if got.Corrected <= a.Corrected || got.Corrected >= b.Corrected {
+		t.Errorf("fused point %v outside (%v, %v)", got.Corrected, a.Corrected, b.Corrected)
+	}
+	if math.Abs(got.Corrected-b.Corrected) > math.Abs(got.Corrected-a.Corrected) {
+		t.Errorf("fused point %v nearer the noisier input", got.Corrected)
+	}
+}
+
+func TestCombineExactObservationDominates(t *testing.T) {
+	got, err := Combine([]Estimate{
+		{Corrected: 500, StdErr: 0, N: 1},
+		{Corrected: 900, StdErr: 25, N: 16},
+	}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Corrected != 500 || got.StdErr != 0 {
+		t.Errorf("exact observation did not dominate: %+v", got)
+	}
+	if got.CI.Width() != 0 {
+		t.Errorf("exact fusion should collapse the interval: %+v", got.CI)
+	}
+}
+
+func TestCombineValidation(t *testing.T) {
+	if _, err := Combine(nil, 0.95); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Combine([]Estimate{{Corrected: 1, StdErr: 1}}, 1.5); !errors.Is(err, ErrBadConfidence) {
+		t.Errorf("bad confidence: %v", err)
+	}
+}
+
+// TestCombineCoverage: fusing two unbiased noisy estimates of the same
+// truth must keep nominal coverage while tightening the interval.
+func TestCombineCoverage(t *testing.T) {
+	const (
+		trials = 400
+		truth  = 80_000.0
+		sdA    = 120.0
+		sdB    = 60.0
+	)
+	rng := xrand.New(0xc0b1)
+	covered := 0
+	for i := 0; i < trials; i++ {
+		a := Estimate{Corrected: truth + sdA*rng.NormFloat64(), StdErr: sdA, N: 5}
+		b := Estimate{Corrected: truth + sdB*rng.NormFloat64(), StdErr: sdB, N: 5}
+		got, err := Combine([]Estimate{a, b}, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.StdErr >= sdB {
+			t.Fatalf("fusion failed to tighten: %v", got.StdErr)
+		}
+		if got.CI.Contains(truth) {
+			covered++
+		}
+	}
+	if rate := float64(covered) / trials; rate < 0.9 || rate > 0.99 {
+		t.Errorf("coverage = %.3f, want ~0.95", rate)
+	}
+}

@@ -1,0 +1,251 @@
+package api
+
+import (
+	"fmt"
+
+	"repro/internal/accuracy"
+	"repro/internal/cpu"
+)
+
+// Limits and defaults of the /plan endpoint.
+const (
+	// DefaultPilotRuns is the pilot replication used to observe
+	// dispersion before the planner commits to a replication count.
+	DefaultPilotRuns = 4
+	// MaxPilotRuns bounds the pilot so it cannot dwarf the plan itself.
+	MaxPilotRuns = 32
+	// DefaultPlanMaxRuns is the per-plan replication budget when the
+	// request leaves MaxRuns zero.
+	DefaultPlanMaxRuns = 256
+	// MaxPlanRuns bounds the replication budget a request may ask for.
+	MaxPlanRuns = 4096
+	// DefaultMaxRefine is how many re-planning rounds a plan may add
+	// after its first execution misses the target.
+	DefaultMaxRefine = 2
+	// MaxRefineBound bounds the refine budget.
+	MaxRefineBound = 8
+	// MinTargetRelWidth and MaxTargetRelWidth bound the requested
+	// relative confidence-interval half-width. Below the minimum the
+	// replication formula explodes quadratically; above 1 the target is
+	// wider than the estimate itself and always attained.
+	MinTargetRelWidth = 0.0005
+	MaxTargetRelWidth = 1.0
+)
+
+// Plan modes.
+const (
+	// PlanModeDedicated schedules every event on its own hardware
+	// counter in one calibrated counting configuration — chosen when the
+	// event set fits the counters the plan may use.
+	PlanModeDedicated = "dedicated"
+	// PlanModeMultiplexed time-shares the counters across event groups
+	// with the anchor event pinned into every group, and fuses the
+	// per-group estimates.
+	PlanModeMultiplexed = "multiplexed"
+)
+
+// PlanRequest asks the planner for the cheapest measurement schedule
+// that estimates every requested event within a relative
+// confidence-interval half-width target, and for the fused estimates
+// the executed schedule produced.
+type PlanRequest struct {
+	// Measure is the base configuration: processor, stack, benchmark,
+	// pattern, mode, opt, seed. Events may exceed the hardware counter
+	// count (up to MaxMpxEvents); the first event is the anchor the
+	// fusion constraint pivots on. Runs and Calibrate are owned by the
+	// planner and canonicalized away.
+	Measure MeasureRequest `json:"measure"`
+	// TargetRelWidth is the accuracy goal: the confidence interval's
+	// half-width divided by the estimate magnitude must not exceed it.
+	// Required, in [MinTargetRelWidth, MaxTargetRelWidth].
+	TargetRelWidth float64 `json:"targetRelWidth"`
+	// Confidence is the two-sided level of every interval (0 means
+	// accuracy.DefaultConfidence).
+	Confidence float64 `json:"confidence,omitempty"`
+	// Counters is how many hardware counters per worker the plan may
+	// use (0 means all the model has).
+	Counters int `json:"counters,omitempty"`
+	// PilotRuns sizes the pilot execution the replication choice is
+	// derived from (0 means DefaultPilotRuns).
+	PilotRuns int `json:"pilotRuns,omitempty"`
+	// MaxRuns is the replication budget per plan (0 means
+	// DefaultPlanMaxRuns).
+	MaxRuns int `json:"maxRuns,omitempty"`
+	// MaxRefine bounds how many times the planner may re-plan with the
+	// observed dispersion after missing the target (0 means
+	// DefaultMaxRefine; negative disables refinement).
+	MaxRefine int `json:"maxRefine,omitempty"`
+}
+
+// Normalized validates the request and makes every default explicit.
+// The canonical form's Key is the coalescing identity of the plan.
+func (r PlanRequest) Normalized() (PlanRequest, error) {
+	if r.TargetRelWidth < MinTargetRelWidth || r.TargetRelWidth > MaxTargetRelWidth {
+		return r, badf("api: target relative width %v out of range %v-%v",
+			r.TargetRelWidth, MinTargetRelWidth, MaxTargetRelWidth)
+	}
+	if r.Confidence == 0 {
+		r.Confidence = accuracy.DefaultConfidence
+	}
+	if r.Confidence < MinConfidence || r.Confidence > MaxConfidence {
+		return r, badf("api: confidence %v out of range %v-%v", r.Confidence, MinConfidence, MaxConfidence)
+	}
+	model, err := cpu.ModelByTag(r.Measure.Processor)
+	if err != nil {
+		return r, badf("api: bad processor %q (want PD, CD, or K8)", r.Measure.Processor)
+	}
+	if r.Counters == 0 {
+		r.Counters = model.NumProgrammable
+	}
+	if r.Counters < 1 || r.Counters > model.NumProgrammable {
+		return r, badf("api: %d plan counters out of range 1-%d on %s",
+			r.Counters, model.NumProgrammable, model.Tag)
+	}
+	if r.PilotRuns == 0 {
+		r.PilotRuns = DefaultPilotRuns
+	}
+	if r.PilotRuns < 1 || r.PilotRuns > MaxPilotRuns {
+		return r, badf("api: pilot runs %d out of range 1-%d", r.PilotRuns, MaxPilotRuns)
+	}
+	if r.MaxRuns == 0 {
+		r.MaxRuns = DefaultPlanMaxRuns
+	}
+	if r.MaxRuns < r.PilotRuns || r.MaxRuns > MaxPlanRuns {
+		return r, badf("api: max runs %d out of range %d-%d", r.MaxRuns, r.PilotRuns, MaxPlanRuns)
+	}
+	switch {
+	case r.MaxRefine == 0:
+		r.MaxRefine = DefaultMaxRefine
+	case r.MaxRefine < 0:
+		r.MaxRefine = 0 // explicit "no refinement" canonicalizes to zero rounds
+	case r.MaxRefine > MaxRefineBound:
+		return r, badf("api: refine budget %d exceeds limit %d", r.MaxRefine, MaxRefineBound)
+	}
+
+	// The planner owns replication and calibration; canonicalize both
+	// away so equivalent plans coalesce. The event list may exceed the
+	// per-counter bound MeasureRequest.Normalized enforces — that is the
+	// point of a multiplexing schedule — so it is validated here against
+	// the looser MaxMpxEvents bound, exactly as /analyze does.
+	r.Measure.Runs = 1
+	r.Measure.Calibrate = false
+	events := r.Measure.Events
+	if len(events) == 0 {
+		events = []string{DefaultEvent}
+	}
+	if len(events) > MaxMpxEvents {
+		return r, badf("api: %d events exceed the plan limit %d", len(events), MaxMpxEvents)
+	}
+	canonical := make([]string, len(events))
+	for i, name := range events {
+		ev, err := cpu.EventByName(name)
+		if err != nil {
+			return r, badf("api: %v", err)
+		}
+		if !cpu.SupportsEvent(model.Arch, ev) {
+			return r, badf("api: event %s not supported on %s", ev, model.Arch)
+		}
+		canonical[i] = ev.String()
+	}
+	r.Measure.Events = []string{DefaultEvent}
+	norm, err := r.Measure.Normalized()
+	if err != nil {
+		return r, err
+	}
+	norm.Events = canonical
+	r.Measure = norm
+	return r, nil
+}
+
+// Mode returns the execution mode the normalized request implies:
+// dedicated counting when the events fit the plan's counters,
+// multiplexed otherwise.
+func (r PlanRequest) Mode() string {
+	if len(r.Measure.Events) <= r.Counters {
+		return PlanModeDedicated
+	}
+	return PlanModeMultiplexed
+}
+
+// Key returns the canonical identity of a normalized plan request,
+// used for coalescing identical in-flight plans.
+func (r PlanRequest) Key() string {
+	return fmt.Sprintf("plan|%s|w%v|conf%v|hw%d|p%d|m%d|ref%d",
+		r.Measure.Key(), r.TargetRelWidth, r.Confidence, r.Counters,
+		r.PilotRuns, r.MaxRuns, r.MaxRefine)
+}
+
+// PlanGroup is one scheduled counter assignment: the events occupying
+// hardware counters simultaneously, in slot order.
+type PlanGroup struct {
+	// Events lists the group's events by counter slot. In multiplexed
+	// mode the first slot of every group carries the anchor.
+	Events []string `json:"events"`
+	// Multiplexed reports whether the group time-shares counters with
+	// other groups (false for a dedicated schedule's single group).
+	Multiplexed bool `json:"multiplexed"`
+}
+
+// PlanInfo is the deterministic measurement plan: what the planner
+// decided before and during execution. Identical normalized requests
+// produce byte-identical plans.
+type PlanInfo struct {
+	// Request echoes the normalized request planned.
+	Request PlanRequest `json:"request"`
+	// Mode is PlanModeDedicated or PlanModeMultiplexed.
+	Mode string `json:"mode"`
+	// Anchor names the event pinned into every multiplexed group (empty
+	// in dedicated mode).
+	Anchor string `json:"anchor,omitempty"`
+	// Groups is the counter schedule.
+	Groups []PlanGroup `json:"groups"`
+	// PilotRuns is the pilot replication executed first.
+	PilotRuns int `json:"pilotRuns"`
+	// PlannedRuns is the replication the dispersion model chose from
+	// the pilot (before any refinement).
+	PlannedRuns int `json:"plannedRuns"`
+}
+
+// PlanEstimate is one event's outcome: the naive per-group multiplexed
+// estimate and the fused estimate, with the attainment verdict.
+type PlanEstimate struct {
+	// Event names the estimated event.
+	Event string `json:"event"`
+	// Naive is the estimate the schedule yields without fusion — for a
+	// multiplexed event, the time-interpolated per-group estimate with
+	// the extrapolation error model applied (what /analyze reports).
+	Naive EstimateInfo `json:"naive"`
+	// Fused is the estimate after inverse-variance / anchor-constraint
+	// fusion. Its interval is never wider than Naive's.
+	Fused EstimateInfo `json:"fused"`
+	// Narrowing is 1 - fused/naive interval half-width (0 when the
+	// naive interval is already degenerate).
+	Narrowing float64 `json:"narrowing"`
+	// RelWidth is the fused interval's half-width divided by the
+	// estimate magnitude — the quantity the target bounds.
+	RelWidth float64 `json:"relWidth"`
+	// Attained reports RelWidth <= the request's target.
+	Attained bool `json:"attained"`
+}
+
+// PlanResponse reports an executed measurement plan. Identical
+// normalized requests receive byte-identical responses.
+type PlanResponse struct {
+	// Plan is the deterministic schedule and replication decision.
+	Plan PlanInfo `json:"plan"`
+	// Estimates holds one entry per requested event, in request order.
+	Estimates []PlanEstimate `json:"estimates"`
+	// Attained reports whether every event met the target.
+	Attained bool `json:"attained"`
+	// Rounds is how many plan-execute-fuse rounds ran (1 means the
+	// first plan sufficed).
+	Rounds int `json:"rounds"`
+	// TotalRuns is the benchmark executions spent, including pilot and
+	// reference runs — the cost the planner minimized against the
+	// target.
+	TotalRuns int `json:"totalRuns"`
+	// Calibration reports the cached overhead estimate dedicated-mode
+	// counting reused (absent in multiplexed mode, whose raw-program
+	// estimates carry no harness overhead).
+	Calibration *CalibrationInfo `json:"calibration,omitempty"`
+}

@@ -1,0 +1,135 @@
+package api
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func validPlan() PlanRequest {
+	return PlanRequest{
+		Measure: MeasureRequest{
+			Processor: "K8", Stack: "pc", Bench: "loop:100000", Pattern: "rr",
+			Events: []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED", "BR_MISP_RETIRED",
+				"ICACHE_MISS", "DCACHE_MISS"},
+		},
+		TargetRelWidth: 0.05,
+		Counters:       2,
+	}
+}
+
+func TestPlanNormalizedDefaults(t *testing.T) {
+	norm, err := validPlan().Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Confidence != 0.95 || norm.PilotRuns != DefaultPilotRuns ||
+		norm.MaxRuns != DefaultPlanMaxRuns || norm.MaxRefine != DefaultMaxRefine {
+		t.Errorf("defaults not applied: %+v", norm)
+	}
+	if norm.Measure.Runs != 1 || norm.Measure.Calibrate {
+		t.Errorf("planner-owned fields not canonicalized: %+v", norm.Measure)
+	}
+	if len(norm.Measure.Events) != 5 {
+		t.Errorf("events = %v", norm.Measure.Events)
+	}
+	if norm.Mode() != PlanModeMultiplexed {
+		t.Errorf("mode = %q, want multiplexed (5 events on 2 counters)", norm.Mode())
+	}
+}
+
+func TestPlanNormalizedCountersDefault(t *testing.T) {
+	r := validPlan()
+	r.Counters = 0
+	r.Measure.Events = []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED"}
+	norm, err := r.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K8 has 4 programmable counters; 2 events fit.
+	if norm.Counters != 4 {
+		t.Errorf("counters = %d, want the model's 4", norm.Counters)
+	}
+	if norm.Mode() != PlanModeDedicated {
+		t.Errorf("mode = %q, want dedicated", norm.Mode())
+	}
+}
+
+func TestPlanNormalizedNegativeRefineDisables(t *testing.T) {
+	r := validPlan()
+	r.MaxRefine = -1
+	norm, err := r.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.MaxRefine != 0 {
+		t.Errorf("MaxRefine = %d, want 0", norm.MaxRefine)
+	}
+}
+
+func TestPlanNormalizedRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*PlanRequest)
+	}{
+		{"missing target", func(r *PlanRequest) { r.TargetRelWidth = 0 }},
+		{"target too tight", func(r *PlanRequest) { r.TargetRelWidth = 1e-6 }},
+		{"target above one", func(r *PlanRequest) { r.TargetRelWidth = 1.5 }},
+		{"bad confidence", func(r *PlanRequest) { r.Confidence = 0.2 }},
+		{"bad processor", func(r *PlanRequest) { r.Measure.Processor = "Z80" }},
+		{"counters above model", func(r *PlanRequest) { r.Counters = 9 }},
+		{"negative counters", func(r *PlanRequest) { r.Counters = -1 }},
+		{"pilot above bound", func(r *PlanRequest) { r.PilotRuns = MaxPilotRuns + 1 }},
+		{"budget below pilot", func(r *PlanRequest) { r.PilotRuns = 8; r.MaxRuns = 4 }},
+		{"budget above bound", func(r *PlanRequest) { r.MaxRuns = MaxPlanRuns + 1 }},
+		{"refine above bound", func(r *PlanRequest) { r.MaxRefine = MaxRefineBound + 1 }},
+		{"unknown event", func(r *PlanRequest) { r.Measure.Events = []string{"NOPE"} }},
+		{"too many events", func(r *PlanRequest) {
+			r.Measure.Events = make([]string, MaxMpxEvents+1)
+			for i := range r.Measure.Events {
+				r.Measure.Events[i] = "INSTR_RETIRED"
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := validPlan()
+			c.mutate(&r)
+			if _, err := r.Normalized(); !errors.Is(err, ErrBadRequest) {
+				t.Errorf("err = %v, want ErrBadRequest", err)
+			}
+		})
+	}
+}
+
+func TestPlanKeyCanonical(t *testing.T) {
+	a, err := validPlan().Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A request that spells the same plan differently (defaults left
+	// implicit) must normalize to the same key.
+	b := validPlan()
+	b.Confidence = 0.95
+	b.PilotRuns = DefaultPilotRuns
+	bn, err := b.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != bn.Key() {
+		t.Errorf("equivalent plans keyed differently:\n%s\n%s", a.Key(), bn.Key())
+	}
+	// A different target is a different plan.
+	c := validPlan()
+	c.TargetRelWidth = 0.1
+	cn, err := c.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() == cn.Key() {
+		t.Errorf("distinct targets share a key: %s", a.Key())
+	}
+	if !strings.HasPrefix(a.Key(), "plan|") {
+		t.Errorf("plan key not namespaced: %s", a.Key())
+	}
+}

@@ -94,6 +94,19 @@ func LoopBenchmark(iters int64) *Benchmark {
 // ExpectedLoopInstr is the paper's analytical model ie = 1 + 3l.
 func ExpectedLoopInstr(iters int64) int64 { return 1 + loopInstrPerIter*iters }
 
+// RawProgram builds the benchmark as a bare program — body plus halt,
+// no measurement harness. This is the form consumed by observers that
+// watch the PMU directly rather than through a counter-access stack:
+// the multiplexing and sampling models, and the planner's raw-domain
+// reference runs. Counts measured on a raw program include no
+// infrastructure overhead, so no calibration offset applies to them.
+func (bm *Benchmark) RawProgram() *isa.Program {
+	b := isa.NewBuilder("raw-"+bm.Name, 0x4000)
+	bm.Emit(b)
+	b.Emit(isa.Halt())
+	return b.Build()
+}
+
 // ArrayBenchmark returns a loop that walks an array in memory — the
 // third micro-benchmark of Korn, Teller, and Castillo's study discussed
 // in the paper's related work, and the workload whose cycle count is

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -9,6 +10,14 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/stack"
 )
+
+// quickCfg pins testing/quick to a fixed-seed source: the drawn inputs
+// are reproducible run to run, so a boundary-case draw (e.g. interrupt
+// skew landing exactly on a tolerance edge) cannot make the suite
+// flake — it either always passes or always fails.
+func quickCfg(maxCount int) *quick.Config {
+	return &quick.Config{MaxCount: maxCount, Rand: rand.New(rand.NewSource(1))}
+}
 
 // TestPropertyLayerOrdering: for any (processor, backend, supported
 // pattern, opt level, mode), wrapping the stack in PAPI layers never
@@ -52,7 +61,7 @@ func TestPropertyLayerOrdering(t *testing.T) {
 		}
 		return high > low && low > direct
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, quickCfg(25)); err != nil {
 		t.Error(err)
 	}
 }
@@ -85,7 +94,7 @@ func TestPropertyUserErrorDurationInvariant(t *testing.T) {
 		d := long.Error(0, core.ModeUser) - short.Error(0, core.ModeUser)
 		return d >= -12 && d <= 12
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, quickCfg(40)); err != nil {
 		t.Error(err)
 	}
 }
@@ -115,7 +124,7 @@ func TestPropertyMeasuredNeverBelowTruth(t *testing.T) {
 		}
 		return m.Deltas[0] >= m.Expected
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, quickCfg(40)); err != nil {
 		t.Error(err)
 	}
 }
@@ -150,7 +159,7 @@ func TestPropertyWindowAdditivity(t *testing.T) {
 		diff := loop.Deltas[0] - predicted
 		return diff >= -10 && diff <= 10
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(f, quickCfg(50)); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,165 @@
+package mpx
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+)
+
+// alternatingProgram interleaves ALU-loop phases (3 instructions per
+// iteration, high IPC) with load-loop phases (4 instructions per
+// iteration, lower IPC): `phases` segments of `iters` iterations each,
+// alternating starting with the ALU phase. The analytic instruction
+// count is 1 (init) + per-phase body counts + 1 (halt).
+func alternatingProgram(iters int64, phases int) (*isa.Program, float64) {
+	b := isa.NewBuilder("mpx-alternating", 0x4000)
+	b.Emit(isa.ALU())
+	want := float64(1)
+	for p := 0; p < phases; p++ {
+		if p%2 == 0 {
+			b.Loop(iters, func(body *isa.Builder) {
+				body.Emit(isa.ALU(), isa.ALU(), isa.Branch(0, true))
+			})
+			want += float64(3 * iters)
+		} else {
+			b.Loop(iters, func(body *isa.Builder) {
+				body.Emit(isa.Load(), isa.ALU(), isa.ALU(), isa.Branch(0, true))
+			})
+			want += float64(4 * iters)
+		}
+	}
+	b.Emit(isa.Halt())
+	return b.Build(), want + 1
+}
+
+// mpxRelError measures prog with the given rotation layout and returns
+// the signed relative error of the first event's estimate against the
+// analytic truth.
+func mpxRelError(t *testing.T, events []cpu.Event, hw int, prog *isa.Program, want float64, seed uint64) float64 {
+	t.Helper()
+	k := kernel.New(cpu.Core2Duo)
+	m, err := New(k, hw, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	est, err := m.Run(prog, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return (est[0].Value - want) / want
+}
+
+// TestPhasedInterpolationBias is the Section 9 failure mode the
+// package doc promises: interpolation is exact only for stationary
+// rates, so a workload whose phases are long relative to the rotation
+// period biases the estimate, while the same instruction mix chopped
+// into many short phases averages back toward stationarity.
+func TestPhasedInterpolationBias(t *testing.T) {
+	events := []cpu.Event{cpu.EventInstrRetired, cpu.EventCoreCycles}
+	const totalIters = 12_000_000
+
+	// Few long phases: each phase spans roughly a rotation period, the
+	// worst alignment for a two-group rotation.
+	longProg, longWant := alternatingProgram(totalIters/4, 4)
+	longErr := math.Abs(mpxRelError(t, events, 1, longProg, longWant, 7))
+
+	// Same mix in 60 short phases: each phase is a small fraction of a
+	// rotation window, so every window samples both phases.
+	shortProg, shortWant := alternatingProgram(totalIters/60, 60)
+	shortErr := math.Abs(mpxRelError(t, events, 1, shortProg, shortWant, 7))
+
+	// Stationary control: one homogeneous phase.
+	statProg, statWant := alternatingProgram(totalIters, 1)
+	statErr := math.Abs(mpxRelError(t, events, 1, statProg, statWant, 7))
+
+	if longErr <= shortErr {
+		t.Errorf("long-phase error %.4f not above short-phase error %.4f", longErr, shortErr)
+	}
+	if longErr <= statErr {
+		t.Errorf("long-phase error %.4f not above stationary error %.4f", longErr, statErr)
+	}
+	if shortErr > 0.05 {
+		t.Errorf("short-phase error %.4f should be near stationary (phases average out)", shortErr)
+	}
+}
+
+// TestPhasedRotationOrderMatters: on a non-stationary workload the
+// estimate depends on *which rotation slot* an event occupies — the
+// same event measured in group 0 versus group 1 sees different phases.
+// On a stationary workload the slot is irrelevant. This is the
+// scheduling hazard the planner's anchor pinning works around: only a
+// full-time or every-group event gives a slot-independent reference.
+func TestPhasedRotationOrderMatters(t *testing.T) {
+	const iters = 6_000_000
+	phased, phasedWant := alternatingProgram(iters/2, 2)
+	stat, statWant := alternatingProgram(iters, 1)
+
+	diff := func(prog *isa.Program, want float64) float64 {
+		first := mpxRelError(t, []cpu.Event{cpu.EventInstrRetired, cpu.EventCoreCycles}, 1, prog, want, 11)
+		second := mpxRelError(t, []cpu.Event{cpu.EventInstrRetired, cpu.EventCoreCycles, cpu.EventBrMispRetired}, 1, prog, want, 11)
+		return math.Abs(first - second)
+	}
+	phasedDiff := diff(phased, phasedWant)
+	statDiff := diff(stat, statWant)
+	if phasedDiff <= statDiff {
+		t.Errorf("rotation-slot sensitivity on phased workload (%.4f) not above stationary (%.4f)",
+			phasedDiff, statDiff)
+	}
+}
+
+// TestPhasedActiveFractionsCoverRun: however the phases land, the
+// rotation must account for the whole run — per-event active fractions
+// of a two-group rotation sum to ~1 across groups, and every fraction
+// stays in (0, 1).
+func TestPhasedActiveFractionsCoverRun(t *testing.T) {
+	prog, _ := alternatingProgram(3_000_000, 4)
+	k := kernel.New(cpu.Core2Duo)
+	m, err := New(k, 1, []cpu.Event{cpu.EventInstrRetired, cpu.EventCoreCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	est, err := m.Run(prog, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, e := range est {
+		if e.ActiveFraction <= 0 || e.ActiveFraction >= 1 {
+			t.Errorf("%s: active fraction %v outside (0, 1)", e.Event, e.ActiveFraction)
+		}
+		sum += e.ActiveFraction
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Errorf("active fractions sum to %v, want ~1", sum)
+	}
+}
+
+// TestPhasedObservedBelowTruth: each group's raw observation is only
+// its windows' share; the interpolated value must exceed the observed
+// count on a multi-group rotation (the extrapolated portion is what
+// accuracy.Multiplex books as the mpx-extrapolation term).
+func TestPhasedObservedBelowTruth(t *testing.T) {
+	prog, want := alternatingProgram(3_000_000, 3)
+	k := kernel.New(cpu.Core2Duo)
+	m, err := New(k, 1, []cpu.Event{cpu.EventInstrRetired, cpu.EventCoreCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	est, err := m.Run(prog, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr := est[0]
+	if float64(instr.Observed) >= want {
+		t.Errorf("observed %d not below truth %v on a rotating schedule", instr.Observed, want)
+	}
+	if instr.Value <= float64(instr.Observed) {
+		t.Errorf("interpolated %v not above observed %d", instr.Value, instr.Observed)
+	}
+}

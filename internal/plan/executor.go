@@ -1,0 +1,455 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/accuracy"
+	"repro/internal/api"
+	"repro/internal/cpu"
+	"repro/internal/mpx"
+	"repro/internal/stats"
+)
+
+// perRunStats is one event's observed per-run variability, the input
+// of the replication choice: dispersion variance of the interpolated
+// (or counted) values, mean extrapolation-model variance, and the
+// estimate magnitude the relative target is taken against.
+type perRunStats struct {
+	mean     float64
+	dispVar  float64
+	modelVar float64
+}
+
+// runsNeeded solves the accuracy target for the replication count:
+// both the dispersion and the extrapolation-model variance of a mean
+// over n runs scale as 1/n, so the smallest n with
+// z*sqrt((dispVar+modelVar)/n) <= target*|mean| is
+//
+//	n = ceil(z² (dispVar + modelVar) / (target · max(|mean|, 1))²)
+//
+// taken over the worst event and clamped to [lo, hi]. The magnitude
+// floor of one keeps near-zero counts (whose relative target is
+// otherwise ill-defined) from demanding unbounded replication.
+func runsNeeded(z, target float64, rows []perRunStats, lo, hi int) int {
+	n := lo
+	for _, r := range rows {
+		denom := target * math.Max(math.Abs(r.mean), 1)
+		req := math.Ceil(z * z * (r.dispVar + r.modelVar) / (denom * denom))
+		if req > float64(hi) {
+			n = hi
+			break
+		}
+		if int(req) > n {
+			n = int(req)
+		}
+	}
+	return min(n, hi)
+}
+
+// refineLoop is the plan-execute-fuse-replan cycle both executors
+// share. runTo extends the executed replication to n runs, fuse builds
+// the estimates and the attainment verdict from everything executed so
+// far, and observed reads back the per-event dispersion the re-plan
+// uses. The loop runs the planned replication, then — while the target
+// is missed, the refine budget holds, and the run budget holds —
+// re-plans with the observed dispersion, forcing at least a pilot's
+// worth of progress per round so a refine round cannot stall.
+type refineLoop struct {
+	z, target          float64
+	pilot, maxRuns     int
+	maxRefine, planned int
+}
+
+func (l refineLoop) run(
+	runTo func(n int) error,
+	fuse func() ([]api.PlanEstimate, bool, error),
+	observed func() ([]perRunStats, error),
+) (rounds int, ests []api.PlanEstimate, attained bool, err error) {
+	n := l.planned
+	for {
+		rounds++
+		if err := runTo(n); err != nil {
+			return 0, nil, false, err
+		}
+		ests, attained, err = fuse()
+		if err != nil {
+			return 0, nil, false, err
+		}
+		if attained || rounds > l.maxRefine || n >= l.maxRuns {
+			return rounds, ests, attained, nil
+		}
+		rows, err := observed()
+		if err != nil {
+			return 0, nil, false, err
+		}
+		next := runsNeeded(l.z, l.target, rows, n, l.maxRuns)
+		// A refine round must make progress even when the naive
+		// projection says the current replication should have sufficed.
+		next = max(next, min(n+l.pilot, l.maxRuns))
+		if next <= n {
+			return rounds, ests, attained, nil
+		}
+		n = next
+	}
+}
+
+// relWidth is the attainment metric: interval half-width over estimate
+// magnitude, with the same magnitude floor as runsNeeded.
+func relWidth(est accuracy.Estimate) float64 {
+	half := est.CI.Width() / 2
+	return half / math.Max(math.Abs(est.Corrected), 1)
+}
+
+// planEstimate assembles the wire form of one event's outcome.
+func planEstimate(event string, naive, fused accuracy.Estimate, target float64) api.PlanEstimate {
+	pe := api.PlanEstimate{
+		Event:    event,
+		Naive:    api.EstimateInfoFrom(event, naive),
+		Fused:    api.EstimateInfoFrom(event, fused),
+		RelWidth: relWidth(fused),
+	}
+	if naiveHalf := naive.CI.Width() / 2; naiveHalf > 0 {
+		pe.Narrowing = 1 - (fused.CI.Width()/2)/naiveHalf
+	}
+	pe.Attained = pe.RelWidth <= target
+	return pe
+}
+
+// executeMultiplexed runs a multiplexed schedule: reference runs of
+// the anchor (dedicated, full-time, same raw-program domain), then
+// rotation runs of the full slot layout, replicated per the dispersion
+// model and refined with the observed dispersion until the target is
+// attained or the budget runs out. Everything runs on one pinned
+// worker so the plan occupies exactly one pool slot.
+func (p *Planner) executeMultiplexed(ctx context.Context, norm api.PlanRequest, sched Schedule) (*api.PlanResponse, error) {
+	w, err := p.svc.Pin(ctx, norm.Measure)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Release()
+	sys := w.System()
+
+	bench, err := api.ParseBench(norm.Measure.Bench)
+	if err != nil {
+		return nil, err
+	}
+	prog := bench.RawProgram()
+	conf := norm.Confidence
+	z := stats.NormalQuantile(0.5 + conf/2)
+	anchorEv, err := cpu.EventByName(norm.Measure.Events[0])
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference: the anchor counted on a dedicated register for the
+	// whole run — active fraction one, no extrapolation — in the same
+	// raw-program domain the rotation observes, so the fusion
+	// constraint compares like with like. Reference seeds come from a
+	// range disjoint from the rotation's (which uses Seed..Seed+MaxRuns):
+	// the fusion weighs the reference as an *independent* estimate, and
+	// sharing seeds with the rotation runs would correlate the two and
+	// make the fused interval claim precision the data does not have.
+	sys.Reset()
+	refM, err := mpx.New(sys.Kernel, 1, []cpu.Event{anchorEv})
+	if err != nil {
+		return nil, err
+	}
+	refSeed := norm.Measure.Seed + uint64(api.MaxPlanRuns)
+	refRuns := make([]mpx.Estimate, 0, norm.PilotRuns)
+	for i := 0; i < norm.PilotRuns; i++ {
+		if err := ctx.Err(); err != nil {
+			refM.Close()
+			return nil, err
+		}
+		ests, err := refM.Run(prog, refSeed+uint64(i))
+		if err != nil {
+			refM.Close()
+			return nil, err
+		}
+		refRuns = append(refRuns, ests[0])
+	}
+	refM.Close()
+	ref, err := accuracy.Multiplex(refRuns, conf)
+	if err != nil {
+		return nil, err
+	}
+
+	// Rotation runs of the full slot layout.
+	sys.Reset()
+	m, err := mpx.New(sys.Kernel, sched.Counters, sched.EvList)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	if m.Groups() != len(sched.Groups) {
+		return nil, fmt.Errorf("plan: schedule built %d groups but multiplexer rotates %d", len(sched.Groups), m.Groups())
+	}
+	slotRuns := make([][]mpx.Estimate, len(sched.EvList))
+	runTo := func(n int) error {
+		for i := len(slotRuns[0]); i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			ests, err := m.Run(prog, norm.Measure.Seed+uint64(i))
+			if err != nil {
+				return err
+			}
+			for s, est := range ests {
+				slotRuns[s] = append(slotRuns[s], est)
+			}
+		}
+		return nil
+	}
+
+	anchorSlots := sched.anchorSlots()
+	fuseAll := func() ([]api.PlanEstimate, bool, error) {
+		ests := make([]api.PlanEstimate, 0, len(norm.Measure.Events))
+		attained := true
+		for e, name := range norm.Measure.Events {
+			var naive, fused accuracy.Estimate
+			var err error
+			if e == 0 && len(anchorSlots) > 0 {
+				groups := make([][]mpx.Estimate, len(anchorSlots))
+				for g, slot := range anchorSlots {
+					groups[g] = slotRuns[slot]
+				}
+				naive, fused, err = FuseAnchor(groups, ref, conf)
+			} else {
+				slot := sched.slotOf(e)
+				var anchorRuns []mpx.Estimate
+				if len(anchorSlots) > 0 {
+					anchorRuns = slotRuns[anchorSlots[sched.SlotGroup[slot]]]
+				}
+				if e == 0 {
+					// Single-counter schedule: the anchor rotates like any
+					// event and fuses with the reference alone.
+					naive, fused, err = FuseAnchor([][]mpx.Estimate{slotRuns[slot]}, ref, conf)
+				} else {
+					naive, fused, err = FuseEvent(slotRuns[slot], anchorRuns, ref, conf)
+				}
+			}
+			if err != nil {
+				return nil, false, err
+			}
+			pe := planEstimate(name, naive, fused, norm.TargetRelWidth)
+			attained = attained && pe.Attained
+			ests = append(ests, pe)
+		}
+		return ests, attained, nil
+	}
+
+	// observed reads the per-event replication inputs off the runs so
+	// far; dispersion is pooled across refine rounds (each round is one
+	// batch) rather than recomputed, the incremental update the refine
+	// loop feeds back.
+	type roundWindow struct{ start, end int }
+	var rounds []roundWindow
+	observed := func() ([]perRunStats, error) {
+		rows := make([]perRunStats, 0, len(norm.Measure.Events))
+		for e := range norm.Measure.Events {
+			slot := sched.slotOf(e)
+			if slot < 0 { // anchor with pinned copies: use its first copy
+				slot = anchorSlots[0]
+			}
+			runs := slotRuns[slot]
+			vals := values(runs)
+			var batchVars []float64
+			var batchSizes []int
+			for _, rw := range rounds {
+				batchVars = append(batchVars, stats.Variance(vals[rw.start:rw.end]))
+				batchSizes = append(batchSizes, rw.end-rw.start)
+			}
+			disp, err := stats.PooledVariance(batchVars, batchSizes)
+			if err != nil {
+				return nil, err
+			}
+			var model float64
+			for _, r := range runs {
+				if r.ActiveFraction > 0 {
+					model += float64(r.Observed) / (r.ActiveFraction * r.ActiveFraction)
+				}
+			}
+			rows = append(rows, perRunStats{
+				mean:     stats.Mean(vals),
+				dispVar:  disp,
+				modelVar: model / float64(len(runs)),
+			})
+		}
+		return rows, nil
+	}
+
+	// Pilot, plan, execute, refine.
+	if err := runTo(norm.PilotRuns); err != nil {
+		return nil, err
+	}
+	rounds = append(rounds, roundWindow{0, norm.PilotRuns})
+	rows, err := observed()
+	if err != nil {
+		return nil, err
+	}
+	planned := runsNeeded(z, norm.TargetRelWidth, rows, norm.PilotRuns, norm.MaxRuns)
+
+	loop := refineLoop{
+		z: z, target: norm.TargetRelWidth,
+		pilot: norm.PilotRuns, maxRuns: norm.MaxRuns,
+		maxRefine: norm.MaxRefine, planned: planned,
+	}
+	roundCount, estimates, attained, err := loop.run(
+		func(n int) error {
+			if err := runTo(n); err != nil {
+				return err
+			}
+			if last := &rounds[len(rounds)-1]; n > last.end {
+				rounds = append(rounds, roundWindow{last.end, n})
+			}
+			return nil
+		},
+		fuseAll,
+		observed,
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	return &api.PlanResponse{
+		Plan: api.PlanInfo{
+			Request:     norm,
+			Mode:        sched.Mode,
+			Anchor:      sched.Anchor,
+			Groups:      sched.Groups,
+			PilotRuns:   norm.PilotRuns,
+			PlannedRuns: planned,
+		},
+		Estimates: estimates,
+		Attained:  attained,
+		Rounds:    roundCount,
+		TotalRuns: len(refRuns) + len(slotRuns[0]),
+	}, nil
+}
+
+// executeDedicated runs a dedicated counting schedule through the
+// service's request path: every event on its own counter, calibrated,
+// overhead-corrected on the anchor — the cheapest plan when the event
+// set fits the hardware. The calibration comes from the service's
+// cache, so warm plans skip the null-benchmark runs entirely. With a
+// single configuration there is nothing to fuse: naive and fused
+// estimates coincide.
+//
+// A refine round re-measures through svc.Measure with the grown
+// replication rather than extending incrementally: the request path is
+// what provides coalescing and the calibrated-overhead semantics, and
+// the re-measured prefix (identical seeds, deterministic results) is
+// cheap next to a multiplexed schedule. TotalRuns reports the
+// executions actually spent, re-measured prefixes included.
+func (p *Planner) executeDedicated(ctx context.Context, norm api.PlanRequest, sched Schedule) (*api.PlanResponse, error) {
+	conf := norm.Confidence
+	z := stats.NormalQuantile(0.5 + conf/2)
+
+	measure := func(runs int) (*api.MeasureResponse, error) {
+		req := norm.Measure
+		req.Calibrate = true
+		req.Runs = runs
+		return p.svc.Measure(ctx, req)
+	}
+	estimate := func(resp *api.MeasureResponse) ([]accuracy.Estimate, error) {
+		out := make([]accuracy.Estimate, len(norm.Measure.Events))
+		for e := range norm.Measure.Events {
+			counts := make([]float64, len(resp.Deltas))
+			for i, row := range resp.Deltas {
+				counts[i] = float64(row[e])
+			}
+			overhead := 0.0
+			if e == 0 && resp.Calibration != nil {
+				overhead = resp.Calibration.Offset
+			}
+			est, err := accuracy.FromRuns(counts, overhead, conf)
+			if err != nil {
+				return nil, err
+			}
+			out[e] = est
+		}
+		return out, nil
+	}
+
+	// rowsFrom derives the replication inputs from corrected estimates:
+	// FromRuns' standard error is sd/sqrt(n), so the per-run dispersion
+	// variance is se²·n. Dedicated counting has no extrapolation model
+	// term.
+	rowsFrom := func(ests []accuracy.Estimate) []perRunStats {
+		rows := make([]perRunStats, len(ests))
+		for i, est := range ests {
+			rows[i] = perRunStats{mean: est.Corrected, dispVar: est.StdErr * est.StdErr * float64(est.N)}
+		}
+		return rows
+	}
+
+	pilot, err := measure(norm.PilotRuns)
+	if err != nil {
+		return nil, err
+	}
+	total := norm.PilotRuns
+	pilotEsts, err := estimate(pilot)
+	if err != nil {
+		return nil, err
+	}
+	planned := runsNeeded(z, norm.TargetRelWidth, rowsFrom(pilotEsts), norm.PilotRuns, norm.MaxRuns)
+
+	resp, ests := pilot, pilotEsts
+	loop := refineLoop{
+		z: z, target: norm.TargetRelWidth,
+		pilot: norm.PilotRuns, maxRuns: norm.MaxRuns,
+		maxRefine: norm.MaxRefine, planned: planned,
+	}
+	roundCount, estimates, attained, err := loop.run(
+		func(n int) error {
+			// The pilot already measured n == PilotRuns; re-measuring the
+			// identical request would only repeat work.
+			if n == len(resp.Deltas) {
+				return nil
+			}
+			r, err := measure(n)
+			if err != nil {
+				return err
+			}
+			resp = r
+			total += n
+			ests, err = estimate(r)
+			return err
+		},
+		func() ([]api.PlanEstimate, bool, error) {
+			out := make([]api.PlanEstimate, 0, len(ests))
+			attained := true
+			for e, est := range ests {
+				pe := planEstimate(norm.Measure.Events[e], est, est, norm.TargetRelWidth)
+				attained = attained && pe.Attained
+				out = append(out, pe)
+			}
+			return out, attained, nil
+		},
+		func() ([]perRunStats, error) { return rowsFrom(ests), nil },
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &api.PlanResponse{
+		Plan: api.PlanInfo{
+			Request:     norm,
+			Mode:        sched.Mode,
+			Groups:      sched.Groups,
+			PilotRuns:   norm.PilotRuns,
+			PlannedRuns: planned,
+		},
+		Estimates: estimates,
+		Attained:  attained,
+		Rounds:    roundCount,
+		TotalRuns: total,
+	}
+	if resp != nil && resp.Calibration != nil {
+		cal := *resp.Calibration
+		out.Calibration = &cal
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package plan
+
+import (
+	"math"
+
+	"repro/internal/accuracy"
+	"repro/internal/mpx"
+	"repro/internal/stats"
+)
+
+// FuseEvent fuses one multiplexed event's per-run estimates with the
+// anchor copy that shared its group's rotation windows, against a
+// reference estimate of the anchor measured independently.
+//
+// The naive estimate (accuracy.Multiplex) folds two error sources: the
+// run-to-run dispersion of the interpolated values and the Poisson
+// extrapolation noise. The dispersion is dominated by *window noise* —
+// which rotation windows the group happened to get — and the anchor
+// copy in the same group saw exactly the same windows, so its error is
+// strongly correlated with the event's. The fusion subtracts the
+// correlated part: with per-run pairs (x_j, a_j), reference â with
+// variance v, and n runs,
+//
+//	β = (cov(x,a)/n) / (var(a)/n + v)
+//	fused point    = mean(x) - β (mean(a) - â)
+//	fused variance = naive variance - (cov(x,a)/n)² / (var(a)/n + v)
+//
+// β is the variance-minimizing control-variate coefficient, so the
+// subtracted term is non-negative and, by Cauchy-Schwarz, at most the
+// dispersion component — the fused interval is *never* wider than the
+// naive one, and collapses toward the extrapolation floor as the
+// anchor correlation approaches one.
+//
+// With no anchor copies (single-counter schedules) or fewer than two
+// runs the fusion degenerates to the naive estimate.
+func FuseEvent(eventRuns, anchorRuns []mpx.Estimate, ref accuracy.Estimate, confidence float64) (naive, fused accuracy.Estimate, err error) {
+	naive, err = accuracy.Multiplex(eventRuns, confidence)
+	if err != nil {
+		return accuracy.Estimate{}, accuracy.Estimate{}, err
+	}
+	n := len(eventRuns)
+	if len(anchorRuns) != n || n < 2 {
+		return naive, naive, nil
+	}
+	x := values(eventRuns)
+	a := values(anchorRuns)
+	cov, err := stats.Covariance(x, a)
+	if err != nil {
+		return accuracy.Estimate{}, accuracy.Estimate{}, err
+	}
+	nf := float64(n)
+	den := stats.Variance(a)/nf + ref.StdErr*ref.StdErr
+	if den <= 0 || cov == 0 {
+		return naive, naive, nil
+	}
+	beta := (cov / nf) / den
+	shift := beta * (stats.Mean(a) - ref.Corrected)
+	cut := (cov / nf) * (cov / nf) / den
+
+	v := naive.StdErr*naive.StdErr - cut
+	if v < 0 {
+		v = 0 // Cauchy-Schwarz bounds cut by the dispersion component; guard float error
+	}
+	se := math.Sqrt(v)
+	z := stats.NormalQuantile(0.5 + confidence/2)
+	point := naive.Corrected - shift
+	fused = accuracy.Estimate{
+		Raw:        naive.Raw,
+		Corrected:  point,
+		CI:         accuracy.Interval{Lo: point - z*se, Hi: point + z*se},
+		Confidence: confidence,
+		StdErr:     se,
+		N:          n,
+		Terms: append(append([]accuracy.Term(nil), naive.Terms...),
+			accuracy.Term{Name: accuracy.TermAnchorFusion, Value: shift}),
+	}
+	return naive, fused, nil
+}
+
+// FuseAnchor fuses the anchor event itself: every group carries its
+// own multiplexed estimate of the anchor, and the dedicated reference
+// measurement is one more independent estimate of the same count — the
+// linear event constraint in its simplest form. Inverse-variance
+// weighting (accuracy.Combine) gives the minimum-variance combination,
+// so the fused interval is never wider than the naive one (the
+// anchor's estimate from its first group alone).
+//
+// With no anchor copies (single-counter schedules) the anchor's own
+// rotation estimate fuses with the reference alone.
+func FuseAnchor(groupRuns [][]mpx.Estimate, ref accuracy.Estimate, confidence float64) (naive, fused accuracy.Estimate, err error) {
+	if len(groupRuns) == 0 {
+		return accuracy.Estimate{}, accuracy.Estimate{}, accuracy.ErrNoObservations
+	}
+	components := make([]accuracy.Estimate, 0, len(groupRuns)+1)
+	for _, runs := range groupRuns {
+		est, err := accuracy.Multiplex(runs, confidence)
+		if err != nil {
+			return accuracy.Estimate{}, accuracy.Estimate{}, err
+		}
+		components = append(components, est)
+	}
+	naive = components[0]
+	components = append(components, ref)
+	fused, err = accuracy.Combine(components, confidence)
+	if err != nil {
+		return accuracy.Estimate{}, accuracy.Estimate{}, err
+	}
+	return naive, fused, nil
+}
+
+// values extracts the interpolated per-run values.
+func values(runs []mpx.Estimate) []float64 {
+	out := make([]float64, len(runs))
+	for i, r := range runs {
+		out[i] = r.Value
+	}
+	return out
+}

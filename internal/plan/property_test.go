@@ -1,0 +1,183 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/mpx"
+	"repro/internal/xrand"
+)
+
+// Synthetic multiplexed-run generator. Each run's interpolated value
+// carries a *shared* window-noise component w (the same rotation
+// windows produced both the event's and the anchor copy's estimate)
+// plus independent extrapolation noise sized to match the Poisson
+// model accuracy.Multiplex assumes: variance obs/f² = truth/f for an
+// observation over active fraction f.
+func synthRun(rng *xrand.Rand, truth, f, w float64) mpx.Estimate {
+	v := truth*(1+w) + math.Sqrt(truth/f)*rng.NormFloat64()
+	return mpx.Estimate{
+		Observed:       int64(v*f + 0.5),
+		ActiveFraction: f,
+		Value:          v,
+	}
+}
+
+func synthRef(rng *xrand.Rand, truth float64, n int, conf float64, t *testing.T) accuracy.Estimate {
+	t.Helper()
+	runs := make([]mpx.Estimate, n)
+	for i := range runs {
+		runs[i] = synthRun(rng, truth, 1, 0)
+	}
+	ref, err := accuracy.Multiplex(runs, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// TestFuseEventProperty is the acceptance property on synthetic ground
+// truth: across many trials of a multiplexed measurement with shared
+// window noise, the fused interval half-width never exceeds the naive
+// per-group multiplexed half-width, the true count lies inside the
+// fused interval at roughly the nominal rate, and the narrowing is
+// substantial when window noise dominates.
+func TestFuseEventProperty(t *testing.T) {
+	const (
+		trials = 300
+		n      = 12
+		nref   = 6
+		conf   = 0.95
+		truthA = 300000.0 // anchor
+		truthX = 40000.0  // rotating event
+		f      = 0.5
+		windSD = 0.03 // relative shared window noise
+	)
+	rng := xrand.New(0x91a2)
+	covered := 0
+	var narrowingSum float64
+	for trial := 0; trial < trials; trial++ {
+		eventRuns := make([]mpx.Estimate, n)
+		anchorRuns := make([]mpx.Estimate, n)
+		for j := 0; j < n; j++ {
+			w := windSD * rng.NormFloat64()
+			eventRuns[j] = synthRun(rng, truthX, f, w)
+			anchorRuns[j] = synthRun(rng, truthA, f, w)
+		}
+		ref := synthRef(rng, truthA, nref, conf, t)
+		naive, fused, err := FuseEvent(eventRuns, anchorRuns, ref, conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveHalf := naive.CI.Width() / 2
+		fusedHalf := fused.CI.Width() / 2
+		if fusedHalf > naiveHalf*(1+1e-9) {
+			t.Fatalf("trial %d: fused half-width %v exceeds naive %v", trial, fusedHalf, naiveHalf)
+		}
+		if naiveHalf > 0 {
+			narrowingSum += 1 - fusedHalf/naiveHalf
+		}
+		if fused.CI.Contains(truthX) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.88 || rate > 0.995 {
+		t.Errorf("fused coverage = %.3f over %d trials, want ~%.2f", rate, trials, conf)
+	}
+	if mean := narrowingSum / trials; mean < 0.4 {
+		t.Errorf("mean narrowing = %.3f, want substantial (window noise dominates)", mean)
+	}
+}
+
+// TestFuseAnchorProperty: the anchor's per-group copies plus the
+// dedicated reference fuse into an interval that never exceeds the
+// naive one and still covers the truth at the nominal rate.
+func TestFuseAnchorProperty(t *testing.T) {
+	const (
+		trials = 300
+		groups = 3
+		n      = 10
+		nref   = 6
+		conf   = 0.95
+		truthA = 300000.0
+		windSD = 0.03
+	)
+	rng := xrand.New(0x517e)
+	covered := 0
+	narrowedEvery := true
+	for trial := 0; trial < trials; trial++ {
+		groupRuns := make([][]mpx.Estimate, groups)
+		for g := range groupRuns {
+			groupRuns[g] = make([]mpx.Estimate, n)
+			for j := 0; j < n; j++ {
+				w := windSD * rng.NormFloat64() // window noise independent per group
+				groupRuns[g][j] = synthRun(rng, truthA, 1.0/groups, w)
+			}
+		}
+		ref := synthRef(rng, truthA, nref, conf, t)
+		naive, fused, err := FuseAnchor(groupRuns, ref, conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fused.CI.Width() > naive.CI.Width()*(1+1e-9) {
+			t.Fatalf("trial %d: fused width %v exceeds naive %v", trial, fused.CI.Width(), naive.CI.Width())
+		}
+		if fused.CI.Width() >= naive.CI.Width() {
+			narrowedEvery = false
+		}
+		if fused.CI.Contains(truthA) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.85 || rate > 0.998 {
+		t.Errorf("anchor coverage = %.3f, want ~%.2f", rate, conf)
+	}
+	if !narrowedEvery {
+		t.Error("some trial failed to strictly narrow the anchor interval")
+	}
+}
+
+// TestFuseEventDegenerates: with no anchor copies, a single run, or
+// zero covariance the fusion must hand back exactly the naive
+// estimate — never invent precision.
+func TestFuseEventDegenerates(t *testing.T) {
+	rng := xrand.New(0xdead)
+	runs := make([]mpx.Estimate, 6)
+	for j := range runs {
+		runs[j] = synthRun(rng, 50000, 0.5, 0.02*rng.NormFloat64())
+	}
+	ref := synthRef(rng, 300000, 4, 0.95, t)
+
+	naive, fused, err := FuseEvent(runs, nil, ref, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.CI != naive.CI || fused.Corrected != naive.Corrected {
+		t.Errorf("no-anchor fusion changed the estimate: %+v vs %+v", fused, naive)
+	}
+
+	naive, fused, err = FuseEvent(runs[:1], runs[:1], ref, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.CI != naive.CI {
+		t.Errorf("single-run fusion changed the interval")
+	}
+
+	// Identical anchor values in every run: zero variance, zero
+	// covariance, nothing to explain.
+	flat := make([]mpx.Estimate, len(runs))
+	for j := range flat {
+		flat[j] = mpx.Estimate{Observed: 150000, ActiveFraction: 0.5, Value: 300000}
+	}
+	naive, fused, err = FuseEvent(runs, flat, ref, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.CI != naive.CI {
+		t.Errorf("flat-anchor fusion changed the interval")
+	}
+}

@@ -1,0 +1,124 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/api"
+	"repro/internal/cpu"
+)
+
+// Schedule is the deterministic counter assignment of one plan: how
+// the requested events map onto hardware counter slots, and how the
+// multiplexer's flattened slot list maps back to events and groups.
+type Schedule struct {
+	// Mode is api.PlanModeDedicated or api.PlanModeMultiplexed.
+	Mode string
+	// Anchor names the fusion anchor (the first requested event);
+	// empty in dedicated mode, where no fusion is needed.
+	Anchor string
+	// Groups is the wire form of the schedule.
+	Groups []api.PlanGroup
+	// EvList is the multiplexer slot layout: groups flattened in order,
+	// each led by its anchor copy when Counters >= 2. Nil in dedicated
+	// mode.
+	EvList []cpu.Event
+	// SlotEvent maps a slot index to the request's event index, or -1
+	// for an anchor copy.
+	SlotEvent []int
+	// SlotGroup maps a slot index to its rotation group.
+	SlotGroup []int
+	// Counters is how many hardware counters the schedule occupies at
+	// once.
+	Counters int
+}
+
+// BuildSchedule derives the counter schedule from a normalized
+// request. It is a pure function: identical requests produce identical
+// schedules.
+//
+// When the events fit the counters the schedule is one dedicated
+// group. Otherwise the anchor (first event) is pinned into slot 0 of
+// every rotation group and the remaining events fill the other
+// Counters-1 slots in request order — so every group carries its own
+// estimate of the anchor over exactly the windows its events were
+// observed in, which is what the control-variate fusion step consumes.
+// With a single counter no pinning is possible and each event rotates
+// alone; fusion then degenerates to the naive estimates (plus the
+// anchor's reference fusion), never worse.
+func BuildSchedule(norm api.PlanRequest) (Schedule, error) {
+	names := norm.Measure.Events
+	events := make([]cpu.Event, len(names))
+	for i, name := range names {
+		ev, err := cpu.EventByName(name)
+		if err != nil {
+			return Schedule{}, fmt.Errorf("plan: %w", err)
+		}
+		events[i] = ev
+	}
+
+	if norm.Mode() == api.PlanModeDedicated {
+		return Schedule{
+			Mode:     api.PlanModeDedicated,
+			Groups:   []api.PlanGroup{{Events: append([]string(nil), names...)}},
+			Counters: len(events),
+		}, nil
+	}
+
+	s := Schedule{
+		Mode:     api.PlanModeMultiplexed,
+		Anchor:   names[0],
+		Counters: norm.Counters,
+	}
+	addSlot := func(ev cpu.Event, eventIdx, group int) {
+		s.EvList = append(s.EvList, ev)
+		s.SlotEvent = append(s.SlotEvent, eventIdx)
+		s.SlotGroup = append(s.SlotGroup, group)
+	}
+	if norm.Counters == 1 {
+		for i, ev := range events {
+			addSlot(ev, i, i)
+			s.Groups = append(s.Groups, api.PlanGroup{Events: []string{names[i]}, Multiplexed: true})
+		}
+		return s, nil
+	}
+
+	per := norm.Counters - 1 // rotating slots per group beside the anchor
+	rotating := events[1:]
+	for start := 0; start < len(rotating); start += per {
+		end := min(start+per, len(rotating))
+		g := len(s.Groups)
+		group := api.PlanGroup{Events: []string{names[0]}, Multiplexed: true}
+		addSlot(events[0], -1, g)
+		for i := start; i < end; i++ {
+			addSlot(rotating[i], i+1, g)
+			group.Events = append(group.Events, names[i+1])
+		}
+		s.Groups = append(s.Groups, group)
+	}
+	return s, nil
+}
+
+// slotOf returns the slot carrying the request's event index.
+func (s Schedule) slotOf(eventIdx int) int {
+	for slot, e := range s.SlotEvent {
+		if e == eventIdx {
+			return slot
+		}
+	}
+	return -1
+}
+
+// anchorSlots returns, per group, the slot of that group's anchor
+// copy, or nil when the schedule pins no anchor (single counter).
+func (s Schedule) anchorSlots() []int {
+	var out []int
+	for slot, e := range s.SlotEvent {
+		if e == -1 {
+			out = append(out, slot)
+		}
+	}
+	if len(out) != len(s.Groups) {
+		return nil
+	}
+	return out
+}

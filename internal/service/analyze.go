@@ -9,7 +9,6 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/cpu"
-	"repro/internal/isa"
 	"repro/internal/mpx"
 	"repro/internal/sampling"
 	stackpkg "repro/internal/stack"
@@ -57,42 +56,13 @@ func (s *Service) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.Ana
 
 // analyzeItem runs one normalized item with in-flight coalescing.
 func (s *Service) analyzeItem(ctx context.Context, item api.AnalyzeItem) (*api.AnalyzeResult, error) {
-	key := "analyze|" + item.Key()
-	for {
-		s.mu.Lock()
-		if c, ok := s.aflight[key]; ok {
-			s.mu.Unlock()
-			s.coalesced.Add(1)
-			select {
-			case <-c.done:
-				// As in Measure: a context error belongs to the leader,
-				// not to this caller; retry while we are still live.
-				if isContextErr(c.err) && ctx.Err() == nil {
-					continue
-				}
-				return c.res, c.err
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			}
-		}
-		c := &analyzeCall{done: make(chan struct{})}
-		s.aflight[key] = c
-		s.mu.Unlock()
-
-		c.res, c.err = s.executeAnalyze(ctx, item)
-		s.mu.Lock()
-		delete(s.aflight, key)
-		s.mu.Unlock()
-		close(c.done)
-		return c.res, c.err
+	res, joined, err := s.aflight.Do(ctx, item.Key(), func() (*api.AnalyzeResult, error) {
+		return s.executeAnalyze(ctx, item)
+	})
+	if joined {
+		s.coalesced.Add(1)
 	}
-}
-
-// analyzeCall is one in-flight analysis that duplicates can join.
-type analyzeCall struct {
-	done chan struct{}
-	res  *api.AnalyzeResult
-	err  error
+	return res, err
 }
 
 // executeAnalyze runs every requested error model of one item on a
@@ -219,7 +189,7 @@ func (s *Service) analyzeMultiplexed(ctx context.Context, item api.AnalyzeItem, 
 	// goes back into the pool when we return.
 	defer m.Close()
 
-	prog := benchProgram(bench)
+	prog := bench.RawProgram()
 	perEvent := make([][]mpx.Estimate, len(events))
 	for i := 0; i < norm.Runs; i++ {
 		if err := ctx.Err(); err != nil {
@@ -261,7 +231,7 @@ func (s *Service) analyzeSampling(ctx context.Context, item api.AnalyzeItem, sys
 	if err != nil {
 		return err
 	}
-	prof, err := p.Run(benchProgram(bench), norm.Seed)
+	prof, err := p.Run(bench.RawProgram(), norm.Seed)
 	if err != nil {
 		return err
 	}
@@ -330,14 +300,4 @@ func (s *Service) analyzeDuet(ctx context.Context, item api.AnalyzeItem, sys *st
 		Cancellation:   duet.Cancellation,
 	}
 	return nil
-}
-
-// benchProgram builds the raw benchmark program (no infrastructure
-// harness) used by the multiplexing and sampling models, which observe
-// the PMU directly rather than through a counter-access stack.
-func benchProgram(bench *core.Benchmark) *isa.Program {
-	b := isa.NewBuilder("analyze-"+bench.Name, 0x4000)
-	bench.Emit(b)
-	b.Emit(isa.Halt())
-	return b.Build()
 }

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Flight coalesces concurrent identical computations by key: while one
+// caller (the leader) computes, callers with the same key join its
+// result instead of computing again. Sound only for computations whose
+// result is a pure function of the key — which is exactly the
+// determinism contract of this service's request paths, so Measure,
+// Analyze, and the planner all coalesce through this one protocol.
+type Flight[T any] struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall[T]
+}
+
+// flightCall is one in-flight computation followers can join.
+type flightCall[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// NewFlight returns an empty flight group.
+func NewFlight[T any]() *Flight[T] {
+	return &Flight[T]{calls: make(map[string]*flightCall[T])}
+}
+
+// Do executes compute under key, joining an identical in-flight
+// computation when one exists. joined reports whether this caller ever
+// waited on another's execution (the coalescing-stat signal). A
+// leader's cancellation error is not inherited: it is the *leader's*
+// cancellation, not the follower's, so a still-live follower retries —
+// becoming leader itself if the slot is free — rather than failing.
+func (f *Flight[T]) Do(ctx context.Context, key string, compute func() (T, error)) (val T, joined bool, err error) {
+	for {
+		f.mu.Lock()
+		if c, ok := f.calls[key]; ok {
+			f.mu.Unlock()
+			joined = true
+			select {
+			case <-c.done:
+				if isContextErr(c.err) && ctx.Err() == nil {
+					continue
+				}
+				return c.val, true, c.err
+			case <-ctx.Done():
+				return val, true, ctx.Err()
+			}
+		}
+		c := &flightCall[T]{done: make(chan struct{})}
+		f.calls[key] = c
+		f.mu.Unlock()
+
+		c.val, c.err = compute()
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+		close(c.done)
+		return c.val, joined, c.err
+	}
+}
+
+// Len reports how many computations are currently in flight.
+func (f *Flight[T]) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}
+
+// isContextErr reports whether err is a cancellation or deadline error.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

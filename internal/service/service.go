@@ -73,8 +73,8 @@ type Service struct {
 
 	mu      sync.Mutex
 	shards  map[string]*shard
-	flight  map[string]*call
-	aflight map[string]*analyzeCall
+	flight  *Flight[*api.MeasureResponse]
+	aflight *Flight[*api.AnalyzeResult]
 
 	expSem chan struct{}
 
@@ -86,13 +86,6 @@ type Service struct {
 	pins      atomic.Uint64
 }
 
-// call is one in-flight execution that duplicate requests can join.
-type call struct {
-	done chan struct{}
-	resp *api.MeasureResponse
-	err  error
-}
-
 // New returns a service with empty pools; shards are built on first
 // use.
 func New(cfg Config) *Service {
@@ -100,8 +93,8 @@ func New(cfg Config) *Service {
 	return &Service{
 		cfg:     cfg,
 		shards:  make(map[string]*shard),
-		flight:  make(map[string]*call),
-		aflight: make(map[string]*analyzeCall),
+		flight:  NewFlight[*api.MeasureResponse](),
+		aflight: NewFlight[*api.AnalyzeResult](),
 		expSem:  make(chan struct{}, cfg.MaxConcurrentExperiments),
 	}
 }
@@ -116,41 +109,13 @@ func (s *Service) Measure(ctx context.Context, req api.MeasureRequest) (*api.Mea
 	}
 	s.requests.Add(1)
 
-	key := norm.Key()
-	for {
-		s.mu.Lock()
-		if c, ok := s.flight[key]; ok {
-			s.mu.Unlock()
-			s.coalesced.Add(1)
-			select {
-			case <-c.done:
-				// A context error here is the *leader's* cancellation,
-				// not ours; retry (becoming leader if the slot is free)
-				// rather than failing a still-live caller.
-				if isContextErr(c.err) && ctx.Err() == nil {
-					continue
-				}
-				return c.resp, c.err
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			}
-		}
-		c := &call{done: make(chan struct{})}
-		s.flight[key] = c
-		s.mu.Unlock()
-
-		c.resp, c.err = s.execute(ctx, norm)
-		s.mu.Lock()
-		delete(s.flight, key)
-		s.mu.Unlock()
-		close(c.done)
-		return c.resp, c.err
+	resp, joined, err := s.flight.Do(ctx, norm.Key(), func() (*api.MeasureResponse, error) {
+		return s.execute(ctx, norm)
+	})
+	if joined {
+		s.coalesced.Add(1)
 	}
-}
-
-// isContextErr reports whether err is a cancellation or deadline error.
-func isContextErr(err error) bool {
-	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	return resp, err
 }
 
 // execute runs a normalized request on a worker from its shard.

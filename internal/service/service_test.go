@@ -334,10 +334,7 @@ func TestCoalescedJoinerSurvivesLeaderCancel(t *testing.T) {
 	}()
 	// Wait for the leader's call to be in flight.
 	for i := 0; i < 2000; i++ {
-		s.mu.Lock()
-		n := len(s.flight)
-		s.mu.Unlock()
-		if n > 0 {
+		if s.flight.Len() > 0 {
 			break
 		}
 		time.Sleep(time.Millisecond)

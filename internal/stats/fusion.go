@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors reported by the fusion helpers.
+var (
+	// ErrLengthMismatch reports paired slices of different lengths.
+	ErrLengthMismatch = errors.New("stats: paired samples must have equal length")
+	// ErrBadVariance reports a negative variance.
+	ErrBadVariance = errors.New("stats: variance must be non-negative")
+	// ErrBadSampleSize reports a sample size below one.
+	ErrBadSampleSize = errors.New("stats: sample size must be at least one")
+)
+
+// InverseVarianceMean combines independent estimates of one quantity by
+// inverse-variance weighting: the minimum-variance unbiased linear
+// combination, with variance 1/Σ(1/vᵢ) — never larger than the
+// smallest input variance, which is what makes fusion a pure win.
+//
+// A zero variance marks an exact observation. Exact observations
+// dominate: the result is then the mean of the exact values with
+// variance zero (the noisy estimates add nothing). A single estimate
+// passes through unchanged.
+func InverseVarianceMean(values, variances []float64) (mean, variance float64, err error) {
+	if len(values) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if len(values) != len(variances) {
+		return 0, 0, fmt.Errorf("%w (%d values, %d variances)", ErrLengthMismatch, len(values), len(variances))
+	}
+	exact := 0
+	var exactSum float64
+	for i, v := range variances {
+		if v < 0 {
+			return 0, 0, fmt.Errorf("%w (got %v)", ErrBadVariance, v)
+		}
+		if v == 0 {
+			exact++
+			exactSum += values[i]
+		}
+	}
+	if exact > 0 {
+		return exactSum / float64(exact), 0, nil
+	}
+	var wSum, wxSum float64
+	for i, v := range variances {
+		w := 1 / v
+		wSum += w
+		wxSum += w * values[i]
+	}
+	return wxSum / wSum, 1 / wSum, nil
+}
+
+// PooledVariance pools per-batch sample variances into one estimate of
+// the common per-observation variance, weighting each batch by its
+// degrees of freedom (nᵢ-1). Batches of a single observation carry no
+// dispersion information and contribute nothing; if every batch is a
+// single observation the pooled variance is zero, mirroring how
+// Variance treats a single sample.
+func PooledVariance(variances []float64, sizes []int) (float64, error) {
+	if len(variances) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(variances) != len(sizes) {
+		return 0, fmt.Errorf("%w (%d variances, %d sizes)", ErrLengthMismatch, len(variances), len(sizes))
+	}
+	var num float64
+	df := 0
+	for i, v := range variances {
+		if v < 0 {
+			return 0, fmt.Errorf("%w (got %v)", ErrBadVariance, v)
+		}
+		if sizes[i] < 1 {
+			return 0, fmt.Errorf("%w (got %d)", ErrBadSampleSize, sizes[i])
+		}
+		num += float64(sizes[i]-1) * v
+		df += sizes[i] - 1
+	}
+	if df == 0 {
+		return 0, nil
+	}
+	return num / float64(df), nil
+}
+
+// Covariance returns the unbiased sample covariance (n-1 denominator)
+// of paired observations. Fewer than two pairs leave covariance
+// unobservable and return 0, mirroring Variance.
+func Covariance(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("%w (%d vs %d)", ErrLengthMismatch, len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0, nil
+	}
+	mx, my := Mean(xs), Mean(ys)
+	s := 0.0
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(n-1), nil
+}

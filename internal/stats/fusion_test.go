@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestInverseVarianceMean(t *testing.T) {
+	cases := []struct {
+		name         string
+		values, vars []float64
+		wantMean     float64
+		wantVar      float64
+		wantErr      error
+	}{
+		{
+			name:   "equal variances average evenly",
+			values: []float64{10, 20}, vars: []float64{4, 4},
+			wantMean: 15, wantVar: 2,
+		},
+		{
+			name:   "precise estimate dominates",
+			values: []float64{10, 20}, vars: []float64{1, 9},
+			wantMean: 11, wantVar: 0.9,
+		},
+		{
+			name:   "single sample passes through",
+			values: []float64{42}, vars: []float64{7},
+			wantMean: 42, wantVar: 7,
+		},
+		{
+			name:   "single exact sample",
+			values: []float64{42}, vars: []float64{0},
+			wantMean: 42, wantVar: 0,
+		},
+		{
+			name:   "zero variance dominates noisy estimates",
+			values: []float64{5, 100, 200}, vars: []float64{0, 1, 1},
+			wantMean: 5, wantVar: 0,
+		},
+		{
+			name:   "multiple exact observations average",
+			values: []float64{4, 6, 1000}, vars: []float64{0, 0, 1},
+			wantMean: 5, wantVar: 0,
+		},
+		{
+			name: "empty sample", values: nil, vars: nil, wantErr: ErrEmpty,
+		},
+		{
+			name:   "length mismatch",
+			values: []float64{1, 2}, vars: []float64{1},
+			wantErr: ErrLengthMismatch,
+		},
+		{
+			name:   "negative variance",
+			values: []float64{1}, vars: []float64{-1},
+			wantErr: ErrBadVariance,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mean, v, err := InverseVarianceMean(c.values, c.vars)
+			if c.wantErr != nil {
+				if !errors.Is(err, c.wantErr) {
+					t.Fatalf("err = %v, want %v", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(mean-c.wantMean) > 1e-12 || math.Abs(v-c.wantVar) > 1e-12 {
+				t.Errorf("got (%v, %v), want (%v, %v)", mean, v, c.wantMean, c.wantVar)
+			}
+		})
+	}
+}
+
+// TestInverseVarianceMeanNeverWidens is the property fusion relies on:
+// the combined variance is at most the smallest input variance.
+func TestInverseVarianceMeanNeverWidens(t *testing.T) {
+	vars := []float64{3, 7, 0.5, 12}
+	values := []float64{1, 2, 3, 4}
+	_, v, err := InverseVarianceMean(values, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 0.5 {
+		t.Errorf("fused variance %v exceeds smallest input 0.5", v)
+	}
+}
+
+func TestPooledVariance(t *testing.T) {
+	cases := []struct {
+		name    string
+		vars    []float64
+		sizes   []int
+		want    float64
+		wantErr error
+	}{
+		{
+			name: "equal batches average",
+			vars: []float64{4, 8}, sizes: []int{5, 5}, want: 6,
+		},
+		{
+			name: "df weighting favors larger batch",
+			vars: []float64{4, 10}, sizes: []int{11, 3}, want: 5,
+		},
+		{
+			name: "single batch passes through",
+			vars: []float64{3.5}, sizes: []int{9}, want: 3.5,
+		},
+		{
+			name: "single-observation batches carry no dispersion",
+			vars: []float64{0, 0}, sizes: []int{1, 1}, want: 0,
+		},
+		{
+			name: "single-observation batch contributes nothing",
+			vars: []float64{99, 6}, sizes: []int{1, 4}, want: 6,
+		},
+		{
+			name: "zero-variance batch pulls the pool down",
+			vars: []float64{0, 6}, sizes: []int{4, 4}, want: 3,
+		},
+		{name: "empty", vars: nil, sizes: nil, wantErr: ErrEmpty},
+		{name: "mismatch", vars: []float64{1}, sizes: []int{2, 3}, wantErr: ErrLengthMismatch},
+		{name: "negative variance", vars: []float64{-2}, sizes: []int{3}, wantErr: ErrBadVariance},
+		{name: "zero size", vars: []float64{1}, sizes: []int{0}, wantErr: ErrBadSampleSize},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := PooledVariance(c.vars, c.sizes)
+			if c.wantErr != nil {
+				if !errors.Is(err, c.wantErr) {
+					t.Fatalf("err = %v, want %v", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("pooled = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	// Perfectly linear pairs: cov(x, 2x) = 2·var(x).
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	got, err := Covariance(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * Variance(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("cov = %v, want %v", got, want)
+	}
+
+	// Consistency: cov(x, x) = var(x).
+	self, err := Covariance(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Variance(xs); math.Abs(self-want) > 1e-12 {
+		t.Errorf("cov(x,x) = %v, want var %v", self, want)
+	}
+
+	// Unobservable cases return zero, mirroring Variance.
+	if got, err := Covariance([]float64{1}, []float64{2}); err != nil || got != 0 {
+		t.Errorf("single pair: (%v, %v)", got, err)
+	}
+	if got, err := Covariance(nil, nil); err != nil || got != 0 {
+		t.Errorf("empty: (%v, %v)", got, err)
+	}
+	if _, err := Covariance([]float64{1, 2}, []float64{1}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("mismatch err = %v", err)
+	}
+}
