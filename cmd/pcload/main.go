@@ -28,6 +28,13 @@
 // most its naive multiplexed interval, and that plans attain their
 // CI-width targets under load.
 //
+// With -infer, requests go to the constraint-graph inference layer:
+// /infer requests issued in identical pairs — measured inputs under
+// the built-in invariant library, raw inputs under explicit
+// constraints, and deliberately inconsistent inputs — asserting
+// byte-identical responses, posterior intervals never wider than the
+// priors, and residual verdicts matching each variant.
+//
 // Usage:
 //
 //	pcload -addr http://localhost:7090 -n 200 -c 8 -calibrate
@@ -35,6 +42,7 @@
 //	pcload -addr http://localhost:7090 -n 100 -c 4 -analyze
 //	pcload -addr http://localhost:7090 -monitor -sessions 8 -steps 64
 //	pcload -addr http://localhost:7090 -plan -plans 24 -c 4
+//	pcload -addr http://localhost:7090 -infer -infers 24 -c 4
 package main
 
 import (
@@ -68,23 +76,27 @@ func main() {
 		window    = flag.Int("window", 8, "samples per window with -monitor")
 		planMode  = flag.Bool("plan", false, "drive /plan instead of /measure: accuracy-targeted plans, asserting determinism, fused-interval narrowing, and CI-target attainment")
 		plans     = flag.Int("plans", 12, "plan requests to send with -plan (issued as identical pairs)")
+		inferMode = flag.Bool("infer", false, "drive /infer instead of /measure: constraint-graph inference, asserting determinism, posterior<=prior intervals, and residual verdicts")
+		infers    = flag.Int("infers", 18, "infer requests to send with -infer (issued as identical pairs)")
 	)
 	flag.Parse()
 
 	var err error
 	modes := 0
-	for _, on := range []bool{*monitor, *planMode, *analyze} {
+	for _, on := range []bool{*monitor, *planMode, *analyze, *inferMode} {
 		if on {
 			modes++
 		}
 	}
 	switch {
 	case modes > 1:
-		err = fmt.Errorf("-analyze, -monitor, and -plan are mutually exclusive workloads")
+		err = fmt.Errorf("-analyze, -monitor, -plan, and -infer are mutually exclusive workloads")
 	case *monitor:
 		err = runMonitor(os.Stdout, *addr, *mixSpec, *sessions, *steps, *window, *c)
 	case *planMode:
 		err = runPlan(os.Stdout, *addr, *mixSpec, *plans, *c)
+	case *inferMode:
+		err = runInfer(os.Stdout, *addr, *mixSpec, *infers, *c)
 	default:
 		err = run(os.Stdout, *addr, *mixSpec, *n, *c, *runs, *seeds, *calibrate, *analyze)
 	}

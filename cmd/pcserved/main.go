@@ -8,6 +8,7 @@
 //	POST   /measure              api.MeasureRequest    -> api.MeasureResponse
 //	POST   /analyze              api.AnalyzeRequest    -> api.AnalyzeResponse
 //	POST   /plan                 api.PlanRequest       -> api.PlanResponse
+//	POST   /infer                api.InferRequest      -> api.InferResponse
 //	POST   /experiment           api.ExperimentRequest -> api.ExperimentResponse
 //	POST   /sessions             api.SessionRequest    -> api.SessionCreated
 //	GET    /sessions/{id}        -> api.SessionSnapshot
@@ -28,6 +29,12 @@
 // count that meets it, executes the schedule, and fuses the partial
 // observations into estimates never wider than the naive ones. See
 // docs/PLANNING.md.
+//
+// The /infer endpoint is the cross-event inference layer: batched
+// joint estimation over the algebraic invariants tying events together
+// (internal/bayes), returning posterior estimates whose intervals
+// never widen versus the inputs, plus per-invariant consistency
+// residuals. See docs/INFERENCE.md.
 //
 // The /sessions endpoints open continuous monitoring sessions:
 // long-lived observers that stream corrected samples, window
@@ -141,12 +148,20 @@ func newHandler(svc *service.Service, reg *monitor.Registry, planner *plan.Plann
 		func(r *http.Request, req api.PlanRequest) (*api.PlanResponse, error) {
 			return planner.Do(r.Context(), req)
 		}))
+	mux.HandleFunc("POST /infer", handleJSON(statusFor, http.StatusOK,
+		func(r *http.Request, req api.InferRequest) (*api.InferResponse, error) {
+			return svc.Infer(r.Context(), req)
+		}))
 	mux.HandleFunc("POST /experiment", handleJSON(statusFor, http.StatusOK,
 		func(r *http.Request, req api.ExperimentRequest) (*api.ExperimentResponse, error) {
 			return svc.Experiment(r.Context(), req)
 		}))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Health())
+		// The service owns pool and cache state; the session registry is
+		// the front end's, so its live-session count is overlaid here.
+		h := svc.Health()
+		h.ActiveSessions = reg.Active()
+		writeJSON(w, http.StatusOK, h)
 	})
 	return mux
 }

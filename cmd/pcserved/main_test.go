@@ -288,7 +288,9 @@ func TestExperimentEndpoint(t *testing.T) {
 
 func TestHealthzEndpoint(t *testing.T) {
 	srv := newTestServer(t)
-	post(t, srv.URL+"/measure", api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "null"})
+	req := api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "null", Calibrate: true}
+	post(t, srv.URL+"/measure", req)
+	post(t, srv.URL+"/measure", req) // warm repeat: cache hit, coalesce-or-replay
 
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
@@ -299,7 +301,104 @@ func TestHealthzEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if h.Status != "ok" || len(h.Shards) != 1 || h.Stats.Requests != 1 {
+	if h.Status != "ok" || len(h.Shards) != 1 || h.Stats.Requests != 2 {
 		t.Errorf("unexpected health: %+v", h)
+	}
+	// The enriched shape: pool occupancy, calibration cache size and
+	// hit-rate, session count — all present alongside the old fields.
+	if h.Shards[0].InUse != 0 || h.Shards[0].Idle != h.Shards[0].Workers {
+		t.Errorf("quiescent pool reports occupancy: %+v", h.Shards[0])
+	}
+	if h.Calibrations != 1 {
+		t.Errorf("calibration cache size = %d, want 1", h.Calibrations)
+	}
+	if h.CalibrationHitRate <= 0 || h.CalibrationHitRate >= 1 {
+		t.Errorf("calibration hit rate = %v, want in (0, 1)", h.CalibrationHitRate)
+	}
+	if h.ActiveSessions != 0 {
+		t.Errorf("active sessions = %d, want 0", h.ActiveSessions)
+	}
+
+	// An open monitoring session shows up in the count and occupancy.
+	status, body := post(t, srv.URL+"/sessions", api.SessionRequest{
+		Measure: api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000"},
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("open session: status %d body %s", status, body)
+	}
+	var created api.SessionCreated
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatalf("unmarshal session: %v", err)
+	}
+	resp2, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&h); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.ActiveSessions != 1 {
+		t.Errorf("active sessions = %d, want 1", h.ActiveSessions)
+	}
+}
+
+func TestInferEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	req := api.InferRequest{Items: []api.InferItem{{
+		Inputs: []api.InferInput{
+			{Measure: &api.MeasureRequest{
+				Processor: "K8", Stack: "pc", Bench: "loop:100000", Pattern: "rr", Runs: 5,
+			}},
+			{Measure: &api.MeasureRequest{
+				Processor: "K8", Stack: "pc", Bench: "loop:100000", Pattern: "rr", Runs: 5,
+				Events: []string{"CPU_CLK_UNHALTED"},
+			}},
+		},
+	}}}
+	status, body := post(t, srv.URL+"/infer", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", status, body)
+	}
+	var resp api.InferResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	res := resp.Results[0]
+	if len(res.Posterior) != 2 {
+		t.Fatalf("posterior estimates = %d, want 2: %s", len(res.Posterior), body)
+	}
+	for i, post := range res.Posterior {
+		prior := res.Prior[i]
+		if post.Hi-post.Lo > (prior.Hi-prior.Lo)*(1+1e-9) {
+			t.Errorf("%s: posterior wider than prior", post.Event)
+		}
+	}
+	if len(res.Residuals) == 0 {
+		t.Errorf("no residual report: %s", body)
+	}
+
+	// Byte-identical repeat over HTTP.
+	_, body2 := post(t, srv.URL+"/infer", req)
+	if string(body) != string(body2) {
+		t.Fatalf("identical /infer requests got different bodies:\n%s\n%s", body, body2)
+	}
+}
+
+func TestInferRejectsInvalid(t *testing.T) {
+	srv := newTestServer(t)
+	status, body := post(t, srv.URL+"/infer", api.InferRequest{})
+	if status != http.StatusBadRequest {
+		t.Errorf("empty batch: status = %d, body = %s", status, body)
+	}
+	var e api.Error
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Errorf("error shape: %s", body)
+	}
+	status, body = post(t, srv.URL+"/infer", api.InferRequest{Items: []api.InferItem{{
+		Inputs: []api.InferInput{{Event: "X", Mean: 1, Variance: -1}},
+	}}})
+	if status != http.StatusBadRequest {
+		t.Errorf("negative variance: status = %d, body = %s", status, body)
 	}
 }

@@ -1,0 +1,106 @@
+// Infer: drive the constraint-graph inference engine in process — the
+// same engine behind pcserved's /infer endpoint. Events are not
+// independent quantities: the ISA ties them together (a core retires
+// at most width instructions per cycle, TLB misses cannot outnumber
+// cache misses, counts are non-negative), so measuring one event is
+// evidence about the others. The engine conditions the per-event
+// Gaussian estimates on those invariants and returns posterior
+// estimates whose intervals never widen, plus residuals flagging
+// inputs that violate their invariants (see docs/INFERENCE.md).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/api"
+	"repro/internal/bayes"
+	"repro/internal/service"
+)
+
+func main() {
+	svc := service.New(service.Config{WorkersPerShard: 1, CalibrationRuns: 31})
+	ctx := context.Background()
+
+	// Three events measured on the same configuration, inferred jointly
+	// under the built-in invariant library.
+	measure := func(event string) api.InferInput {
+		return api.InferInput{Measure: &api.MeasureRequest{
+			Processor: "K8", Stack: "pc", Bench: "array:1000000", Pattern: "rr",
+			Runs: 6, Events: []string{event},
+		}}
+	}
+	resp, err := svc.Infer(ctx, api.InferRequest{Items: []api.InferItem{{
+		Inputs: []api.InferInput{
+			measure("INSTR_RETIRED"),
+			measure("CPU_CLK_UNHALTED"),
+			measure("DCACHE_MISS"),
+		},
+	}}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := resp.Results[0]
+	fmt.Printf("measured inputs under the %s invariant library:\n", res.Item.Processor)
+	for i, post := range res.Posterior {
+		prior := res.Prior[i]
+		fmt.Printf("  %-18s prior [%.0f, %.0f]  posterior [%.0f, %.0f]\n",
+			post.Event, prior.Lo, prior.Hi, post.Lo, post.Hi)
+	}
+	fmt.Printf("  mean tightening %.1f%%, consistent=%v, %d invariants checked\n\n",
+		100*res.Tightening, res.Consistent, len(res.Residuals))
+
+	// Raw inputs with an explicit constraint: the BayesPerf-style sum
+	// decomposition TOTAL = A + B. The equality conditions all three
+	// estimates jointly — every interval tightens.
+	resp, err = svc.Infer(ctx, api.InferRequest{Items: []api.InferItem{{
+		Inputs: []api.InferInput{
+			{Event: "TOTAL", Mean: 1480, Variance: 900},
+			{Event: "A", Mean: 1010, Variance: 400},
+			{Event: "B", Mean: 505, Variance: 625},
+		},
+		Constraints: []api.InferConstraint{{
+			Name: "decompose",
+			Terms: []bayes.Term{
+				{Event: "TOTAL", Coef: 1}, {Event: "A", Coef: -1}, {Event: "B", Coef: -1},
+			},
+			Op: bayes.OpEq, RHS: 0,
+		}},
+	}}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res = resp.Results[0]
+	fmt.Println("raw inputs under TOTAL = A + B:")
+	for i, post := range res.Posterior {
+		prior := res.Prior[i]
+		fmt.Printf("  %-6s %7.1f ± %5.1f  ->  %7.1f ± %5.1f\n",
+			post.Event, prior.Corrected, prior.StdErr, post.Corrected, post.StdErr)
+	}
+	fmt.Printf("  posterior satisfies the constraint: %.6f\n\n",
+		res.Posterior[0].Corrected-res.Posterior[1].Corrected-res.Posterior[2].Corrected)
+
+	// Inconsistent inputs: ITLB misses cannot outnumber i-cache misses
+	// on this ISA. The residual flags the violation (event validation);
+	// the posterior reconciles it.
+	resp, err = svc.Infer(ctx, api.InferRequest{Items: []api.InferItem{{
+		Processor: "K8",
+		Inputs: []api.InferInput{
+			{Event: "ITLB_MISS", Mean: 4000, Variance: 100},
+			{Event: "ICACHE_MISS", Mean: 40, Variance: 100},
+		},
+	}}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res = resp.Results[0]
+	fmt.Println("planted inconsistency (ITLB_MISS > ICACHE_MISS):")
+	for _, r := range res.Residuals {
+		if r.Violated {
+			fmt.Printf("  flagged %s: off by %.0f counts (%.0f sigma)\n", r.Constraint, r.Value, r.Sigma)
+		}
+	}
+	fmt.Printf("  reconciled: ITLB %.1f <= ICACHE %.1f\n",
+		res.Posterior[0].Corrected, res.Posterior[1].Corrected)
+}

@@ -91,6 +91,11 @@ const (
 	// the estimate explained by the shared-window error of the anchor
 	// event measured alongside it (Value is subtracted from Raw).
 	TermAnchorFusion = "anchor-fusion"
+	// TermConstraintFusion is the cross-event correction the
+	// constraint-graph inference (internal/bayes) applies: the shift
+	// from conditioning the joint Gaussian on the event invariants
+	// (Value is subtracted from Raw).
+	TermConstraintFusion = "constraint-fusion"
 )
 
 // Estimate is a corrected measurement estimate with its confidence

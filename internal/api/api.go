@@ -282,12 +282,23 @@ type ExperimentResponse struct {
 	Text string `json:"text"`
 }
 
-// HealthResponse reports service liveness and pool state.
+// HealthResponse reports service liveness and pool state. Fields only
+// accrete here: monitoring dashboards built against an older shape
+// keep working (the old fields stay a subset).
 type HealthResponse struct {
 	Status string        `json:"status"`
 	Shards []ShardHealth `json:"shards"`
 	// Stats aggregates service counters since start.
 	Stats ServiceStats `json:"stats"`
+	// Calibrations is the calibration-cache size summed over shards.
+	Calibrations int `json:"calibrations"`
+	// CalibrationHitRate is hits/(hits+misses) of the calibration cache
+	// since start (0 before the first lookup).
+	CalibrationHitRate float64 `json:"calibrationHitRate"`
+	// ActiveSessions is how many monitoring sessions are currently
+	// producing (each pinning a worker). Filled by the server front end,
+	// which owns the session registry.
+	ActiveSessions int `json:"activeSessions"`
 }
 
 // ShardHealth describes one system pool.
@@ -298,6 +309,9 @@ type ShardHealth struct {
 	Workers int `json:"workers"`
 	// Idle is how many workers are currently checked in.
 	Idle int `json:"idle"`
+	// InUse is the pool occupancy: workers currently checked out to
+	// requests, plans, or pinned sessions (Workers - Idle).
+	InUse int `json:"inUse"`
 	// Calibrations is how many distinct calibrations the shard cached.
 	Calibrations int `json:"calibrations"`
 }
@@ -309,6 +323,9 @@ type ServiceStats struct {
 	// Analyzes is the number of analyze items accepted (batch items,
 	// not batches).
 	Analyzes uint64 `json:"analyzes"`
+	// Infers is the number of infer items accepted (batch items, not
+	// batches).
+	Infers uint64 `json:"infers"`
 	// Coalesced is how many calls were served by joining an identical
 	// in-flight request instead of executing.
 	Coalesced uint64 `json:"coalesced"`
@@ -349,11 +366,14 @@ func ParseBench(spec string) (*core.Benchmark, error) {
 }
 
 // canonicalBenchSpec renders a benchmark back to its wire spelling.
+// Only the null benchmark spells bare: a zero-iteration loop/array
+// must keep its ":0" or the canonical form would not re-parse (caught
+// by the api fuzz tests).
 func canonicalBenchSpec(b *core.Benchmark) string {
-	if b.Iterations > 0 {
-		return fmt.Sprintf("%s:%d", b.Name, b.Iterations)
+	if b.Name == "null" {
+		return b.Name
 	}
-	return b.Name
+	return fmt.Sprintf("%s:%d", b.Name, b.Iterations)
 }
 
 // ParsePattern parses a two-letter pattern code (ar, ao, rr, ro).

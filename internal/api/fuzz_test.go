@@ -1,0 +1,140 @@
+package api
+
+import (
+	"testing"
+
+	"repro/internal/bayes"
+)
+
+// The fuzz targets pin the contract every coalescing and caching layer
+// rests on: normalization is a *canonicalization* — if Normalized()
+// accepts a request, normalizing its output must succeed, change
+// nothing, and produce the same Key. A normalization that accepted a
+// form it cannot reproduce would split identical requests across cache
+// entries (or worse, collide different ones), so the round-trip
+// property is fuzzed over the raw wire vocabulary rather than
+// enumerated by hand.
+
+func checkCanonical[T interface{ Key() string }](t *testing.T, norm T, renorm func(T) (T, error)) {
+	t.Helper()
+	again, err := renorm(norm)
+	if err != nil {
+		t.Fatalf("re-normalizing a normalized request failed: %v\nnormalized: %+v", err, norm)
+	}
+	if norm.Key() != again.Key() {
+		t.Fatalf("normalization not idempotent:\n first: %s\nsecond: %s", norm.Key(), again.Key())
+	}
+}
+
+func FuzzMeasureRequestNormalized(f *testing.F) {
+	f.Add("K8", "pc", "loop:1000", "ar", "user", "INSTR_RETIRED", 0, 3, uint64(1), true, false)
+	f.Add("PD", "PHpm", "null", "", "", "", 2, 0, uint64(0), false, true)
+	f.Add("CD", "pm", "array:500", "rr", "uk", "CPU_CLK_UNHALTED", 3, 100, uint64(7), false, false)
+	f.Add("K8", "PLpc", "loop:9", "ao", "kernel", "DCACHE_MISS", 1, 1, uint64(2), true, true)
+	f.Fuzz(func(t *testing.T, proc, stack, bench, pattern, mode, event string,
+		opt, runs int, seed uint64, calibrate, notsc bool) {
+		req := MeasureRequest{
+			Processor: proc, Stack: stack, Bench: bench, Pattern: pattern,
+			Mode: mode, Opt: opt, Runs: runs, Seed: seed,
+			Calibrate: calibrate, NoTSC: notsc,
+		}
+		if event != "" {
+			req.Events = []string{event}
+		}
+		norm, err := req.Normalized()
+		if err != nil {
+			return // rejected input: nothing to canonicalize
+		}
+		checkCanonical(t, norm, MeasureRequest.Normalized)
+		if norm.ShardKey() == "" || norm.CalibrationKey() == "" {
+			t.Fatal("normalized request produced empty shard/calibration key")
+		}
+		if _, err := norm.Build(); err != nil {
+			t.Fatalf("normalized request does not build: %v", err)
+		}
+	})
+}
+
+func FuzzAnalyzeItemNormalized(f *testing.F) {
+	f.Add("K8", "pc", "loop:1000", 0.95, 0, int64(0), false)
+	f.Add("CD", "pm", "null", 0.0, 1, int64(10_000), true)
+	f.Add("PD", "PHpc", "array:100", 0.99, 2, int64(100), false)
+	f.Fuzz(func(t *testing.T, proc, stack, bench string, conf float64,
+		mpx int, sampling int64, duet bool) {
+		item := AnalyzeItem{
+			Measure:        MeasureRequest{Processor: proc, Stack: stack, Bench: bench},
+			Confidence:     conf,
+			MpxCounters:    mpx,
+			SamplingPeriod: sampling,
+		}
+		if duet {
+			item.Duet = &MeasureRequest{Processor: proc, Stack: stack, Bench: "null"}
+		}
+		norm, err := item.Normalized()
+		if err != nil {
+			return
+		}
+		checkCanonical(t, norm, AnalyzeItem.Normalized)
+	})
+}
+
+func FuzzPlanRequestNormalized(f *testing.F) {
+	f.Add("K8", "pc", "loop:1000", 0.1, 0.95, 2, 2, 16, 0)
+	f.Add("CD", "pm", "array:100", 0.05, 0.0, 0, 0, 0, -1)
+	f.Add("PD", "pc", "null", 1.0, 0.5, 1, 32, 4096, 8)
+	f.Fuzz(func(t *testing.T, proc, stack, bench string, target, conf float64,
+		counters, pilot, maxRuns, refine int) {
+		req := PlanRequest{
+			Measure:        MeasureRequest{Processor: proc, Stack: stack, Bench: bench},
+			TargetRelWidth: target,
+			Confidence:     conf,
+			Counters:       counters,
+			PilotRuns:      pilot,
+			MaxRuns:        maxRuns,
+			MaxRefine:      refine,
+		}
+		norm, err := req.Normalized()
+		if err != nil {
+			return
+		}
+		checkCanonical(t, norm, PlanRequest.Normalized)
+		if norm.Mode() != PlanModeDedicated && norm.Mode() != PlanModeMultiplexed {
+			t.Fatalf("normalized plan has no mode: %+v", norm)
+		}
+	})
+}
+
+func FuzzInferItemNormalized(f *testing.F) {
+	f.Add("K8", "INSTR_RETIRED", 1000.0, 100.0, "CPU_CLK_UNHALTED", 1.0, -1.0, "<=", 0.0, false, 0.95)
+	f.Add("", "A", 1.0, 0.0, "A", 2.0, 0.5, "=", 3.0, true, 0.0)
+	f.Add("CD", "X", -5.0, 25.0, "X", -1.0, 0.0, ">=", -1.0, false, 0.5)
+	f.Fuzz(func(t *testing.T, proc, ev1 string, mean1, var1 float64,
+		cev string, coef1, coef2 float64, op string, rhs float64,
+		nolib bool, conf float64) {
+		item := InferItem{
+			Processor:  proc,
+			NoLibrary:  nolib,
+			Confidence: conf,
+			Inputs: []InferInput{
+				{Event: ev1, Mean: mean1, Variance: var1},
+				{Event: "INSTR_RETIRED", Mean: 500, Variance: 25},
+			},
+			Constraints: []InferConstraint{{
+				Terms: []bayes.Term{
+					{Event: cev, Coef: coef1},
+					{Event: "INSTR_RETIRED", Coef: coef2},
+				},
+				Op:  op,
+				RHS: rhs,
+			}},
+		}
+		norm, err := item.Normalized()
+		if err != nil {
+			return
+		}
+		checkCanonical(t, norm, InferItem.Normalized)
+		if _, err := norm.Model(); err != nil {
+			t.Fatalf("normalized item's model does not assemble: %v", err)
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package api
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/bayes"
+)
+
+func rawInput(event string, mean, variance float64) InferInput {
+	return InferInput{Event: event, Mean: mean, Variance: variance}
+}
+
+func TestInferItemNormalizedDefaults(t *testing.T) {
+	it := InferItem{
+		Inputs: []InferInput{
+			{Measure: &MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000"}},
+			rawInput("CPU_CLK_UNHALTED", 5000, 2500),
+		},
+	}
+	norm, err := it.Normalized()
+	if err != nil {
+		t.Fatalf("Normalized: %v", err)
+	}
+	if norm.Confidence != accuracy.DefaultConfidence {
+		t.Errorf("confidence = %v, want default", norm.Confidence)
+	}
+	m := norm.Inputs[0].Measure
+	if m == nil || !m.Calibrate {
+		t.Error("measured input must force calibration on")
+	}
+	if m.Runs != DefaultInferRuns {
+		t.Errorf("runs = %d, want %d", m.Runs, DefaultInferRuns)
+	}
+	if norm.Inputs[0].Event != "INSTR_RETIRED" {
+		t.Errorf("event = %q, want the measurement's first event", norm.Inputs[0].Event)
+	}
+	if norm.Processor != "K8" {
+		t.Errorf("processor = %q, want inherited K8", norm.Processor)
+	}
+
+	// Idempotent: normalizing the normalized form is the identity.
+	again, err := norm.Normalized()
+	if err != nil {
+		t.Fatalf("re-Normalized: %v", err)
+	}
+	if again.Key() != norm.Key() {
+		t.Errorf("normalization not idempotent:\n%s\n%s", norm.Key(), again.Key())
+	}
+}
+
+func TestInferItemNormalizedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		item InferItem
+	}{
+		{"no inputs", InferItem{}},
+		{"raw without event", InferItem{Inputs: []InferInput{{Mean: 1, Variance: 1}}}},
+		{"negative variance", InferItem{Inputs: []InferInput{rawInput("X", 1, -1)}}},
+		{"nan mean", InferItem{Inputs: []InferInput{rawInput("X", math.NaN(), 1)}}},
+		{"bad event name", InferItem{Inputs: []InferInput{rawInput("a|b", 1, 1)}}},
+		// The review's key-forgery repro: an event name embedding the
+		// key's own delimiters ({ } = ± ;) could collide with a
+		// different item's canonical key and be served its coalesced
+		// response. The allowlist must reject it.
+		{"key-forging event name", InferItem{Inputs: []InferInput{rawInput("X=1±2};r{Y", 3, 4)}}},
+		{"overlong event name", InferItem{Inputs: []InferInput{rawInput(strings.Repeat("A", 65), 1, 1)}}},
+		{"duplicate events", InferItem{Inputs: []InferInput{rawInput("X", 1, 1), rawInput("X", 2, 1)}}},
+		{"mixed forms", InferItem{Inputs: []InferInput{{
+			Event: "X", Mean: 1, Variance: 1,
+			Measure: &MeasureRequest{Processor: "K8", Stack: "pc"},
+		}}}},
+		{"one-run measurement", InferItem{Inputs: []InferInput{{
+			Measure: &MeasureRequest{Processor: "K8", Stack: "pc", Runs: 1},
+		}}}},
+		{"bad processor", InferItem{
+			Processor: "Z80",
+			Inputs:    []InferInput{rawInput("X", 1, 1)},
+		}},
+		{"constraint on missing event", InferItem{
+			Inputs: []InferInput{rawInput("X", 1, 1)},
+			Constraints: []InferConstraint{{
+				Terms: []bayes.Term{{Event: "Y", Coef: 1}}, Op: bayes.OpLe, RHS: 0,
+			}},
+		}},
+		{"bad constraint op", InferItem{
+			Inputs: []InferInput{rawInput("X", 1, 1)},
+			Constraints: []InferConstraint{{
+				Terms: []bayes.Term{{Event: "X", Coef: 1}}, Op: "<", RHS: 0,
+			}},
+		}},
+		{"bad confidence", InferItem{
+			Confidence: 0.1,
+			Inputs:     []InferInput{rawInput("X", 1, 1)},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.item.Normalized(); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: got %v, want ErrBadRequest", tc.name, err)
+		}
+	}
+}
+
+func TestInferItemKeyDistinguishes(t *testing.T) {
+	base := InferItem{
+		Processor: "K8",
+		Inputs:    []InferInput{rawInput("INSTR_RETIRED", 1000, 100)},
+	}
+	norm := func(it InferItem) InferItem {
+		t.Helper()
+		n, err := it.Normalized()
+		if err != nil {
+			t.Fatalf("Normalized: %v", err)
+		}
+		return n
+	}
+	keys := map[string]string{}
+	add := func(name string, it InferItem) {
+		k := norm(it).Key()
+		for prev, pk := range keys {
+			if pk == k {
+				t.Errorf("%s and %s share a key: %s", name, prev, k)
+			}
+		}
+		keys[name] = k
+	}
+	add("base", base)
+	v := base
+	v.Inputs = []InferInput{rawInput("INSTR_RETIRED", 1001, 100)}
+	add("different mean", v)
+	v = base
+	v.Inputs = []InferInput{rawInput("INSTR_RETIRED", 1000, 101)}
+	add("different variance", v)
+	v = base
+	v.NoLibrary = true
+	add("library off", v)
+	v = base
+	v.Confidence = 0.99
+	add("different confidence", v)
+	v = base
+	v.Constraints = []InferConstraint{{
+		Terms: []bayes.Term{{Event: "INSTR_RETIRED", Coef: 1}}, Op: bayes.OpLe, RHS: 1e9,
+	}}
+	add("extra constraint", v)
+}
+
+func TestInferConstraintCanonicalizedOnWire(t *testing.T) {
+	it := InferItem{
+		Inputs: []InferInput{rawInput("A", 1, 1), rawInput("B", 2, 1)},
+		Constraints: []InferConstraint{{
+			Terms: []bayes.Term{{Event: "B", Coef: -1}, {Event: "A", Coef: -1}},
+			Op:    bayes.OpGe, RHS: -10,
+		}},
+	}
+	norm, err := it.Normalized()
+	if err != nil {
+		t.Fatalf("Normalized: %v", err)
+	}
+	c := norm.Constraints[0]
+	if c.Op != bayes.OpLe || c.RHS != 10 {
+		t.Errorf(">= not canonicalized: %+v", c)
+	}
+	if c.Terms[0].Event != "A" || c.Terms[0].Coef != 1 {
+		t.Errorf("terms not sorted/negated: %+v", c.Terms)
+	}
+}
+
+func TestInferItemModel(t *testing.T) {
+	it := InferItem{
+		Processor: "K8",
+		Inputs: []InferInput{
+			rawInput("INSTR_RETIRED", 1000, 100),
+			rawInput("CPU_CLK_UNHALTED", 600, 100),
+			rawInput("CUSTOM_TOTAL", 1600, 400),
+		},
+		Constraints: []InferConstraint{{
+			Name: "total",
+			Terms: []bayes.Term{
+				{Event: "CUSTOM_TOTAL", Coef: 1},
+				{Event: "INSTR_RETIRED", Coef: -1},
+				{Event: "CPU_CLK_UNHALTED", Coef: -1},
+			},
+			Op: bayes.OpEq, RHS: 0,
+		}},
+	}
+	norm, err := it.Normalized()
+	if err != nil {
+		t.Fatalf("Normalized: %v", err)
+	}
+	m, err := norm.Model()
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	// The library restricted to the two ISA events (superscalar-width +
+	// two nonneg) plus the explicit constraint.
+	if len(m.Constraints) != 4 {
+		t.Errorf("model has %d constraints, want 4: %v", len(m.Constraints), m.Constraints)
+	}
+	norm.NoLibrary = true
+	m2, err := norm.Model()
+	if err != nil {
+		t.Fatalf("Model (no library): %v", err)
+	}
+	if len(m2.Constraints) != 1 {
+		t.Errorf("NoLibrary model has %d constraints, want 1", len(m2.Constraints))
+	}
+}
+
+func TestInferRequestNormalized(t *testing.T) {
+	if _, err := (InferRequest{}).Normalized(); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("empty batch: got %v, want ErrBadRequest", err)
+	}
+	items := make([]InferItem, MaxInferItems+1)
+	for i := range items {
+		items[i] = InferItem{Inputs: []InferInput{rawInput("X", 1, 1)}}
+	}
+	if _, err := (InferRequest{Items: items}).Normalized(); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("oversized batch: got %v, want ErrBadRequest", err)
+	}
+}

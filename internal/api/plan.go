@@ -75,6 +75,13 @@ type PlanRequest struct {
 	// observed dispersion after missing the target (0 means
 	// DefaultMaxRefine; negative disables refinement).
 	MaxRefine int `json:"maxRefine,omitempty"`
+	// Posterior opts in to cross-event posterior fusion: after the
+	// schedule's own fusion, the constraint solver of internal/bayes
+	// runs over the fused per-event estimates with the built-in
+	// invariant library, so multiplexed schedules inherit cross-event
+	// information. Posterior intervals are never wider than the fused
+	// ones, and attainment is then judged on them.
+	Posterior bool `json:"posterior,omitempty"`
 }
 
 // Normalized validates the request and makes every default explicit.
@@ -117,7 +124,12 @@ func (r PlanRequest) Normalized() (PlanRequest, error) {
 	case r.MaxRefine == 0:
 		r.MaxRefine = DefaultMaxRefine
 	case r.MaxRefine < 0:
-		r.MaxRefine = 0 // explicit "no refinement" canonicalizes to zero rounds
+		// Explicit "no refinement". Canonicalizes to -1, not 0: zero is
+		// the unset spelling and would round-trip back to the default,
+		// breaking normalization idempotence (caught by the api fuzz
+		// tests). The executor treats any non-positive budget as zero
+		// refine rounds.
+		r.MaxRefine = -1
 	case r.MaxRefine > MaxRefineBound:
 		return r, badf("api: refine budget %d exceeds limit %d", r.MaxRefine, MaxRefineBound)
 	}
@@ -170,9 +182,9 @@ func (r PlanRequest) Mode() string {
 // Key returns the canonical identity of a normalized plan request,
 // used for coalescing identical in-flight plans.
 func (r PlanRequest) Key() string {
-	return fmt.Sprintf("plan|%s|w%v|conf%v|hw%d|p%d|m%d|ref%d",
+	return fmt.Sprintf("plan|%s|w%v|conf%v|hw%d|p%d|m%d|ref%d|post%v",
 		r.Measure.Key(), r.TargetRelWidth, r.Confidence, r.Counters,
-		r.PilotRuns, r.MaxRuns, r.MaxRefine)
+		r.PilotRuns, r.MaxRuns, r.MaxRefine, r.Posterior)
 }
 
 // PlanGroup is one scheduled counter assignment: the events occupying
@@ -218,11 +230,16 @@ type PlanEstimate struct {
 	// Fused is the estimate after inverse-variance / anchor-constraint
 	// fusion. Its interval is never wider than Naive's.
 	Fused EstimateInfo `json:"fused"`
+	// Posterior is the cross-event constraint-conditioned estimate,
+	// present when the request opted in (PlanRequest.Posterior). Its
+	// interval is never wider than Fused's.
+	Posterior *EstimateInfo `json:"posterior,omitempty"`
 	// Narrowing is 1 - fused/naive interval half-width (0 when the
 	// naive interval is already degenerate).
 	Narrowing float64 `json:"narrowing"`
-	// RelWidth is the fused interval's half-width divided by the
-	// estimate magnitude — the quantity the target bounds.
+	// RelWidth is the final interval's half-width divided by the
+	// estimate magnitude — the quantity the target bounds (posterior
+	// when requested, fused otherwise).
 	RelWidth float64 `json:"relWidth"`
 	// Attained reports RelWidth <= the request's target.
 	Attained bool `json:"attained"`
@@ -248,4 +265,7 @@ type PlanResponse struct {
 	// counting reused (absent in multiplexed mode, whose raw-program
 	// estimates carry no harness overhead).
 	Calibration *CalibrationInfo `json:"calibration,omitempty"`
+	// Residuals reports the invariant-consistency verdicts of the
+	// posterior-fusion step, present when the request opted in.
+	Residuals []ResidualInfo `json:"residuals,omitempty"`
 }

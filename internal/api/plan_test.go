@@ -57,13 +57,22 @@ func TestPlanNormalizedCountersDefault(t *testing.T) {
 
 func TestPlanNormalizedNegativeRefineDisables(t *testing.T) {
 	r := validPlan()
-	r.MaxRefine = -1
+	r.MaxRefine = -3
 	norm, err := r.Normalized()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if norm.MaxRefine != 0 {
-		t.Errorf("MaxRefine = %d, want 0", norm.MaxRefine)
+	// Canonical "no refinement" is -1 (0 is the unset spelling and
+	// would re-normalize to the default, breaking idempotence).
+	if norm.MaxRefine != -1 {
+		t.Errorf("MaxRefine = %d, want -1", norm.MaxRefine)
+	}
+	again, err := norm.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.MaxRefine != -1 {
+		t.Errorf("re-normalized MaxRefine = %d, want -1", again.MaxRefine)
 	}
 }
 

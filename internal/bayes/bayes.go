@@ -1,0 +1,239 @@
+// Package bayes is the constraint-graph inference engine of the
+// measurement service: it encodes the algebraic relationships between
+// hardware events — linear equality and inequality invariants like
+// ITLB_MISS <= ICACHE_MISS or CYCLES >= INSTR/width — as a
+// probabilistic model over per-event Gaussian measurements, and infers
+// all events jointly instead of treating them independently.
+//
+// The source paper shows each counter measurement carries correlated
+// error from overhead, multiplexing, and non-determinism;
+// internal/accuracy models those errors per event, and internal/plan
+// fuses replicas of the *same* event. This package closes the
+// remaining gap after BayesPerf (Banerjee et al., 2021): events are
+// not independent quantities — the ISA ties them together — so a
+// measurement of one event is evidence about the others. Encoding the
+// ties as linear constraints and conditioning the joint Gaussian on
+// them yields posterior estimates whose marginal variances can only
+// shrink, and standardized constraint residuals that flag events
+// violating their invariants, the event-validation check of Röhl et
+// al. (2017) as a service primitive.
+//
+// The machinery is deliberately small and exact:
+//
+//   - Each input event i carries a Gaussian N(mean_i, variance_i)
+//     taken from the accuracy model (dispersion, extrapolation,
+//     calibration — whatever produced it).
+//   - Equality constraints A·x = b condition the joint Gaussian in
+//     closed form: the posterior is N(m - VAᵀS⁻¹(Am-b), V - VAᵀS⁻¹AV)
+//     with S = AVAᵀ, solved by the Cholesky kernel of internal/stats.
+//     The subtracted covariance term is positive semi-definite, so no
+//     posterior interval is ever wider than its input — the guarantee
+//     the property tests pin down.
+//   - Inequality constraints G·x <= h are handled by active-set
+//     projection: solve with the current active set, admit the most
+//     violated inequality as an equality, retire active ones whose
+//     KKT multiplier turns negative, repeat. The result is the MAP
+//     estimate of the truncated Gaussian, with the active constraints
+//     contributing their conditioning to the posterior covariance.
+//
+// Everything is pure arithmetic on the inputs — deterministic and
+// side-effect free — so the service layer (Engine, POST /infer) can
+// coalesce identical requests exactly as /measure does, and the
+// planner can run the solver over fused estimates without perturbing
+// its own determinism contract.
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Constraint operators. OpGe exists on the wire for ergonomics;
+// Canonical rewrites it to OpLe by negation.
+const (
+	OpEq = "="
+	OpLe = "<="
+	OpGe = ">="
+)
+
+// Errors reported by model validation and the solver.
+var (
+	// ErrBadConstraint reports a malformed constraint (no terms, unknown
+	// operator, non-finite coefficient).
+	ErrBadConstraint = errors.New("bayes: bad constraint")
+	// ErrUnknownEvent reports a constraint term naming an event absent
+	// from the solve's input set.
+	ErrUnknownEvent = errors.New("bayes: constraint references unknown event")
+	// ErrDependent reports equality constraints that are linearly
+	// dependent (redundant or contradictory) over the free events.
+	ErrDependent = errors.New("bayes: linearly dependent equality constraints")
+	// ErrBadInput reports a malformed observation (non-finite mean,
+	// negative or non-finite variance).
+	ErrBadInput = errors.New("bayes: bad observation")
+)
+
+// Term is one addend of a constraint's linear form: Coef times the
+// named event's count.
+type Term struct {
+	Event string  `json:"event"`
+	Coef  float64 `json:"coef"`
+}
+
+// Constraint is one linear invariant over named events:
+// Σ Coef_i · x_{Event_i}  Op  RHS.
+type Constraint struct {
+	// Name identifies the invariant in residual reports. Optional; the
+	// canonical form derives a stable name from the terms when empty.
+	Name  string  `json:"name,omitempty"`
+	Terms []Term  `json:"terms"`
+	Op    string  `json:"op"`
+	RHS   float64 `json:"rhs"`
+}
+
+// Canonical returns the constraint in canonical form: terms merged by
+// event and sorted by event name, zero coefficients dropped, OpGe
+// rewritten to OpLe by negating both sides, and an empty Name replaced
+// by a rendering of the linear form. Two constraints meaning the same
+// invariant canonicalize identically, which is what makes request keys
+// built from them stable.
+func (c Constraint) Canonical() (Constraint, error) {
+	switch c.Op {
+	case OpEq, OpLe, OpGe:
+	default:
+		return c, fmt.Errorf("%w: operator %q (want =, <=, >=)", ErrBadConstraint, c.Op)
+	}
+	if !isFinite(c.RHS) {
+		return c, fmt.Errorf("%w: non-finite right-hand side %v", ErrBadConstraint, c.RHS)
+	}
+	merged := make(map[string]float64)
+	for _, t := range c.Terms {
+		if t.Event == "" {
+			return c, fmt.Errorf("%w: term with empty event", ErrBadConstraint)
+		}
+		if !isFinite(t.Coef) {
+			return c, fmt.Errorf("%w: non-finite coefficient %v for %s", ErrBadConstraint, t.Coef, t.Event)
+		}
+		merged[t.Event] += t.Coef
+	}
+	events := make([]string, 0, len(merged))
+	for ev, coef := range merged {
+		if coef != 0 {
+			events = append(events, ev)
+		}
+	}
+	if len(events) == 0 {
+		return c, fmt.Errorf("%w: no non-zero terms", ErrBadConstraint)
+	}
+	sort.Strings(events)
+	out := Constraint{Name: c.Name, Op: c.Op, RHS: c.RHS}
+	for _, ev := range events {
+		out.Terms = append(out.Terms, Term{Event: ev, Coef: merged[ev]})
+	}
+	if out.Op == OpGe {
+		out.Op = OpLe
+		out.RHS = -out.RHS
+		for i := range out.Terms {
+			out.Terms[i].Coef = -out.Terms[i].Coef
+		}
+	}
+	if out.Name == "" {
+		out.Name = out.render()
+	}
+	return out, nil
+}
+
+// render spells the canonical linear form, used as the default name.
+func (c Constraint) render() string {
+	var b strings.Builder
+	for i, t := range c.Terms {
+		if i > 0 {
+			if t.Coef >= 0 {
+				b.WriteString(" + ")
+			} else {
+				b.WriteString(" - ")
+			}
+		} else if t.Coef < 0 {
+			b.WriteString("-")
+		}
+		if a := math.Abs(t.Coef); a != 1 {
+			fmt.Fprintf(&b, "%g*", a)
+		}
+		b.WriteString(t.Event)
+	}
+	fmt.Fprintf(&b, " %s %g", c.Op, c.RHS)
+	return b.String()
+}
+
+// String returns the constraint's name, or its rendered linear form.
+func (c Constraint) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return c.render()
+}
+
+// Model is a declarative set of event invariants. Zero value: no
+// constraints, inference degenerates to the inputs.
+type Model struct {
+	Constraints []Constraint
+}
+
+// Canonical canonicalizes every constraint (see Constraint.Canonical).
+func (m Model) Canonical() (Model, error) {
+	out := Model{Constraints: make([]Constraint, 0, len(m.Constraints))}
+	for i, c := range m.Constraints {
+		cc, err := c.Canonical()
+		if err != nil {
+			return m, fmt.Errorf("constraint %d: %w", i, err)
+		}
+		out.Constraints = append(out.Constraints, cc)
+	}
+	return out, nil
+}
+
+// Restrict returns the model's constraints whose events all appear in
+// the given set — the subset a solve over exactly those events can
+// use. The built-in library is written over the full ISA event set and
+// restricted per request.
+func (m Model) Restrict(events []string) Model {
+	have := make(map[string]bool, len(events))
+	for _, ev := range events {
+		have[ev] = true
+	}
+	var out Model
+	for _, c := range m.Constraints {
+		ok := true
+		for _, t := range c.Terms {
+			if !have[t.Event] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Constraints = append(out.Constraints, c)
+		}
+	}
+	return out
+}
+
+// Events returns the sorted set of events the model's constraints
+// reference.
+func (m Model) Events() []string {
+	set := make(map[string]bool)
+	for _, c := range m.Constraints {
+		for _, t := range c.Terms {
+			set[t.Event] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for ev := range set {
+		out = append(out, ev)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

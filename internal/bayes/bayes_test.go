@@ -1,0 +1,288 @@
+package bayes
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func TestConstraintCanonical(t *testing.T) {
+	c := Constraint{
+		Terms: []Term{
+			{Event: "B", Coef: 2},
+			{Event: "A", Coef: 1},
+			{Event: "B", Coef: -2}, // cancels to zero: dropped
+			{Event: "C", Coef: -3},
+		},
+		Op:  OpGe,
+		RHS: 5,
+	}
+	got, err := c.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if got.Op != OpLe || got.RHS != -5 {
+		t.Errorf("Ge not rewritten: op %q rhs %v", got.Op, got.RHS)
+	}
+	want := []Term{{Event: "A", Coef: -1}, {Event: "C", Coef: 3}}
+	if len(got.Terms) != len(want) {
+		t.Fatalf("terms = %v, want %v", got.Terms, want)
+	}
+	for i, tm := range want {
+		if got.Terms[i] != tm {
+			t.Errorf("term %d = %v, want %v", i, got.Terms[i], tm)
+		}
+	}
+	if got.Name == "" {
+		t.Error("canonical form should derive a name")
+	}
+
+	// Canonicalization is idempotent — the property request keys rely on.
+	again, err := got.Canonical()
+	if err != nil {
+		t.Fatalf("re-Canonical: %v", err)
+	}
+	if again.Name != got.Name || again.Op != got.Op || again.RHS != got.RHS {
+		t.Errorf("not idempotent: %+v vs %+v", again, got)
+	}
+}
+
+func TestConstraintCanonicalErrors(t *testing.T) {
+	cases := []Constraint{
+		{Terms: []Term{{Event: "A", Coef: 1}}, Op: "<", RHS: 0},
+		{Terms: nil, Op: OpEq, RHS: 0},
+		{Terms: []Term{{Event: "A", Coef: 1}, {Event: "A", Coef: -1}}, Op: OpEq, RHS: 0},
+		{Terms: []Term{{Event: "", Coef: 1}}, Op: OpEq, RHS: 0},
+		{Terms: []Term{{Event: "A", Coef: math.NaN()}}, Op: OpEq, RHS: 0},
+		{Terms: []Term{{Event: "A", Coef: 1}}, Op: OpEq, RHS: math.Inf(1)},
+	}
+	for i, c := range cases {
+		if _, err := c.Canonical(); !errors.Is(err, ErrBadConstraint) {
+			t.Errorf("case %d: got %v, want ErrBadConstraint", i, err)
+		}
+	}
+}
+
+func TestModelRestrict(t *testing.T) {
+	m := Library(cpu.Athlon64X2)
+	r := m.Restrict([]string{"INSTR_RETIRED", "CPU_CLK_UNHALTED"})
+	for _, c := range r.Constraints {
+		for _, tm := range c.Terms {
+			if tm.Event != "INSTR_RETIRED" && tm.Event != "CPU_CLK_UNHALTED" {
+				t.Errorf("restricted model leaks event %s (constraint %s)", tm.Event, c)
+			}
+		}
+	}
+	// superscalar-width plus the two nonnegativity rows survive.
+	if len(r.Constraints) != 3 {
+		t.Errorf("restricted to %d constraints, want 3: %v", len(r.Constraints), r.Constraints)
+	}
+}
+
+func TestSolveEqualityClosedForm(t *testing.T) {
+	// Two noisy measurements constrained equal must fuse to the
+	// inverse-variance mean with the harmonic variance — the textbook
+	// conditional Gaussian.
+	m1, v1 := 100.0, 4.0
+	m2, v2 := 110.0, 6.0
+	res, err := Solve(
+		[]string{"X", "Y"},
+		[]float64{m1, m2},
+		[]float64{v1, v2},
+		Model{Constraints: []Constraint{{
+			Terms: []Term{{Event: "X", Coef: 1}, {Event: "Y", Coef: -1}},
+			Op:    OpEq, RHS: 0,
+		}}},
+	)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	wantMean := (m1/v1 + m2/v2) / (1/v1 + 1/v2)
+	wantVar := 1 / (1/v1 + 1/v2)
+	for i := range res.Events {
+		if math.Abs(res.Mean[i]-wantMean) > 1e-10 {
+			t.Errorf("mean[%d] = %v, want %v", i, res.Mean[i], wantMean)
+		}
+		if math.Abs(res.Variance[i]-wantVar) > 1e-10 {
+			t.Errorf("var[%d] = %v, want %v", i, res.Variance[i], wantVar)
+		}
+	}
+	// Fully correlated after conditioning: covariance equals variance.
+	if math.Abs(res.Cov.At(0, 1)-wantVar) > 1e-10 {
+		t.Errorf("cov = %v, want %v", res.Cov.At(0, 1), wantVar)
+	}
+	if len(res.Active) != 1 {
+		t.Errorf("active = %v, want the single equality", res.Active)
+	}
+}
+
+func TestSolveSumDecomposition(t *testing.T) {
+	// TOTAL = A + B, the BayesPerf-style decomposition. The posterior
+	// must satisfy the constraint exactly and tighten every marginal.
+	events := []string{"TOTAL", "A", "B"}
+	means := []float64{1480, 1010, 505}
+	vars := []float64{900, 400, 625}
+	res, err := Solve(events, means, vars, Model{Constraints: []Constraint{{
+		Name: "decompose",
+		Terms: []Term{
+			{Event: "TOTAL", Coef: 1}, {Event: "A", Coef: -1}, {Event: "B", Coef: -1},
+		},
+		Op: OpEq, RHS: 0,
+	}}})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if got := res.Mean[0] - res.Mean[1] - res.Mean[2]; math.Abs(got) > 1e-8 {
+		t.Errorf("posterior violates the constraint by %v", got)
+	}
+	for i := range events {
+		if res.Variance[i] >= vars[i] {
+			t.Errorf("%s: posterior variance %v not below prior %v", events[i], res.Variance[i], vars[i])
+		}
+	}
+}
+
+func TestSolveInequalityProjection(t *testing.T) {
+	// An estimate violating X <= Y projects onto the boundary; a
+	// consistent one is untouched.
+	model := Model{Constraints: []Constraint{{
+		Name:  "x-le-y",
+		Terms: []Term{{Event: "X", Coef: 1}, {Event: "Y", Coef: -1}},
+		Op:    OpLe, RHS: 0,
+	}}}
+
+	res, err := Solve([]string{"X", "Y"}, []float64{10, 4}, []float64{1, 1}, model)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Mean[0]-res.Mean[1] > 1e-9 {
+		t.Errorf("posterior still violates: X=%v Y=%v", res.Mean[0], res.Mean[1])
+	}
+	if math.Abs(res.Mean[0]-7) > 1e-9 || math.Abs(res.Mean[1]-7) > 1e-9 {
+		t.Errorf("projection landed at (%v, %v), want (7, 7)", res.Mean[0], res.Mean[1])
+	}
+	if res.Variance[0] >= 1 || res.Variance[1] >= 1 {
+		t.Errorf("active inequality must tighten: vars %v", res.Variance)
+	}
+	if len(res.Residuals) != 1 || !res.Residuals[0].Violated {
+		t.Errorf("residual should flag the violation: %+v", res.Residuals)
+	}
+
+	res2, err := Solve([]string{"X", "Y"}, []float64{4, 10}, []float64{1, 1}, model)
+	if err != nil {
+		t.Fatalf("Solve consistent: %v", err)
+	}
+	if res2.Mean[0] != 4 || res2.Mean[1] != 10 || res2.Variance[0] != 1 || res2.Variance[1] != 1 {
+		t.Errorf("inactive inequality must not touch the inputs: %+v", res2)
+	}
+	if len(res2.Active) != 0 {
+		t.Errorf("active = %v, want none", res2.Active)
+	}
+	if res2.Residuals[0].Violated {
+		t.Error("consistent inputs flagged violated")
+	}
+}
+
+func TestSolveExactObservation(t *testing.T) {
+	// Zero variance marks an exact value: an equality against it pins
+	// the noisy event to it.
+	res, err := Solve(
+		[]string{"X", "Y"},
+		[]float64{1000, 970},
+		[]float64{0, 100},
+		Model{Constraints: []Constraint{{
+			Terms: []Term{{Event: "X", Coef: 1}, {Event: "Y", Coef: -1}},
+			Op:    OpEq, RHS: 0,
+		}}},
+	)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Mean[0] != 1000 || res.Variance[0] != 0 {
+		t.Errorf("exact event moved: %v ± %v", res.Mean[0], res.Variance[0])
+	}
+	if math.Abs(res.Mean[1]-1000) > 1e-9 || res.Variance[1] > 1e-9 {
+		t.Errorf("Y should be pinned to 1000 exactly, got %v ± %v", res.Mean[1], res.Variance[1])
+	}
+}
+
+func TestSolveDependentEqualities(t *testing.T) {
+	model := Model{Constraints: []Constraint{
+		{Terms: []Term{{Event: "X", Coef: 1}, {Event: "Y", Coef: -1}}, Op: OpEq, RHS: 0},
+		{Terms: []Term{{Event: "X", Coef: 2}, {Event: "Y", Coef: -2}}, Op: OpEq, RHS: 0},
+	}}
+	if _, err := Solve([]string{"X", "Y"}, []float64{1, 2}, []float64{1, 1}, model); !errors.Is(err, ErrDependent) {
+		t.Fatalf("got %v, want ErrDependent", err)
+	}
+}
+
+func TestSolveUnknownEventAndBadInput(t *testing.T) {
+	model := Model{Constraints: []Constraint{{
+		Terms: []Term{{Event: "Z", Coef: 1}}, Op: OpLe, RHS: 0,
+	}}}
+	if _, err := Solve([]string{"X"}, []float64{1}, []float64{1}, model); !errors.Is(err, ErrUnknownEvent) {
+		t.Fatalf("got %v, want ErrUnknownEvent", err)
+	}
+	if _, err := Solve([]string{"X"}, []float64{math.NaN()}, []float64{1}, Model{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("NaN mean: got %v, want ErrBadInput", err)
+	}
+	if _, err := Solve([]string{"X"}, []float64{1}, []float64{-1}, Model{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("negative variance: got %v, want ErrBadInput", err)
+	}
+	if _, err := Solve([]string{"X", "X"}, []float64{1, 1}, []float64{1, 1}, Model{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("duplicate event: got %v, want ErrBadInput", err)
+	}
+}
+
+func TestResidualFlagsInvariantViolation(t *testing.T) {
+	// ITLB misses wildly exceeding i-cache misses: the invariant's
+	// residual must flag it even though projection would "fix" it.
+	model := Library(cpu.Athlon64X2).Restrict([]string{"ITLB_MISS", "ICACHE_MISS"})
+	res, err := Solve(
+		[]string{"ITLB_MISS", "ICACHE_MISS"},
+		[]float64{500, 20},
+		[]float64{25, 25},
+		model,
+	)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	found := false
+	for _, r := range res.Residuals {
+		if r.Constraint == "itlb-le-icache" {
+			found = true
+			if !r.Violated {
+				t.Errorf("itlb-le-icache not flagged: %+v", r)
+			}
+			if r.Sigma < ViolationSigma {
+				t.Errorf("sigma %v below threshold yet expected gross violation", r.Sigma)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("itlb-le-icache residual missing")
+	}
+}
+
+func TestLibraryCoversEventVocabulary(t *testing.T) {
+	for _, model := range cpu.AllModels {
+		lib := Library(model)
+		if _, err := lib.Canonical(); err != nil {
+			t.Fatalf("%s: library not canonicalizable: %v", model.Tag, err)
+		}
+		evs := lib.Events()
+		for _, ev := range cpu.Events(model.Arch) {
+			present := false
+			for _, name := range evs {
+				if name == ev.String() {
+					present = true
+				}
+			}
+			if !present {
+				t.Errorf("%s: event %s has no invariant", model.Tag, ev)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package bayes
+
+import (
+	"repro/internal/cpu"
+)
+
+// Library returns the built-in invariant model for the simulated ISA's
+// event set on one processor model. Every invariant holds structurally
+// in the simulator (and mirrors a real-hardware validation rule from
+// the event-validation literature), so on consistent measurements the
+// residuals stay small and the posterior only tightens:
+//
+//   - superscalar-width: INSTR_RETIRED <= width * CPU_CLK_UNHALTED.
+//     The core retires at most RetireWidth instructions per cycle (the
+//     *peak* rate — tight inner loops beat the sustained BaseIPC, so
+//     the bound must use the micro-architectural width), and penalties
+//     only add cycles, so the cycle count bounds the instruction count
+//     from below. This is the paper-family invariant
+//     CYCLES >= INST/width.
+//   - misp-le-instr: BR_MISP_RETIRED <= INSTR_RETIRED. Mispredicted
+//     branches are retired instructions.
+//   - icache-le-instr: ICACHE_MISS <= INSTR_RETIRED. The simulator
+//     charges at most one i-cache miss per instruction fetch (first
+//     touch of a line).
+//   - itlb-le-icache: ITLB_MISS <= ICACHE_MISS. An i-TLB miss fires on
+//     first touch of a page, and the first touch of a page is also the
+//     first touch of its leading cache line, so pages never outnumber
+//     touched lines.
+//   - dcache-le-instr: DCACHE_MISS <= INSTR_RETIRED. Data misses come
+//     from memory instructions (one miss per line of sequential
+//     8-byte accesses — at most one per retired memory op).
+//   - <event>-nonneg: every count is non-negative. Trivial on ground
+//     truth, not on estimates: a noisy near-zero measurement (or an
+//     aggressive overhead correction) can land below zero, and the
+//     projection pulls it back with a variance cut.
+//
+// The model is written over the full event vocabulary; callers
+// restrict it to the events actually measured (Model.Restrict), which
+// every solve path does automatically.
+func Library(model *cpu.Model) Model {
+	instr := cpu.EventInstrRetired.String()
+	cycles := cpu.EventCoreCycles.String()
+	misp := cpu.EventBrMispRetired.String()
+	icache := cpu.EventICacheMiss.String()
+	itlb := cpu.EventITLBMiss.String()
+	dcache := cpu.EventDCacheMiss.String()
+
+	m := Model{Constraints: []Constraint{
+		{
+			Name: "superscalar-width",
+			Terms: []Term{
+				{Event: instr, Coef: 1},
+				{Event: cycles, Coef: -float64(model.RetireWidth)},
+			},
+			Op: OpLe, RHS: 0,
+		},
+		{
+			Name:  "misp-le-instr",
+			Terms: []Term{{Event: misp, Coef: 1}, {Event: instr, Coef: -1}},
+			Op:    OpLe, RHS: 0,
+		},
+		{
+			Name:  "icache-le-instr",
+			Terms: []Term{{Event: icache, Coef: 1}, {Event: instr, Coef: -1}},
+			Op:    OpLe, RHS: 0,
+		},
+		{
+			Name:  "itlb-le-icache",
+			Terms: []Term{{Event: itlb, Coef: 1}, {Event: icache, Coef: -1}},
+			Op:    OpLe, RHS: 0,
+		},
+		{
+			Name:  "dcache-le-instr",
+			Terms: []Term{{Event: dcache, Coef: 1}, {Event: instr, Coef: -1}},
+			Op:    OpLe, RHS: 0,
+		},
+	}}
+	for _, ev := range cpu.Events(model.Arch) {
+		m.Constraints = append(m.Constraints, Constraint{
+			Name:  ev.String() + "-nonneg",
+			Terms: []Term{{Event: ev.String(), Coef: -1}},
+			Op:    OpLe, RHS: 0,
+		})
+	}
+	return m
+}

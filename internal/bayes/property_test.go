@@ -1,0 +1,222 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/stats"
+)
+
+// TestPosteriorNeverWiderProperty is the subsystem's core guarantee on
+// synthetic ground truth: for constraint-consistent truth and any
+// noise draw, every posterior marginal variance is at most its input
+// variance — constraints add information, never noise.
+func TestPosteriorNeverWiderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	model := Model{Constraints: []Constraint{
+		{
+			Name: "decompose",
+			Terms: []Term{
+				{Event: "TOTAL", Coef: 1}, {Event: "A", Coef: -1}, {Event: "B", Coef: -1},
+			},
+			Op: OpEq, RHS: 0,
+		},
+		{
+			Name:  "a-le-total",
+			Terms: []Term{{Event: "A", Coef: 1}, {Event: "TOTAL", Coef: -1}},
+			Op:    OpLe, RHS: 0,
+		},
+		{
+			Name:  "b-nonneg",
+			Terms: []Term{{Event: "B", Coef: -1}},
+			Op:    OpLe, RHS: 0,
+		},
+	}}
+	events := []string{"TOTAL", "A", "B"}
+	for trial := 0; trial < 500; trial++ {
+		a := rng.Float64() * 1000
+		b := rng.Float64() * 100 // often near zero: exercises the nonneg projection
+		truth := []float64{a + b, a, b}
+		means := make([]float64, 3)
+		vars := make([]float64, 3)
+		for i := range truth {
+			sd := 1 + rng.Float64()*50
+			vars[i] = sd * sd
+			means[i] = truth[i] + sd*rng.NormFloat64()
+		}
+		res, err := Solve(events, means, vars, model)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range events {
+			if res.Variance[i] > vars[i] {
+				t.Fatalf("trial %d: %s posterior variance %v wider than prior %v",
+					trial, events[i], res.Variance[i], vars[i])
+			}
+		}
+		// The equality must hold exactly at the posterior.
+		if viol := res.Mean[0] - res.Mean[1] - res.Mean[2]; math.Abs(viol) > 1e-6 {
+			t.Fatalf("trial %d: posterior breaks decompose by %v", trial, viol)
+		}
+	}
+}
+
+// TestPosteriorCoverageProperty checks that conditioning on a true
+// equality keeps nominal CI coverage on synthetic ground truth: the
+// posterior is the exact conditional Gaussian, so 95% intervals must
+// cover ~95% of the time — while being strictly narrower than the
+// unconstrained inputs.
+func TestPosteriorCoverageProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	model := Model{Constraints: []Constraint{{
+		Name: "decompose",
+		Terms: []Term{
+			{Event: "TOTAL", Coef: 1}, {Event: "A", Coef: -1}, {Event: "B", Coef: -1},
+		},
+		Op: OpEq, RHS: 0,
+	}}}
+	events := []string{"TOTAL", "A", "B"}
+	truth := []float64{1500, 1000, 500}
+	sds := []float64{30, 20, 25}
+	z := stats.NormalQuantile(0.975)
+
+	const trials = 3000
+	covered := make([]int, 3)
+	var priorW, postW float64
+	var priorSE, postSE float64 // squared error of the point estimates
+	for trial := 0; trial < trials; trial++ {
+		means := make([]float64, 3)
+		vars := make([]float64, 3)
+		for i := range truth {
+			means[i] = truth[i] + sds[i]*rng.NormFloat64()
+			vars[i] = sds[i] * sds[i]
+		}
+		res, err := Solve(events, means, vars, model)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range events {
+			half := z * math.Sqrt(res.Variance[i])
+			if math.Abs(res.Mean[i]-truth[i]) <= half {
+				covered[i]++
+			}
+			priorW += z * sds[i]
+			postW += half
+			priorSE += (means[i] - truth[i]) * (means[i] - truth[i])
+			postSE += (res.Mean[i] - truth[i]) * (res.Mean[i] - truth[i])
+		}
+	}
+	for i, ev := range events {
+		rate := float64(covered[i]) / trials
+		if rate < 0.93 || rate > 0.97 {
+			t.Errorf("%s: coverage %.3f outside [0.93, 0.97]", ev, rate)
+		}
+	}
+	if postW >= priorW {
+		t.Errorf("posterior intervals not narrower: %v vs %v", postW/trials, priorW/trials)
+	}
+	if postSE >= priorSE {
+		t.Errorf("posterior point estimates not more accurate: MSE %v vs %v", postSE/trials, priorSE/trials)
+	}
+}
+
+// TestLibraryConsistentOnSimulatedTruth draws event vectors satisfying
+// the simulator's structural invariants, perturbs them, and checks the
+// library model never widens an interval, keeps posteriors feasible,
+// and flags no residual on consistent noise-free inputs.
+func TestLibraryConsistentOnSimulatedTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, proc := range cpu.AllModels {
+		lib := Library(proc)
+		events := []string{
+			"INSTR_RETIRED", "CPU_CLK_UNHALTED", "BR_MISP_RETIRED",
+			"ICACHE_MISS", "ITLB_MISS", "DCACHE_MISS",
+		}
+		model := lib.Restrict(events)
+		width := float64(proc.RetireWidth)
+		for trial := 0; trial < 200; trial++ {
+			instr := 1000 + rng.Float64()*1e6
+			// Truth anywhere up to the peak retire rate — including the
+			// loop fast-forward region above the sustained BaseIPC.
+			cycles := instr/width*(1+rng.Float64()) + 1
+			icache := rng.Float64() * instr / 100
+			truth := []float64{
+				instr,
+				cycles,
+				rng.Float64() * instr / 50,
+				icache,
+				rng.Float64() * icache,
+				rng.Float64() * instr / 10,
+			}
+
+			// Noise-free inputs: nothing to flag, nothing to move beyond
+			// tolerance.
+			exact := make([]float64, len(truth))
+			res, err := Solve(events, truth, exact, model)
+			if err != nil {
+				t.Fatalf("%s trial %d exact: %v", proc.Tag, trial, err)
+			}
+			for _, r := range res.Residuals {
+				if r.Violated {
+					t.Fatalf("%s trial %d: consistent truth flagged: %+v (truth %v)", proc.Tag, trial, r, truth)
+				}
+			}
+
+			// Noisy inputs: never-widen and posterior feasibility.
+			means := make([]float64, len(truth))
+			vars := make([]float64, len(truth))
+			for i := range truth {
+				sd := 1 + math.Sqrt(truth[i])*rng.Float64()
+				vars[i] = sd * sd
+				means[i] = truth[i] + sd*rng.NormFloat64()
+			}
+			res, err = Solve(events, means, vars, model)
+			if err != nil {
+				t.Fatalf("%s trial %d noisy: %v", proc.Tag, trial, err)
+			}
+			for i := range events {
+				if res.Variance[i] > vars[i] {
+					t.Fatalf("%s trial %d: %s widened (%v > %v)",
+						proc.Tag, trial, events[i], res.Variance[i], vars[i])
+				}
+			}
+			checkFeasible(t, proc, res)
+		}
+	}
+}
+
+// checkFeasible asserts the posterior means satisfy the library's
+// inequalities to solver tolerance.
+func checkFeasible(t *testing.T, proc *cpu.Model, res *Result) {
+	t.Helper()
+	at := func(ev string) float64 {
+		for i, name := range res.Events {
+			if name == ev {
+				return res.Mean[i]
+			}
+		}
+		t.Fatalf("event %s missing from result", ev)
+		return 0
+	}
+	tol := 1e-6 * (1 + at("CPU_CLK_UNHALTED"))
+	if at("INSTR_RETIRED") > float64(proc.RetireWidth)*at("CPU_CLK_UNHALTED")+tol {
+		t.Fatalf("posterior breaks superscalar-width: instr %v cycles %v", at("INSTR_RETIRED"), at("CPU_CLK_UNHALTED"))
+	}
+	for _, pair := range [][2]string{
+		{"BR_MISP_RETIRED", "INSTR_RETIRED"},
+		{"ICACHE_MISS", "INSTR_RETIRED"},
+		{"ITLB_MISS", "ICACHE_MISS"},
+		{"DCACHE_MISS", "INSTR_RETIRED"},
+	} {
+		if at(pair[0]) > at(pair[1])+tol {
+			t.Fatalf("posterior breaks %s <= %s: %v > %v", pair[0], pair[1], at(pair[0]), at(pair[1]))
+		}
+	}
+	for _, ev := range res.Events {
+		if at(ev) < -tol {
+			t.Fatalf("posterior negative count for %s: %v", ev, at(ev))
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package bayes
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// ViolationSigma is the standardized-residual threshold past which a
+// constraint is flagged violated: the inputs disagree with the
+// invariant by more than this many standard errors of the constraint
+// function, the event-validation verdict of the residual report.
+const ViolationSigma = 3.0
+
+// Residual is one constraint's consistency report, evaluated at the
+// *input* means (before conditioning): how far the measurements are
+// from satisfying the invariant, in raw units and in standard errors.
+type Residual struct {
+	// Constraint names the invariant (Constraint.Name of the canonical
+	// form).
+	Constraint string
+	// Value is lhs - rhs at the input means: for an equality, the
+	// signed miss; for a <= inequality, positive means violated.
+	Value float64
+	// Sigma standardizes Value by the prior standard error of the
+	// constraint function sqrt(a·V·aᵀ); zero when every participating
+	// event is exact.
+	Sigma float64
+	// Violated reports the event-validation verdict: the inputs break
+	// the invariant beyond ViolationSigma standard errors (or at all,
+	// when the participating events are exact).
+	Violated bool
+}
+
+// Result is a joint posterior over the input events.
+type Result struct {
+	// Events echoes the input event order; all slices align with it.
+	Events []string
+	// Mean is the posterior (MAP) mean per event.
+	Mean []float64
+	// Variance is the posterior marginal variance per event —
+	// structurally never larger than the input variance.
+	Variance []float64
+	// Cov is the full posterior covariance in Events order.
+	Cov *stats.Matrix
+	// Residuals reports every constraint's consistency at the inputs,
+	// in canonical-model order.
+	Residuals []Residual
+	// Active names the constraints active at the solution (all
+	// equalities, plus the inequalities the projection landed on); only
+	// these contributed conditioning to the posterior.
+	Active []string
+}
+
+// row is one constraint lowered onto the solve's index space.
+type row struct {
+	c     Constraint
+	coef  []float64 // dense over all events
+	rhs   float64   // RHS minus the fixed events' contribution
+	free  []int     // indices with positive variance and non-zero coef
+	scale float64   // sqrt(a·V·aᵀ) over free events
+}
+
+// Solve conditions the independent Gaussians N(means[i], variances[i])
+// on the model's constraints and returns the joint posterior. Events,
+// means, and variances align by index; events must be distinct, means
+// finite, variances finite and non-negative. A zero variance marks an
+// exact observation: the event is held fixed, its value substituted
+// into every constraint.
+//
+// Equality constraints condition in closed form; inequalities are
+// projected by an active-set loop. Constraints whose events are all
+// exact contribute only a consistency residual. The posterior marginal
+// variance of every event is at most its input variance — constraints
+// add information, never noise — which is the guarantee the /infer
+// endpoint and the planner's posterior fusion rely on.
+func Solve(events []string, means, variances []float64, model Model) (*Result, error) {
+	n := len(events)
+	if len(means) != n || len(variances) != n {
+		return nil, fmt.Errorf("%w: %d events, %d means, %d variances",
+			ErrBadInput, n, len(means), len(variances))
+	}
+	index := make(map[string]int, n)
+	for i, ev := range events {
+		if ev == "" {
+			return nil, fmt.Errorf("%w: empty event name at index %d", ErrBadInput, i)
+		}
+		if _, dup := index[ev]; dup {
+			return nil, fmt.Errorf("%w: duplicate event %s", ErrBadInput, ev)
+		}
+		index[ev] = i
+		if !isFinite(means[i]) {
+			return nil, fmt.Errorf("%w: non-finite mean %v for %s", ErrBadInput, means[i], ev)
+		}
+		if !isFinite(variances[i]) || variances[i] < 0 {
+			return nil, fmt.Errorf("%w: bad variance %v for %s", ErrBadInput, variances[i], ev)
+		}
+	}
+	canon, err := model.Canonical()
+	if err != nil {
+		return nil, err
+	}
+
+	// Lower constraints onto the index space and split the event set
+	// into free (noisy) and fixed (exact) coordinates.
+	rows := make([]*row, 0, len(canon.Constraints))
+	for _, c := range canon.Constraints {
+		r := &row{c: c, coef: make([]float64, n), rhs: c.RHS}
+		for _, t := range c.Terms {
+			i, ok := index[t.Event]
+			if !ok {
+				return nil, fmt.Errorf("%w: %s (constraint %q)", ErrUnknownEvent, t.Event, c.String())
+			}
+			r.coef[i] = t.Coef
+		}
+		for i, a := range r.coef {
+			if a == 0 {
+				continue
+			}
+			if variances[i] > 0 {
+				r.free = append(r.free, i)
+				r.scale += a * a * variances[i]
+			} else {
+				r.rhs -= a * means[i] // substitute exact observations
+			}
+		}
+		r.scale = math.Sqrt(r.scale)
+		rows = append(rows, r)
+	}
+
+	res := &Result{
+		Events:   events,
+		Mean:     append([]float64(nil), means...),
+		Variance: append([]float64(nil), variances...),
+		Cov:      stats.NewMatrix(n, n),
+	}
+	for i, v := range variances {
+		res.Cov.Set(i, i, v)
+	}
+
+	// Consistency residuals at the input means, every constraint.
+	for _, r := range rows {
+		value := -r.rhs
+		for _, i := range r.free {
+			value += r.coef[i] * means[i]
+		}
+		rr := Residual{Constraint: r.c.Name, Value: value}
+		tol := residualTol(r, means)
+		if r.scale > 0 {
+			rr.Sigma = value / r.scale
+			if r.c.Op == OpEq {
+				rr.Violated = math.Abs(rr.Sigma) > ViolationSigma
+			} else {
+				rr.Violated = rr.Sigma > ViolationSigma
+			}
+		} else if r.c.Op == OpEq {
+			rr.Violated = math.Abs(value) > tol
+		} else {
+			rr.Violated = value > tol
+		}
+		res.Residuals = append(res.Residuals, rr)
+	}
+
+	// Partition solvable rows: equalities enter the active set
+	// permanently; inequalities move in and out of it.
+	var equalities, inequalities []*row
+	for _, r := range rows {
+		if len(r.free) == 0 {
+			continue // consistency-only: nothing to condition
+		}
+		if r.c.Op == OpEq {
+			equalities = append(equalities, r)
+		} else {
+			inequalities = append(inequalities, r)
+		}
+	}
+	if len(equalities) == 0 && len(inequalities) == 0 {
+		return res, nil
+	}
+
+	sol := &solver{means: means, vars: variances}
+	active := append([]*row(nil), equalities...)
+	x, cov, _, err := sol.solve(active)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDependent, err)
+	}
+
+	// Active-set projection: admit the most violated inequality, retire
+	// active inequalities whose multiplier turns negative, repeat. The
+	// iteration bound is a safety net — each admit/retire strictly
+	// improves the objective for this strictly convex problem.
+	unaddable := make(map[*row]bool)
+	inActive := make(map[*row]bool)
+	for iter := 0; iter < 4*len(inequalities)+8; iter++ {
+		var worst *row
+		worstViol := 0.0
+		for _, r := range inequalities {
+			if inActive[r] || unaddable[r] {
+				continue
+			}
+			value := -r.rhs
+			for _, i := range r.free {
+				value += r.coef[i] * x[i]
+			}
+			if tol := residualTol(r, means); value > tol && value > worstViol {
+				worst, worstViol = r, value
+			}
+		}
+		if worst != nil {
+			trial := append(append([]*row(nil), active...), worst)
+			tx, tcov, _, err := sol.solve(trial)
+			if err != nil {
+				// Linearly dependent with the current active set: the
+				// violation is already pinned by other constraints to
+				// working precision; skip it permanently.
+				unaddable[worst] = true
+				continue
+			}
+			active, x, cov = trial, tx, tcov
+			inActive[worst] = true
+			continue
+		}
+		// No violations: check KKT signs of active inequalities.
+		_, _, lam, err := sol.solve(active)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDependent, err)
+		}
+		dropIdx := -1
+		dropLam := -1e-12
+		for t, r := range active {
+			if r.c.Op != OpLe {
+				continue
+			}
+			if lam[t] < dropLam {
+				dropIdx, dropLam = t, lam[t]
+			}
+		}
+		if dropIdx < 0 {
+			break
+		}
+		dropped := active[dropIdx]
+		active = append(active[:dropIdx:dropIdx], active[dropIdx+1:]...)
+		inActive[dropped] = false
+		x, cov, _, err = sol.solve(active)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDependent, err)
+		}
+	}
+
+	// Assemble the posterior, clamping the marginals so the never-widen
+	// guarantee survives floating-point error: the correction term is a
+	// quadratic form, non-negative by construction.
+	for i := 0; i < n; i++ {
+		res.Mean[i] = x[i]
+		v := cov.At(i, i)
+		if v < 0 {
+			v = 0
+		}
+		if v > variances[i] {
+			v = variances[i]
+		}
+		res.Variance[i] = v
+		cov.Set(i, i, v)
+	}
+	res.Cov = cov
+	for _, r := range active {
+		res.Active = append(res.Active, r.c.Name)
+	}
+	return res, nil
+}
+
+// residualTol is the absolute tolerance below which a constraint
+// function's value counts as satisfied, scaled to the magnitudes
+// involved so huge counts and tiny ones get equivalent treatment.
+func residualTol(r *row, means []float64) float64 {
+	scale := math.Abs(r.rhs)
+	for i, a := range r.coef {
+		if a != 0 {
+			scale = math.Max(scale, math.Abs(a*means[i]))
+		}
+	}
+	return 1e-9 * math.Max(scale, 1)
+}
+
+// solver carries the prior over the full index space. Fixed events
+// (zero variance) simply never move: constraint rows exclude them
+// (their contribution is folded into rhs), and their covariance rows
+// stay zero.
+type solver struct {
+	means []float64
+	vars  []float64
+}
+
+// solve conditions the prior on the active rows taken as equalities:
+//
+//	S = A·V·Aᵀ, λ = S⁻¹(A·m - b), x = m - V·Aᵀ·λ, Σ = V - V·Aᵀ·S⁻¹·A·V
+//
+// and returns the posterior mean, covariance, and the multipliers λ
+// (whose signs the active-set loop inspects). A singular S means the
+// rows are linearly dependent.
+func (s *solver) solve(active []*row) (x []float64, cov *stats.Matrix, lam []float64, err error) {
+	n := len(s.means)
+	x = append([]float64(nil), s.means...)
+	cov = stats.NewMatrix(n, n)
+	for i, v := range s.vars {
+		cov.Set(i, i, v)
+	}
+	k := len(active)
+	if k == 0 {
+		return x, cov, nil, nil
+	}
+
+	// S = A V Aᵀ and the constraint misfit A·m - b.
+	smat := stats.NewMatrix(k, k)
+	misfit := make([]float64, k)
+	for a, ra := range active {
+		misfit[a] = -ra.rhs
+		for _, i := range ra.free {
+			misfit[a] += ra.coef[i] * s.means[i]
+		}
+		for b := 0; b <= a; b++ {
+			rb := active[b]
+			sum := 0.0
+			for _, i := range ra.free {
+				if c := rb.coef[i]; c != 0 {
+					sum += ra.coef[i] * c * s.vars[i]
+				}
+			}
+			smat.Set(a, b, sum)
+			smat.Set(b, a, sum)
+		}
+	}
+	ch, err := stats.NewCholesky(smat)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	lam = ch.Solve(misfit)
+
+	// x = m - V Aᵀ λ.
+	for a, ra := range active {
+		for _, i := range ra.free {
+			x[i] -= s.vars[i] * ra.coef[i] * lam[a]
+		}
+	}
+
+	// Σ = V - C S⁻¹ Cᵀ with C = V Aᵀ (n x k). Column j of Cᵀ is C's
+	// row j; one triangular solve per event with any constraint mass.
+	cmat := make([][]float64, n) // C rows, nil when the event is untouched
+	for a, ra := range active {
+		for _, i := range ra.free {
+			if cmat[i] == nil {
+				cmat[i] = make([]float64, k)
+			}
+			cmat[i][a] = s.vars[i] * ra.coef[i]
+		}
+	}
+	sinv := make([][]float64, n) // S⁻¹ Cᵀ columns per event
+	for i := 0; i < n; i++ {
+		if cmat[i] != nil {
+			sinv[i] = ch.Solve(cmat[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		if cmat[i] == nil {
+			continue
+		}
+		for j := i; j < n; j++ {
+			if cmat[j] == nil {
+				continue
+			}
+			corr := 0.0
+			for a := 0; a < k; a++ {
+				corr += cmat[i][a] * sinv[j][a]
+			}
+			v := cov.At(i, j) - corr
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	return x, cov, lam, nil
+}

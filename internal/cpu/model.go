@@ -65,6 +65,14 @@ type Model struct {
 	// BaseIPC is the sustained instructions-per-cycle for plain
 	// integer code outside the benchmark loop.
 	BaseIPC float64
+	// RetireWidth is the micro-architecture's peak retirement rate in
+	// instructions per cycle — the hard ceiling no window can beat, as
+	// opposed to the *sustained* BaseIPC (tight inner loops beat
+	// BaseIPC: the loop fast-forward retires a 3-4 instruction body in
+	// LoopBaseCycles). This is the `width` of the cross-event invariant
+	// CYCLES >= INSTR/width that internal/bayes encodes (NetBurst
+	// retires 3 uops/cycle, Core is 4-wide, K8 3-wide).
+	RetireWidth int
 	// LoopBaseCycles is the steady-state cycles per iteration of the
 	// paper's 3-instruction loop when placement is favourable.
 	LoopBaseCycles float64
@@ -113,6 +121,7 @@ var (
 		KernelCost:        1.55,
 		TransitionCycles:  2.2,
 		BaseIPC:           1.6,
+		RetireWidth:       3,
 		LoopBaseCycles:    1.5,
 		StraddleCycles:    1.0,
 		PlacementQuirkMax: 1.5,
@@ -140,6 +149,7 @@ var (
 		KernelCost:        1.0,
 		TransitionCycles:  1.0,
 		BaseIPC:           2.5,
+		RetireWidth:       4,
 		LoopBaseCycles:    1.0,
 		StraddleCycles:    1.0,
 		PlacementQuirkMax: 0,
@@ -162,6 +172,7 @@ var (
 		KernelCost:        0.8,
 		TransitionCycles:  0.85,
 		BaseIPC:           2.2,
+		RetireWidth:       3,
 		LoopBaseCycles:    2.0,
 		StraddleCycles:    1.0,
 		PlacementQuirkMax: 0,

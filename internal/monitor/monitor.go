@@ -268,6 +268,14 @@ func (r *Registry) Delete(id string) error {
 	return nil
 }
 
+// Active returns how many sessions are currently producing (each
+// pinning a pool worker) — the number /healthz reports.
+func (r *Registry) Active() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.activeLocked()
+}
+
 // Len returns how many sessions are registered.
 func (r *Registry) Len() int {
 	r.mu.Lock()

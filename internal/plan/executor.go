@@ -204,6 +204,7 @@ func (p *Planner) executeMultiplexed(ctx context.Context, norm api.PlanRequest, 
 	}
 
 	anchorSlots := sched.anchorSlots()
+	var postResiduals []api.ResidualInfo
 	fuseAll := func() ([]api.PlanEstimate, bool, error) {
 		ests := make([]api.PlanEstimate, 0, len(norm.Measure.Events))
 		attained := true
@@ -236,6 +237,17 @@ func (p *Planner) executeMultiplexed(ctx context.Context, norm api.PlanRequest, 
 			pe := planEstimate(name, naive, fused, norm.TargetRelWidth)
 			attained = attained && pe.Attained
 			ests = append(ests, pe)
+		}
+		if norm.Posterior {
+			residuals, err := applyPosterior(norm, ests)
+			if err != nil {
+				return nil, false, err
+			}
+			postResiduals = residuals
+			attained = true
+			for _, pe := range ests {
+				attained = attained && pe.Attained
+			}
 		}
 		return ests, attained, nil
 	}
@@ -326,6 +338,7 @@ func (p *Planner) executeMultiplexed(ctx context.Context, norm api.PlanRequest, 
 		Attained:  attained,
 		Rounds:    roundCount,
 		TotalRuns: len(refRuns) + len(slotRuns[0]),
+		Residuals: postResiduals,
 	}, nil
 }
 
@@ -397,6 +410,7 @@ func (p *Planner) executeDedicated(ctx context.Context, norm api.PlanRequest, sc
 	planned := runsNeeded(z, norm.TargetRelWidth, rowsFrom(pilotEsts), norm.PilotRuns, norm.MaxRuns)
 
 	resp, ests := pilot, pilotEsts
+	var postResiduals []api.ResidualInfo
 	loop := refineLoop{
 		z: z, target: norm.TargetRelWidth,
 		pilot: norm.PilotRuns, maxRuns: norm.MaxRuns,
@@ -426,6 +440,17 @@ func (p *Planner) executeDedicated(ctx context.Context, norm api.PlanRequest, sc
 				attained = attained && pe.Attained
 				out = append(out, pe)
 			}
+			if norm.Posterior {
+				residuals, err := applyPosterior(norm, out)
+				if err != nil {
+					return nil, false, err
+				}
+				postResiduals = residuals
+				attained = true
+				for _, pe := range out {
+					attained = attained && pe.Attained
+				}
+			}
 			return out, attained, nil
 		},
 		func() ([]perRunStats, error) { return rowsFrom(ests), nil },
@@ -446,6 +471,7 @@ func (p *Planner) executeDedicated(ctx context.Context, norm api.PlanRequest, sc
 		Attained:  attained,
 		Rounds:    roundCount,
 		TotalRuns: total,
+		Residuals: postResiduals,
 	}
 	if resp != nil && resp.Calibration != nil {
 		cal := *resp.Calibration

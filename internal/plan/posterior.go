@@ -1,0 +1,76 @@
+package plan
+
+import (
+	"math"
+
+	"repro/internal/api"
+	"repro/internal/bayes"
+	"repro/internal/cpu"
+)
+
+// applyPosterior is the opt-in cross-event fusion step: it runs the
+// constraint solver of internal/bayes over the plan's fused per-event
+// estimates, under the built-in invariant library of the request's
+// processor, and rewrites each estimate's verdict to the posterior.
+//
+// The plan's own fusion (anchor copies, reference runs) moves
+// information *within* an event; this step moves it *across* events —
+// a tight INSTR_RETIRED estimate disciplines a loose DCACHE_MISS one
+// through their shared invariants, so multiplexed schedules inherit
+// cross-event information exactly as BayesPerf fuses multiplexed
+// counters through linear event constraints. The solver's posterior
+// *intervals* are never wider than the fused ones; the attainment
+// verdict is re-judged on them, which usually flips misses to hits
+// (narrower interval, same-magnitude mean). The flip can go the other
+// way when conditioning moves the mean a long way toward zero — the
+// relative width's denominator shrinks faster than its numerator —
+// but that only happens when the fused estimates grossly violated an
+// invariant, which the residual report surfaces, and the refine loop
+// stays bounded by MaxRefine/MaxRuns either way.
+//
+// It mutates ests in place (setting Posterior, RelWidth, Attained per
+// event) and returns the invariant residual report.
+func applyPosterior(norm api.PlanRequest, ests []api.PlanEstimate) ([]api.ResidualInfo, error) {
+	model, err := cpu.ModelByTag(norm.Measure.Processor)
+	if err != nil {
+		return nil, err
+	}
+	events := make([]string, len(ests))
+	means := make([]float64, len(ests))
+	vars := make([]float64, len(ests))
+	for i, pe := range ests {
+		events[i] = pe.Event
+		means[i] = pe.Fused.Corrected
+		vars[i] = pe.Fused.StdErr * pe.Fused.StdErr
+	}
+	sol, err := bayes.Solve(events, means, vars, bayes.Library(model).Restrict(events))
+	if err != nil {
+		return nil, err
+	}
+
+	for i := range ests {
+		info := api.EstimateInfoFromMoments(events[i], means[i], sol.Mean[i], sol.Variance[i],
+			norm.Confidence, ests[i].Fused.N)
+		ests[i].Posterior = &info
+		ests[i].RelWidth = relWidthInfo(info)
+		ests[i].Attained = ests[i].RelWidth <= norm.TargetRelWidth
+	}
+
+	residuals := make([]api.ResidualInfo, 0, len(sol.Residuals))
+	for _, r := range sol.Residuals {
+		residuals = append(residuals, api.ResidualInfo{
+			Constraint: r.Constraint,
+			Value:      r.Value,
+			Sigma:      r.Sigma,
+			Violated:   r.Violated,
+		})
+	}
+	return residuals, nil
+}
+
+// relWidthInfo is relWidth over the wire form, with the same magnitude
+// floor.
+func relWidthInfo(info api.EstimateInfo) float64 {
+	half := (info.Hi - info.Lo) / 2
+	return half / math.Max(math.Abs(info.Corrected), 1)
+}

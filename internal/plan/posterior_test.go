@@ -1,0 +1,120 @@
+package plan
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/service"
+)
+
+// TestPlanPosteriorFusionMultiplexed drives an opt-in posterior plan
+// end to end: every event gains a posterior estimate whose interval is
+// at most the fused one, the residual report is present and clean, and
+// the response stays byte-deterministic.
+func TestPlanPosteriorFusionMultiplexed(t *testing.T) {
+	svc := service.New(service.Config{WorkersPerShard: 1})
+	p := New(svc)
+	req := api.PlanRequest{
+		Measure: api.MeasureRequest{
+			Processor: "K8", Stack: "pc", Bench: "array:1000000",
+			Events: []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED", "DCACHE_MISS"},
+		},
+		TargetRelWidth: 0.2,
+		Counters:       2,
+		PilotRuns:      3,
+		MaxRuns:        12,
+		Posterior:      true,
+	}
+	resp, err := p.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Residuals) == 0 {
+		t.Error("posterior plan carries no residual report")
+	}
+	for _, r := range resp.Residuals {
+		if r.Violated {
+			t.Errorf("consistent measurement flagged: %+v", r)
+		}
+	}
+	for _, est := range resp.Estimates {
+		if est.Posterior == nil {
+			t.Fatalf("%s: no posterior estimate", est.Event)
+		}
+		fusedHalf := (est.Fused.Hi - est.Fused.Lo) / 2
+		postHalf := (est.Posterior.Hi - est.Posterior.Lo) / 2
+		if postHalf > fusedHalf*(1+1e-9) {
+			t.Errorf("%s: posterior interval wider than fused: %v > %v", est.Event, postHalf, fusedHalf)
+		}
+		if est.RelWidth != relWidthInfo(*est.Posterior) {
+			t.Errorf("%s: RelWidth not judged on the posterior", est.Event)
+		}
+	}
+
+	again, err := p.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(resp)
+	b2, _ := json.Marshal(again)
+	if string(b1) != string(b2) {
+		t.Fatalf("identical posterior plans differ:\n%s\n%s", b1, b2)
+	}
+
+	// Opting out is a different plan with a different key and no
+	// posterior fields.
+	req.Posterior = false
+	plain, err := p.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Residuals != nil {
+		t.Error("opt-out plan carries residuals")
+	}
+	for _, est := range plain.Estimates {
+		if est.Posterior != nil {
+			t.Errorf("%s: opt-out plan carries a posterior estimate", est.Event)
+		}
+	}
+}
+
+// TestPlanPosteriorFusionDedicated covers the dedicated executor's
+// posterior path: events fit the counters, estimates come from
+// calibrated counting, and the invariant library still applies.
+func TestPlanPosteriorFusionDedicated(t *testing.T) {
+	svc := service.New(service.Config{WorkersPerShard: 1, CalibrationRuns: 9})
+	p := New(svc)
+	resp, err := p.Do(context.Background(), api.PlanRequest{
+		Measure: api.MeasureRequest{
+			Processor: "K8", Stack: "pc", Bench: "loop:200000",
+			Events: []string{"INSTR_RETIRED", "CPU_CLK_UNHALTED"},
+		},
+		TargetRelWidth: 0.2,
+		PilotRuns:      3,
+		MaxRuns:        12,
+		Posterior:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Plan.Mode != api.PlanModeDedicated {
+		t.Fatalf("mode = %s, want dedicated", resp.Plan.Mode)
+	}
+	for _, est := range resp.Estimates {
+		if est.Posterior == nil {
+			t.Fatalf("%s: no posterior estimate", est.Event)
+		}
+		fusedHalf := (est.Fused.Hi - est.Fused.Lo) / 2
+		postHalf := (est.Posterior.Hi - est.Posterior.Lo) / 2
+		if postHalf > fusedHalf*(1+1e-9) {
+			t.Errorf("%s: posterior wider than fused", est.Event)
+		}
+	}
+	for _, r := range resp.Residuals {
+		if r.Violated {
+			t.Errorf("dedicated counting flagged inconsistent: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/api"
+	"repro/internal/bayes"
+)
+
+// Infer serves one batch of joint-inference items: per-event Gaussian
+// evidence (measured here or supplied raw) conditioned on the linear
+// event invariants of internal/bayes. Items are independent and run
+// concurrently; like Analyze, the response for a normalized batch is
+// deterministic, identical in-flight items coalesce, and the
+// lowest-index failing item fails the batch.
+func (s *Service) Infer(ctx context.Context, req api.InferRequest) (*api.InferResponse, error) {
+	norm, err := req.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	s.infers.Add(uint64(len(norm.Items)))
+
+	resp := &api.InferResponse{Results: make([]api.InferResult, len(norm.Items))}
+	var wg sync.WaitGroup
+	errs := make([]error, len(norm.Items))
+	for i, item := range norm.Items {
+		wg.Add(1)
+		go func(i int, item api.InferItem) {
+			defer wg.Done()
+			res, err := s.inferItem(ctx, item)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp.Results[i] = *res
+		}(i, item)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("item %d: %w", i, err)
+		}
+	}
+	return resp, nil
+}
+
+// inferItem runs one normalized item with in-flight coalescing.
+func (s *Service) inferItem(ctx context.Context, item api.InferItem) (*api.InferResult, error) {
+	res, joined, err := s.iflight.Do(ctx, item.Key(), func() (*api.InferResult, error) {
+		return s.executeInfer(ctx, item)
+	})
+	if joined {
+		s.coalesced.Add(1)
+	}
+	return res, err
+}
+
+// executeInfer gathers the item's evidence and conditions it on the
+// constraint model. Measured inputs go through the standard Measure
+// path concurrently — each lands on its own shard checkout, results
+// are keyed by input index so the response stays deterministic, and
+// identical measurements coalesce with ordinary /measure traffic
+// (normalization already decided the calibration flag, so the
+// evidence is the response's accuracy annotation).
+func (s *Service) executeInfer(ctx context.Context, item api.InferItem) (*api.InferResult, error) {
+	n := len(item.Inputs)
+	events := make([]string, n)
+	means := make([]float64, n)
+	vars := make([]float64, n)
+	ns := make([]int, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, in := range item.Inputs {
+		events[i] = in.Event
+		if in.Measure == nil {
+			means[i] = in.Mean
+			vars[i] = in.Variance
+			ns[i] = 1
+			continue
+		}
+		wg.Add(1)
+		go func(i int, in api.InferInput) {
+			defer wg.Done()
+			resp, err := s.Measure(ctx, *in.Measure)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.Accuracy == nil {
+				errs[i] = fmt.Errorf("service: measurement of %s produced no accuracy annotation", in.Event)
+				return
+			}
+			means[i] = resp.Accuracy.Corrected
+			vars[i] = resp.Accuracy.StdErr * resp.Accuracy.StdErr
+			ns[i] = resp.Accuracy.N
+		}(i, in)
+	}
+	wg.Wait()
+	// Lowest-index failure, so an identical item fails identically
+	// regardless of goroutine scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	model, err := item.Model()
+	if err != nil {
+		return nil, err
+	}
+	sol, err := bayes.Solve(events, means, vars, model)
+	if err != nil {
+		// Solver rejections are the request's fault: dependent equality
+		// constraints or malformed terms survive normalization only when
+		// the *combination* is bad, which a retry cannot fix.
+		if errors.Is(err, bayes.ErrDependent) || errors.Is(err, bayes.ErrBadConstraint) ||
+			errors.Is(err, bayes.ErrBadInput) || errors.Is(err, bayes.ErrUnknownEvent) {
+			return nil, fmt.Errorf("%w: %v", api.ErrBadRequest, err)
+		}
+		return nil, err
+	}
+
+	res := &api.InferResult{
+		Item:       item,
+		Events:     events,
+		Consistent: true,
+		Active:     sol.Active,
+	}
+	var tight float64
+	tightN := 0
+	for i := range events {
+		prior := api.EstimateInfoFromMoments(events[i], means[i], means[i], vars[i], item.Confidence, ns[i])
+		post := api.EstimateInfoFromMoments(events[i], means[i], sol.Mean[i], sol.Variance[i], item.Confidence, ns[i])
+		res.Prior = append(res.Prior, prior)
+		res.Posterior = append(res.Posterior, post)
+		if vars[i] > 0 {
+			tight += 1 - math.Sqrt(sol.Variance[i]/vars[i])
+			tightN++
+		}
+	}
+	if tightN > 0 {
+		res.Tightening = tight / float64(tightN)
+	}
+	for _, r := range sol.Residuals {
+		res.Residuals = append(res.Residuals, api.ResidualInfo{
+			Constraint: r.Constraint,
+			Value:      r.Value,
+			Sigma:      r.Sigma,
+			Violated:   r.Violated,
+		})
+		if r.Violated {
+			res.Consistent = false
+		}
+	}
+	return res, nil
+}

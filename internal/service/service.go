@@ -75,11 +75,13 @@ type Service struct {
 	shards  map[string]*shard
 	flight  *Flight[*api.MeasureResponse]
 	aflight *Flight[*api.AnalyzeResult]
+	iflight *Flight[*api.InferResult]
 
 	expSem chan struct{}
 
 	requests  atomic.Uint64
 	analyzes  atomic.Uint64
+	infers    atomic.Uint64
 	coalesced atomic.Uint64
 	calHits   atomic.Uint64
 	calMisses atomic.Uint64
@@ -95,6 +97,7 @@ func New(cfg Config) *Service {
 		shards:  make(map[string]*shard),
 		flight:  NewFlight[*api.MeasureResponse](),
 		aflight: NewFlight[*api.AnalyzeResult](),
+		iflight: NewFlight[*api.InferResult](),
 		expSem:  make(chan struct{}, cfg.MaxConcurrentExperiments),
 	}
 }
@@ -255,24 +258,33 @@ func (s *Service) Health() api.HealthResponse {
 	}
 	s.mu.Unlock()
 
+	hits, misses := s.calHits.Load(), s.calMisses.Load()
 	h := api.HealthResponse{
 		Status: "ok",
 		Shards: make([]api.ShardHealth, 0, len(shards)),
 		Stats: api.ServiceStats{
 			Requests:          s.requests.Load(),
 			Analyzes:          s.analyzes.Load(),
+			Infers:            s.infers.Load(),
 			Coalesced:         s.coalesced.Load(),
-			CalibrationHits:   s.calHits.Load(),
-			CalibrationMisses: s.calMisses.Load(),
+			CalibrationHits:   hits,
+			CalibrationMisses: misses,
 			PinnedWorkers:     s.pins.Load(),
 		},
 	}
+	if hits+misses > 0 {
+		h.CalibrationHitRate = float64(hits) / float64(hits+misses)
+	}
 	for _, sh := range shards {
+		idle := len(sh.workers)
+		cals := sh.calCount()
+		h.Calibrations += cals
 		h.Shards = append(h.Shards, api.ShardHealth{
 			Key:          sh.key,
 			Workers:      sh.size,
-			Idle:         len(sh.workers),
-			Calibrations: sh.calCount(),
+			Idle:         idle,
+			InUse:        sh.size - idle,
+			Calibrations: cals,
 		})
 	}
 	return h

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file is the package's small dense linear-algebra kernel: a
+// row-major matrix, a Cholesky factorization, and the weighted
+// least-squares (normal equations) solver built on them. One kernel
+// serves every consumer — the regression fit (regress.go), and the
+// constraint-graph inference of internal/bayes, whose Gaussian
+// conditioning is a sequence of SPD solves.
+
+// ErrNotSPD reports a matrix that is not symmetric positive definite
+// to working precision — a Cholesky pivot fell below the tolerance.
+// For constraint systems this means redundant (linearly dependent)
+// constraints; for normal equations, a rank-deficient design.
+var ErrNotSPD = errors.New("stats: matrix not positive definite")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix returns a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("stats: negative matrix dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("stats: MulVec dimension mismatch (%d cols, %d vector)", m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		s := 0.0
+		for c, v := range row {
+			s += v * x[c]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// Cholesky is the lower-triangular factor L of an SPD matrix A = L·Lᵀ.
+type Cholesky struct {
+	n int
+	l []float64 // lower triangle, row-major over the full n x n layout
+}
+
+// NewCholesky factors the symmetric positive definite matrix a (only
+// its lower triangle is read). It fails with ErrNotSPD when a pivot
+// falls below a relative tolerance — the sign of a singular (or
+// indefinite) system.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("stats: cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	// Relative pivot tolerance, scaled by the largest diagonal entry so
+	// well-conditioned systems of any magnitude factor identically.
+	maxDiag := 0.0
+	for i := 0; i < n; i++ {
+		if d := math.Abs(a.At(i, i)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	tol := 1e-12 * math.Max(maxDiag, 1e-300)
+
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if s <= tol {
+					return nil, fmt.Errorf("%w (pivot %d: %v)", ErrNotSPD, i, s)
+				}
+				l[i*n+i] = math.Sqrt(s)
+			} else {
+				l[i*n+j] = s / l[j*n+j]
+			}
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve returns x with A·x = b, via the two triangular solves
+// L·y = b, Lᵀ·x = y.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("stats: cholesky solve dimension mismatch (%d vs %d)", len(b), c.n))
+	}
+	n, l := c.n, c.l
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l[i*n+k] * y[k]
+		}
+		y[i] = s / l[i*n+i]
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k*n+i] * x[k]
+		}
+		x[i] = s / l[i*n+i]
+	}
+	return x
+}
+
+// SolveSPD solves A·x = b for symmetric positive definite A.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	ch, err := NewCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return ch.Solve(b), nil
+}
+
+// WeightedLeastSquares solves min Σ wᵢ (yᵢ - Xᵢ·β)² by the normal
+// equations (XᵀWX)β = XᵀWy, factored with Cholesky. A nil weight
+// slice means ordinary least squares. It returns the coefficients and
+// the unscaled inverse normal matrix (XᵀWX)⁻¹, whose diagonal times
+// the residual variance gives the coefficient standard errors.
+// Rank-deficient designs (constant x, fewer rows than columns) fail
+// with ErrNotSPD wrapped in ErrDegenerate by callers that promise it.
+func WeightedLeastSquares(x *Matrix, y, w []float64) (beta []float64, inv *Matrix, err error) {
+	n, p := x.Rows, x.Cols
+	if len(y) != n {
+		return nil, nil, fmt.Errorf("stats: design has %d rows but %d responses", n, len(y))
+	}
+	if w != nil && len(w) != n {
+		return nil, nil, fmt.Errorf("stats: design has %d rows but %d weights", n, len(w))
+	}
+	xtx := NewMatrix(p, p)
+	xty := make([]float64, p)
+	for r := 0; r < n; r++ {
+		wr := 1.0
+		if w != nil {
+			wr = w[r]
+		}
+		row := x.Data[r*p : (r+1)*p]
+		for i := 0; i < p; i++ {
+			xty[i] += wr * row[i] * y[r]
+			for j := 0; j <= i; j++ {
+				xtx.Data[i*p+j] += wr * row[i] * row[j]
+			}
+		}
+	}
+	// Mirror the lower triangle; Cholesky reads only the lower half but
+	// the returned inverse should be the full symmetric matrix.
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			xtx.Set(i, j, xtx.At(j, i))
+		}
+	}
+	ch, err := NewCholesky(xtx)
+	if err != nil {
+		return nil, nil, err
+	}
+	beta = ch.Solve(xty)
+	inv = NewMatrix(p, p)
+	e := make([]float64, p)
+	for j := 0; j < p; j++ {
+		e[j] = 1
+		col := ch.Solve(e)
+		e[j] = 0
+		for i := 0; i < p; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return beta, inv, nil
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCholeskySolve(t *testing.T) {
+	// A = L Lᵀ with known L, so the factor is checkable exactly.
+	a := NewMatrix(3, 3)
+	vals := [][]float64{
+		{4, 2, 2},
+		{2, 5, 3},
+		{2, 3, 6},
+	}
+	for i, row := range vals {
+		for j, v := range row {
+			a.Set(i, j, v)
+		}
+	}
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatalf("NewCholesky: %v", err)
+	}
+	want := []float64{1, 2, 3}
+	b := a.MulVec(want)
+	got := ch.Solve(b)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCholeskyRejectsSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1) // rank 1
+	if _, err := NewCholesky(a); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("singular matrix: got %v, want ErrNotSPD", err)
+	}
+	b := NewMatrix(2, 2)
+	b.Set(0, 0, 1)
+	b.Set(1, 1, -1) // indefinite
+	if _, err := NewCholesky(b); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("indefinite matrix: got %v, want ErrNotSPD", err)
+	}
+}
+
+func TestSolveSPDRandom(t *testing.T) {
+	// Random SPD systems A = MᵀM + I round-trip through SolveSPD.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += m.At(k, i) * m.At(k, j)
+				}
+				if i == j {
+					s++
+				}
+				a.Set(i, j, s)
+			}
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		got, err := SolveSPD(a, a.MulVec(want))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWeightedLeastSquaresMatchesClosedForm(t *testing.T) {
+	// One-column design with weights: β = Σwxy / Σwx².
+	x := NewMatrix(4, 1)
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2.1, 3.9, 6.2, 7.8}
+	ws := []float64{1, 2, 1, 0.5}
+	for i, v := range xs {
+		x.Set(i, 0, v)
+	}
+	beta, inv, err := WeightedLeastSquares(x, ys, ws)
+	if err != nil {
+		t.Fatalf("WeightedLeastSquares: %v", err)
+	}
+	var swxy, swxx float64
+	for i := range xs {
+		swxy += ws[i] * xs[i] * ys[i]
+		swxx += ws[i] * xs[i] * xs[i]
+	}
+	if math.Abs(beta[0]-swxy/swxx) > 1e-12 {
+		t.Errorf("beta = %v, want %v", beta[0], swxy/swxx)
+	}
+	if math.Abs(inv.At(0, 0)-1/swxx) > 1e-12 {
+		t.Errorf("(XᵀWX)⁻¹ = %v, want %v", inv.At(0, 0), 1/swxx)
+	}
+}
+
+func TestWeightedLeastSquaresRankDeficient(t *testing.T) {
+	// Two identical columns cannot be separated.
+	x := NewMatrix(3, 2)
+	for i := 0; i < 3; i++ {
+		x.Set(i, 0, float64(i+1))
+		x.Set(i, 1, float64(i+1))
+	}
+	if _, _, err := WeightedLeastSquares(x, []float64{1, 2, 3}, nil); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("rank-deficient design: got %v, want ErrNotSPD", err)
+	}
+}
+
+// TestLinearFitViaKernel cross-checks the kernel-backed LinearFit
+// against the direct textbook computation on random data.
+func TestLinearFitViaKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			ys[i] = 3 + 0.7*xs[i] + rng.NormFloat64()
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Direct formulas.
+		mx, my := Mean(xs), Mean(ys)
+		var sxx, sxy float64
+		for i := range xs {
+			sxx += (xs[i] - mx) * (xs[i] - mx)
+			sxy += (xs[i] - mx) * (ys[i] - my)
+		}
+		wantSlope := sxy / sxx
+		if math.Abs(fit.Slope-wantSlope) > 1e-9*math.Max(1, math.Abs(wantSlope)) {
+			t.Errorf("trial %d: slope %v, want %v", trial, fit.Slope, wantSlope)
+		}
+		wantIntercept := my - wantSlope*mx
+		if math.Abs(fit.Intercept-wantIntercept) > 1e-9*math.Max(1, math.Abs(wantIntercept)) {
+			t.Errorf("trial %d: intercept %v, want %v", trial, fit.Intercept, wantIntercept)
+		}
+	}
+}

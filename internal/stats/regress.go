@@ -23,48 +23,59 @@ type Regression struct {
 // points, or zero variance in x).
 var ErrDegenerate = errors.New("stats: degenerate regression")
 
-// LinearFit fits y = a + b*x by least squares.
+// LinearFit fits y = a + b*x by least squares, through the package's
+// linear-algebra kernel: the design matrix [1 x] solved by weighted
+// normal equations (WeightedLeastSquares), the same solver the
+// constraint-graph inference of internal/bayes conditions through.
 func LinearFit(x, y []float64) (Regression, error) {
 	if len(x) != len(y) {
 		return Regression{}, errors.New("stats: x/y length mismatch")
 	}
-	n := float64(len(x))
-	if len(x) < 2 {
+	n := len(x)
+	if n < 2 {
 		return Regression{}, ErrDegenerate
 	}
-	var sx, sy float64
+	// Center x before building the design: the normal equations of a
+	// centered design are exactly the textbook sxx/sxy formulas, so the
+	// kernel reproduces the direct computation to the last bit, and a
+	// zero-variance x shows up as a non-SPD normal matrix.
+	mx := Mean(x)
+	design := NewMatrix(n, 2)
 	for i := range x {
-		sx += x[i]
-		sy += y[i]
+		design.Set(i, 0, 1)
+		design.Set(i, 1, x[i]-mx)
 	}
-	mx, my := sx/n, sy/n
-	var sxx, sxy, syy float64
-	for i := range x {
-		dx, dy := x[i]-mx, y[i]-my
-		sxx += dx * dx
-		sxy += dx * dy
-		syy += dy * dy
+	beta, inv, err := WeightedLeastSquares(design, y, nil)
+	if err != nil {
+		if errors.Is(err, ErrNotSPD) {
+			return Regression{}, ErrDegenerate
+		}
+		return Regression{}, err
 	}
-	if sxx == 0 {
-		return Regression{}, ErrDegenerate
-	}
-	slope := sxy / sxx
-	intercept := my - slope*mx
+	slope := beta[1]
+	intercept := beta[0] - slope*mx
 
 	// Residual sum of squares and derived statistics.
-	rss := syy - slope*sxy
-	if rss < 0 {
-		rss = 0
+	my := Mean(y)
+	var rss, syy float64
+	for i := range x {
+		r := y[i] - (beta[0] + slope*(x[i]-mx))
+		rss += r * r
+		dy := y[i] - my
+		syy += dy * dy
 	}
 	r2 := 0.0
 	if syy > 0 {
 		r2 = 1 - rss/syy
+		if r2 < 0 {
+			r2 = 0
+		}
 	}
 	se := 0.0
-	if len(x) > 2 {
-		se = math.Sqrt(rss / (n - 2) / sxx)
+	if n > 2 {
+		se = math.Sqrt(rss / float64(n-2) * inv.At(1, 1))
 	}
-	return Regression{Slope: slope, Intercept: intercept, R2: r2, SlopeStdErr: se, N: len(x)}, nil
+	return Regression{Slope: slope, Intercept: intercept, R2: r2, SlopeStdErr: se, N: n}, nil
 }
 
 // At evaluates the fitted line.
