@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+)
+
+func TestBuildEnginePairs(t *testing.T) {
+	pairs, err := buildEnginePairs("K8/pc,CD/pc", 16, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 16 {
+		t.Fatalf("pairs = %d, want 16", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.req.Engine != "" {
+			t.Errorf("pair %s carries engine %q; pinning happens per shot", p.key, p.req.Engine)
+		}
+	}
+	if _, err := buildEnginePairs("garbage", 4, 1, 1); err == nil {
+		t.Error("bad mix accepted")
+	}
+	if _, err := buildEnginePairs("K8/pc", 4, 1, 0); err == nil {
+		t.Error("zero seeds accepted")
+	}
+}
+
+// TestRunEngineAgainstBackend drives the cross-engine workload against
+// a real service: every interpreter/compiled pair must come back
+// byte-identical under concurrent load.
+func TestRunEngineAgainstBackend(t *testing.T) {
+	srv := newBackend(t)
+	var out bytes.Buffer
+	if err := runEngine(&out, srv.URL, "K8/pc,CD/pc", 12, 4, 2, 4); err != nil {
+		t.Fatalf("runEngine: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "engine pairs, interpreter and compiled byte-identical") {
+		t.Fatalf("missing conformance line:\n%s", out.String())
+	}
+}
+
+// TestFireEngineClearsEcho checks the normalization that makes the two
+// engines' responses comparable: the echoed selector must not leak into
+// the compared body.
+func TestFireEngineClearsEcho(t *testing.T) {
+	srv := newBackend(t)
+	pair := enginePair{key: "k", req: api.MeasureRequest{
+		Processor: "K8", Stack: "pc", Bench: "loop:1000", Runs: 1,
+	}}
+	out := fireEngine(srv.Client(), srv.URL, pair, api.EngineInterpreter)
+	if out.err != nil || out.status != 200 {
+		t.Fatalf("fireEngine: err=%v status=%d", out.err, out.status)
+	}
+	if strings.Contains(out.body, api.EngineInterpreter) {
+		t.Fatalf("normalized body still names the engine:\n%s", out.body)
+	}
+}

@@ -35,6 +35,13 @@
 // byte-identical responses, posterior intervals never wider than the
 // priors, and residual verdicts matching each variant.
 //
+// With -engine, every configuration in the mix is measured twice —
+// once pinned to the interpreter engine and once to the compiled
+// engine — concurrently, and the responses must be byte-identical
+// (after clearing the echoed engine selector): the in-process
+// cross-engine conformance suite, exercised over the wire against a
+// live server.
+//
 // Usage:
 //
 //	pcload -addr http://localhost:7090 -n 200 -c 8 -calibrate
@@ -43,6 +50,7 @@
 //	pcload -addr http://localhost:7090 -monitor -sessions 8 -steps 64
 //	pcload -addr http://localhost:7090 -plan -plans 24 -c 4
 //	pcload -addr http://localhost:7090 -infer -infers 24 -c 4
+//	pcload -addr http://localhost:7090 -engine -n 64 -c 8
 package main
 
 import (
@@ -78,25 +86,28 @@ func main() {
 		plans     = flag.Int("plans", 12, "plan requests to send with -plan (issued as identical pairs)")
 		inferMode = flag.Bool("infer", false, "drive /infer instead of /measure: constraint-graph inference, asserting determinism, posterior<=prior intervals, and residual verdicts")
 		infers    = flag.Int("infers", 18, "infer requests to send with -infer (issued as identical pairs)")
+		engine    = flag.Bool("engine", false, "drive /measure in engine pairs: every configuration pinned to the interpreter and the compiled engine, asserting byte-identical responses")
 	)
 	flag.Parse()
 
 	var err error
 	modes := 0
-	for _, on := range []bool{*monitor, *planMode, *analyze, *inferMode} {
+	for _, on := range []bool{*monitor, *planMode, *analyze, *inferMode, *engine} {
 		if on {
 			modes++
 		}
 	}
 	switch {
 	case modes > 1:
-		err = fmt.Errorf("-analyze, -monitor, -plan, and -infer are mutually exclusive workloads")
+		err = fmt.Errorf("-analyze, -monitor, -plan, -infer, and -engine are mutually exclusive workloads")
 	case *monitor:
 		err = runMonitor(os.Stdout, *addr, *mixSpec, *sessions, *steps, *window, *c)
 	case *planMode:
 		err = runPlan(os.Stdout, *addr, *mixSpec, *plans, *c)
 	case *inferMode:
 		err = runInfer(os.Stdout, *addr, *mixSpec, *infers, *c)
+	case *engine:
+		err = runEngine(os.Stdout, *addr, *mixSpec, *n, *c, *runs, *seeds)
 	default:
 		err = run(os.Stdout, *addr, *mixSpec, *n, *c, *runs, *seeds, *calibrate, *analyze)
 	}

@@ -18,7 +18,12 @@
 //
 // Responses to /measure, /analyze, and /plan are deterministic:
 // identical requests receive byte-identical bodies, no matter how they
-// interleave with other traffic. Every measurement response carries an
+// interleave with other traffic. Measurements execute on one of two
+// conformance-tested engines — the block-dispatch compiled engine by
+// default, or the per-instruction interpreter when a request pins
+// "engine":"interpreter" — with byte-identical results either way;
+// /healthz reports per-engine run counts and the compile cache next to
+// the calibration cache. See docs/ENGINE.md. Every measurement response carries an
 // accuracy annotation (a corrected estimate with a confidence
 // interval); the batched /analyze endpoint evaluates the full error
 // model — overhead subtraction, multiplexing extrapolation, sampling

@@ -1,0 +1,89 @@
+// Engine: the two execution engines side by side. Every measurement in
+// this repository executes on either the per-instruction interpreter or
+// the block-dispatch compiled engine; a conformance suite guarantees
+// the choice never changes a result. This example makes both halves of
+// that claim observable: identical counter deltas from both engines on
+// identical configurations, and the compiled engine's speedup on the
+// long programs where block dispatch pays (see docs/ENGINE.md).
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+	"time"
+
+	"repro"
+)
+
+func measure(sys *repro.System, bench *repro.Benchmark, seed uint64) *repro.Measurement {
+	m, err := sys.Measure(repro.Request{
+		Bench:   bench,
+		Pattern: repro.StartRead,
+		Mode:    repro.ModeUserKernel,
+		Events:  []repro.Event{repro.EventInstructions, repro.EventCycles},
+		Seed:    seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func main() {
+	interp, err := repro.NewSystem(repro.PD, repro.StackPC,
+		repro.WithEngine(repro.NewInterpreterEngine()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiled, err := repro.NewSystem(repro.PD, repro.StackPC,
+		repro.WithEngine(repro.NewCompiledEngine()))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	workloads := []struct {
+		name  string
+		bench *repro.Benchmark
+	}{
+		{"loop 1M iterations", repro.LoopBenchmark(1_000_000)},
+		{"array 1M elements", repro.ArrayBenchmark(1_000_000)},
+	}
+
+	fmt.Println("Conformance: same configuration, both engines, compared field by field.")
+	for _, w := range workloads {
+		for seed := uint64(1); seed <= 3; seed++ {
+			mi := measure(interp, w.bench, seed)
+			mc := measure(compiled, w.bench, seed)
+			if !reflect.DeepEqual(mi.Deltas, mc.Deltas) {
+				log.Fatalf("%s seed %d: engines diverged:\ninterpreter: %v\ncompiled:    %v",
+					w.name, seed, mi.Deltas, mc.Deltas)
+			}
+			fmt.Printf("  %-20s seed %d: instr=%d cycles=%d  (identical on both engines)\n",
+				w.name, seed, mi.Deltas[0], mi.Deltas[1])
+		}
+	}
+
+	fmt.Println("\nThroughput: wall-clock per measurement, same workloads.")
+	const reps = 5
+	for _, w := range workloads {
+		timeIt := func(sys *repro.System) time.Duration {
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				measure(sys, w.bench, uint64(r)+10)
+			}
+			return time.Since(start) / reps
+		}
+		ti, tc := timeIt(interp), timeIt(compiled)
+		fmt.Printf("  %-20s interpreter %8s   compiled %8s   speedup %.1fx\n",
+			w.name, ti.Round(time.Microsecond), tc.Round(time.Microsecond),
+			float64(ti)/float64(tc))
+	}
+
+	fmt.Println("\nThe compiled engine pre-lowers each program into basic blocks with")
+	fmt.Println("precomputed event deltas and bulk-applies a block only when that is")
+	fmt.Println("provably byte-identical to stepping it — exact dyadic cycle sums,")
+	fmt.Println("exact cold-fetch folding, fallback to stepping whenever a timer")
+	fmt.Println("tick or overflow could land mid-block. Identical results are the")
+	fmt.Println("contract, not an accident: docs/ENGINE.md.")
+}

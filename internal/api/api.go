@@ -77,7 +77,20 @@ type MeasureRequest struct {
 	// NoTSC disables the perfctr TSC fast-read path (the Figure 4
 	// study). Meaningless on perfmon-backed stacks.
 	NoTSC bool `json:"notsc,omitempty"`
+	// Engine selects the execution engine: "compiled" (the default) or
+	// "interpreter". Engines are conformance-tested to produce
+	// byte-identical measurements, so the choice never changes a result —
+	// it exists for cross-checking and for pinning down engine bugs.
+	Engine string `json:"engine,omitempty"`
 }
+
+// Engine selector values for MeasureRequest.Engine.
+const (
+	// EngineInterpreter is the per-instruction reference engine.
+	EngineInterpreter = "interpreter"
+	// EngineCompiled is the block-dispatch engine (the default).
+	EngineCompiled = "compiled"
+)
 
 // Normalized returns the request with every default made explicit and
 // every field validated. The normalized form is canonical: requests
@@ -153,6 +166,17 @@ func (r MeasureRequest) Normalized() (MeasureRequest, error) {
 	if r.Seed == 0 {
 		r.Seed = DefaultSeed
 	}
+	switch r.Engine {
+	case "", EngineInterpreter:
+	case EngineCompiled:
+		// The compiled engine is the default; canonicalizing it to ""
+		// keeps the request key — and therefore coalescing and response
+		// caches — shared with requests that never named an engine.
+		// Engines produce byte-identical measurements, so sharing is safe.
+		r.Engine = ""
+	default:
+		return r, badf("api: bad engine %q (want %s or %s)", r.Engine, EngineInterpreter, EngineCompiled)
+	}
 	return r, nil
 }
 
@@ -161,9 +185,15 @@ func (r MeasureRequest) Normalized() (MeasureRequest, error) {
 // is safe to use for coalescing concurrent duplicates and for response
 // caches.
 func (r MeasureRequest) Key() string {
-	return fmt.Sprintf("%s|%s|%s|%s|%s|%s|O%d|r%d|s%d|c%v|t%v",
+	key := fmt.Sprintf("%s|%s|%s|%s|%s|%s|O%d|r%d|s%d|c%v|t%v",
 		r.Processor, r.Stack, r.Bench, r.Pattern, r.Mode,
 		strings.Join(r.Events, ","), r.Opt, r.Runs, r.Seed, r.Calibrate, r.NoTSC)
+	// The engine appears only when non-default, keeping keys (and any
+	// stored responses) from before the engine field existed valid.
+	if r.Engine != "" {
+		key += "|e=" + r.Engine
+	}
+	return key
 }
 
 // ShardKey returns the identity of the system pool that can serve the
@@ -299,6 +329,31 @@ type HealthResponse struct {
 	// producing (each pinning a worker). Filled by the server front end,
 	// which owns the session registry.
 	ActiveSessions int `json:"activeSessions"`
+	// Engines reports per-engine run counts and the compile cache shared
+	// by every shard's compiled engine.
+	Engines EngineHealth `json:"engines"`
+}
+
+// EngineHealth reports execution-engine state: how many program runs
+// each engine served and the compile cache's occupancy and hit rate.
+type EngineHealth struct {
+	// InterpreterRuns and CompiledRuns count programs executed per
+	// engine since start (top-level runs, not nested handler frames).
+	InterpreterRuns int64 `json:"interpreterRuns"`
+	CompiledRuns    int64 `json:"compiledRuns"`
+	// CompileCacheSize and CompileCacheCapacity describe occupancy of
+	// the shared compiled-program cache.
+	CompileCacheSize     int `json:"compileCacheSize"`
+	CompileCacheCapacity int `json:"compileCacheCapacity"`
+	// CompileCacheHits, CompileCacheMisses, and CompileCacheEvictions
+	// count cache lookups served warm, lookups that compiled, and
+	// entries displaced by capacity.
+	CompileCacheHits      int64 `json:"compileCacheHits"`
+	CompileCacheMisses    int64 `json:"compileCacheMisses"`
+	CompileCacheEvictions int64 `json:"compileCacheEvictions"`
+	// CompileCacheHitRate is hits/(hits+misses) since start (0 before
+	// the first lookup).
+	CompileCacheHitRate float64 `json:"compileCacheHitRate"`
 }
 
 // ShardHealth describes one system pool.

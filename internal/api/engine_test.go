@@ -1,0 +1,72 @@
+package api
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEngineNormalization covers the selector's canonicalization: the
+// compiled default normalizes away so request keys (and caches) are
+// shared with engine-less requests.
+func TestEngineNormalization(t *testing.T) {
+	base := MeasureRequest{Processor: "K8", Stack: "pc", Bench: "null"}
+
+	for _, tc := range []struct {
+		in, want string
+	}{
+		{"", ""},
+		{EngineCompiled, ""},
+		{EngineInterpreter, EngineInterpreter},
+	} {
+		req := base
+		req.Engine = tc.in
+		norm, err := req.Normalized()
+		if err != nil {
+			t.Fatalf("engine %q: %v", tc.in, err)
+		}
+		if norm.Engine != tc.want {
+			t.Errorf("engine %q normalized to %q, want %q", tc.in, norm.Engine, tc.want)
+		}
+	}
+
+	req := base
+	req.Engine = "jit"
+	if _, err := req.Normalized(); err == nil {
+		t.Error("bad engine accepted")
+	}
+}
+
+// TestEngineKey checks that only the non-default engine appears in the
+// canonical key, so compiled-pinned and engine-less requests coalesce.
+func TestEngineKey(t *testing.T) {
+	base := MeasureRequest{Processor: "K8", Stack: "pc", Bench: "null"}
+	plain, err := base.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := base
+	compiled.Engine = EngineCompiled
+	normC, err := compiled.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Key() != normC.Key() {
+		t.Errorf("compiled key %q differs from default key %q", normC.Key(), plain.Key())
+	}
+	if strings.Contains(plain.Key(), "|e=") {
+		t.Errorf("default key %q names an engine", plain.Key())
+	}
+
+	interp := base
+	interp.Engine = EngineInterpreter
+	normI, err := interp.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(normI.Key(), "|e=interpreter") {
+		t.Errorf("interpreter key %q lacks the engine suffix", normI.Key())
+	}
+	if normI.Key() == plain.Key() {
+		t.Error("interpreter-pinned request coalesces with the default")
+	}
+}

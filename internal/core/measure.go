@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/cpu"
+	"repro/internal/engine"
 	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/xrand"
@@ -27,6 +28,10 @@ type Request struct {
 	// Seed individualizes the run (timer phase, path jitter). Use
 	// different seeds for repeated runs of the same configuration.
 	Seed uint64
+	// Runner is the execution engine driving the harness run; nil
+	// selects the process default (the compiled engine). Both engines
+	// produce byte-identical measurements — see internal/engine.
+	Runner cpu.Runner
 }
 
 // withDefaults fills unset fields.
@@ -86,8 +91,12 @@ func Measure(k *kernel.Kernel, infra Infrastructure, req Request) (*Measurement,
 		return nil, err
 	}
 
+	runner := req.Runner
+	if runner == nil {
+		runner = engine.Default()
+	}
 	k.Core.SeedRun(xrand.Mix(req.Seed, uint64(req.Pattern), uint64(req.Opt)))
-	if err := k.Core.Run(prog); err != nil {
+	if err := runner.RunProgram(k.Core, prog); err != nil {
 		return nil, fmt.Errorf("core: harness run failed: %w", err)
 	}
 	return extract(k.Core, infra.NumCounters(), req)

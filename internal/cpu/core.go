@@ -123,6 +123,12 @@ type Core struct {
 	// (scheduler hook).
 	OnTick func()
 
+	// NestedRun, when set by an execution engine, runs nested handler
+	// programs (syscall, timer, and PMU-overflow handlers) in place of
+	// the built-in interpreter loop, so an engine's acceleration applies
+	// to kernel code too. When nil, handlers interpret per instruction.
+	NestedRun func(p *isa.Program) error
+
 	// Captures collects counter reads of the current Run.
 	Captures []Capture
 	// RetiredUser and RetiredKernel tally retired instructions per mode
@@ -163,15 +169,43 @@ func NewCore(m *Model) *Core {
 	}
 }
 
-// opCost returns the cycle cost of one instruction of the given class at
-// the current clock frequency: memory costs scale with the clock, core
-// costs do not.
-func (c *Core) opCost(class int) float64 {
-	cost := c.Model.opCycleCost(class)
-	if class == costMem {
+// ClassCost returns the cycle cost of one instruction of the given
+// class at the current clock frequency: memory costs scale with the
+// clock, core costs do not. FreqScale is always a dyadic rational (1.0
+// or 0.5), so scaled costs stay on the exact-addition grid (see
+// CycleGrain).
+func (c *Core) ClassCost(cl Class) float64 {
+	cost := c.Model.opCycleCost(cl)
+	if cl == ClassMem {
 		cost *= c.FreqScale
 	}
 	return cost
+}
+
+// ClassOf returns the cost class of an op whose accounting is a plain
+// retire — the mapping exec1 costs by and block summaries count by. The
+// second result is false for ops with structured execution (OpLoop).
+func ClassOf(op isa.Op) (Class, bool) {
+	switch op {
+	case isa.OpALU, isa.OpNop, isa.OpVarWork, isa.OpHalt:
+		return ClassALU, true
+	case isa.OpLoad, isa.OpStore:
+		return ClassMem, true
+	case isa.OpBranch:
+		return ClassBranch, true
+	case isa.OpRDPMC:
+		return ClassRDPMC, true
+	case isa.OpRDTSC:
+		return ClassRDTSC, true
+	case isa.OpRDMSR, isa.OpWRMSR:
+		return ClassMSR, true
+	case isa.OpSyscall, isa.OpSysRet:
+		return ClassSyscall, true
+	case isa.OpIRet:
+		return ClassIRQ, true
+	default:
+		return 0, false
+	}
 }
 
 // SeedRun reseeds the per-run random stream and randomizes the timer
@@ -218,6 +252,14 @@ var (
 // per-run tallies are reset. The caller is responsible for PMU
 // configuration; counters keep their values across runs unless reset.
 func (c *Core) Run(p *isa.Program) error {
+	c.BeginRun()
+	return c.runProg(p)
+}
+
+// BeginRun resets per-run state: captures, tallies, handler depth,
+// fetch warmth, and privilege mode. Execution engines that drive the
+// core through Step call it in place of Run.
+func (c *Core) BeginRun() {
 	c.Captures = c.Captures[:0]
 	c.RetiredUser, c.RetiredKernel = 0, 0
 	c.TimerDeliveries = 0
@@ -230,79 +272,127 @@ func (c *Core) Run(p *isa.Program) error {
 	clear(c.lines)
 	clear(c.pages)
 	c.Mode = User
-	return c.runProg(p)
 }
+
+// PushFrame enters a program frame (the top-level program or a nested
+// handler), enforcing the nesting bound. Callers must arrange for
+// PopFrame to run exactly once per PushFrame call — even when PushFrame
+// returns an error — which keeps the depth accounting of the original
+// recursive interpreter.
+func (c *Core) PushFrame(p *isa.Program) error {
+	c.depth++
+	if c.depth > maxNesting {
+		return fmt.Errorf("%w (program %q)", ErrNesting, p.Name)
+	}
+	return nil
+}
+
+// PopFrame leaves the current program frame.
+func (c *Core) PopFrame() { c.depth-- }
 
 // runProg interprets a program until OpHalt (top level) or
 // OpSysRet/OpIRet (handlers). Handlers execute via nested calls, so a
 // syscall's instructions retire synchronously inside the OpSyscall
 // instruction of the caller.
 func (c *Core) runProg(p *isa.Program) error {
-	c.depth++
-	defer func() { c.depth-- }()
-	if c.depth > maxNesting {
-		return fmt.Errorf("%w (program %q)", ErrNesting, p.Name)
+	err := c.PushFrame(p)
+	defer c.PopFrame()
+	if err != nil {
+		return err
 	}
 
 	pc := 0
 	for {
-		if pc < 0 || pc >= len(p.Code) {
-			return fmt.Errorf("cpu: pc %d out of range in %q", pc, p.Name)
-		}
-		in := p.Code[pc]
-		switch in.Op {
-		case isa.OpHalt:
-			c.retire(1, costALU)
-			c.halted = true
-			return nil
-
-		case isa.OpSysRet:
-			if c.depth < 2 {
-				return fmt.Errorf("%w (sysret in %q)", ErrStrayReturn, p.Name)
-			}
-			c.retire(1, costSyscall)
-			return nil
-
-		case isa.OpIRet:
-			if c.depth < 2 {
-				return fmt.Errorf("%w (iret in %q)", ErrStrayReturn, p.Name)
-			}
-			c.retire(1, costIRQ)
-			return nil
-
-		case isa.OpBranch:
-			c.execBranch(p, pc, in)
-			if in.B != 0 {
-				pc = int(in.A)
-			} else {
-				pc++
-			}
-
-		case isa.OpLoop:
-			if err := c.execLoop(p, pc, in); err != nil {
-				return err
-			}
-			pc += 1 + int(in.B)
-
-		case isa.OpSyscall:
-			if err := c.execSyscall(in); err != nil {
-				return err
-			}
-			pc++
-
-		default:
-			if err := c.exec1(p, pc, in); err != nil {
-				return err
-			}
-			pc++
-		}
-		if err := c.maybeInterrupt(); err != nil {
+		next, done, err := c.Step(p, pc)
+		if done || err != nil {
 			return err
 		}
-		if err := c.deliverOverflows(); err != nil {
-			return err
-		}
+		pc = next
 	}
+}
+
+// runNested executes a nested handler program through the installed
+// execution engine, or the interpreter when none is installed.
+func (c *Core) runNested(p *isa.Program) error {
+	if c.NestedRun != nil {
+		return c.NestedRun(p)
+	}
+	return c.runProg(p)
+}
+
+// Step executes exactly one instruction of p at pc inside the current
+// frame and returns the next pc. done reports frame completion (OpHalt,
+// OpSysRet, OpIRet); terminators return without the post-instruction
+// interrupt checks, exactly as the interpreter loop always has. All
+// other instructions end with pending timer ticks and counter overflows
+// delivered. Step is the single definition of instruction semantics:
+// the interpreter loop and the compiled engine's stepwise fallback both
+// run through it.
+func (c *Core) Step(p *isa.Program, pc int) (next int, done bool, err error) {
+	if pc < 0 || pc >= len(p.Code) {
+		return 0, false, fmt.Errorf("cpu: pc %d out of range in %q", pc, p.Name)
+	}
+	in := p.Code[pc]
+	switch in.Op {
+	case isa.OpHalt:
+		c.retire(1, ClassALU)
+		c.halted = true
+		return pc, true, nil
+
+	case isa.OpSysRet:
+		if c.depth < 2 {
+			return 0, false, fmt.Errorf("%w (sysret in %q)", ErrStrayReturn, p.Name)
+		}
+		c.retire(1, ClassSyscall)
+		return pc, true, nil
+
+	case isa.OpIRet:
+		if c.depth < 2 {
+			return 0, false, fmt.Errorf("%w (iret in %q)", ErrStrayReturn, p.Name)
+		}
+		c.retire(1, ClassIRQ)
+		return pc, true, nil
+
+	case isa.OpBranch:
+		c.execBranch(p, pc, in)
+		if in.B != 0 {
+			next = int(in.A)
+		} else {
+			next = pc + 1
+		}
+
+	case isa.OpLoop:
+		if err := c.execLoop(p, pc, in); err != nil {
+			return 0, false, err
+		}
+		next = pc + 1 + int(in.B)
+
+	case isa.OpSyscall:
+		if err := c.execSyscall(in); err != nil {
+			return 0, false, err
+		}
+		next = pc + 1
+
+	default:
+		if err := c.exec1(p, pc, in); err != nil {
+			return 0, false, err
+		}
+		next = pc + 1
+	}
+	if err := c.CheckInterrupts(); err != nil {
+		return 0, false, err
+	}
+	return next, false, nil
+}
+
+// CheckInterrupts delivers pending timer ticks and counter overflows —
+// the post-instruction check the interpreter runs after every step and
+// the compiled engine runs after every bulk block.
+func (c *Core) CheckInterrupts() error {
+	if err := c.maybeInterrupt(); err != nil {
+		return err
+	}
+	return c.deliverOverflows()
 }
 
 // deliverOverflows runs the PMU interrupt for every pending counter
@@ -342,8 +432,8 @@ func (c *Core) deliverOverflows() error {
 			if c.OverflowHandler != nil {
 				prev := c.Mode
 				c.Mode = Kernel
-				c.addCycles(c.opCost(costIRQ))
-				err := c.runProg(c.OverflowHandler)
+				c.addCycles(c.ClassCost(ClassIRQ))
+				err := c.runNested(c.OverflowHandler)
 				c.Mode = prev
 				if err != nil {
 					return err
@@ -361,18 +451,16 @@ func (c *Core) deliverOverflows() error {
 func (c *Core) exec1(p *isa.Program, pc int, in isa.Instr) error {
 	c.fetchPenalty(p.Addr(pc))
 	switch in.Op {
-	case isa.OpALU, isa.OpNop:
-		c.retire(1, costALU)
-
-	case isa.OpLoad, isa.OpStore:
-		c.retire(1, costMem)
+	case isa.OpALU, isa.OpNop, isa.OpLoad, isa.OpStore:
+		cl, _ := ClassOf(in.Op)
+		c.retire(1, cl)
 
 	case isa.OpVarWork:
 		extra := c.rng.Geometric(int(in.A), varWorkDecay)
-		c.retire(1+int64(extra), costALU)
+		c.retire(1+int64(extra), ClassALU)
 
 	case isa.OpRDPMC:
-		c.retire(1, costRDPMC)
+		c.retire(1, ClassRDPMC)
 		if in.Slot != isa.NoSlot {
 			v := c.readCounterValue(int(in.A))
 			c.Captures = append(c.Captures, Capture{
@@ -382,7 +470,7 @@ func (c *Core) exec1(p *isa.Program, pc int, in isa.Instr) error {
 		}
 
 	case isa.OpRDTSC:
-		c.retire(1, costRDTSC)
+		c.retire(1, ClassRDTSC)
 		if in.Slot != isa.NoSlot {
 			c.Captures = append(c.Captures, Capture{
 				Slot: int(in.Slot), Counter: TSCCounter, Value: c.PMU.TSC(),
@@ -394,7 +482,7 @@ func (c *Core) exec1(p *isa.Program, pc int, in isa.Instr) error {
 		if c.Mode != Kernel {
 			return fmt.Errorf("%w: rdmsr in %q", ErrPrivilege, p.Name)
 		}
-		c.retire(1, costMSR)
+		c.retire(1, ClassMSR)
 
 	case isa.OpWRMSR:
 		if c.Mode != Kernel {
@@ -404,7 +492,7 @@ func (c *Core) exec1(p *isa.Program, pc int, in isa.Instr) error {
 		// executed before an enable (or after a disable) is outside the
 		// measurement window. Retire first so that an enabling WRMSR does
 		// not count itself.
-		c.retire(1, costMSR)
+		c.retire(1, ClassMSR)
 		action, mask := isa.MSRAction(in.A), uint64(in.B)
 		switch action {
 		case isa.MSREnable:
@@ -441,7 +529,7 @@ func (c *Core) readCounterValue(ctr int) int64 {
 // execBranch costs and predicts a conditional branch.
 func (c *Core) execBranch(p *isa.Program, pc int, in isa.Instr) {
 	c.fetchPenalty(p.Addr(pc))
-	c.retire(1, costBranch)
+	c.retire(1, ClassBranch)
 	// Static not-taken prediction for forward, taken for backward: a
 	// mispredict costs the model penalty and retires a BrMisp event.
 	backward := in.A <= int64(pc)
@@ -459,11 +547,11 @@ func (c *Core) execSyscall(in isa.Instr) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrBadSyscall, in.A)
 	}
-	c.retire(1, costSyscall) // SYSENTER retires in user mode
+	c.retire(1, ClassSyscall) // SYSENTER retires in user mode
 	prev := c.Mode
 	c.Mode = Kernel
-	c.addCycles(c.opCost(costSyscall)) // pipeline drain on entry
-	err := c.runProg(h)
+	c.addCycles(c.ClassCost(ClassSyscall)) // pipeline drain on entry
+	err := c.runNested(h)
 	c.Mode = prev
 	return err
 }
@@ -471,10 +559,6 @@ func (c *Core) execSyscall(in isa.Instr) error {
 // varWorkDecay is the per-step continuation probability of OpVarWork's
 // geometric extra-work distribution.
 const varWorkDecay = 0.35
-
-// loopBulkThreshold is the iteration count above which a plain loop body
-// is fast-forwarded analytically instead of stepped.
-const loopBulkThreshold = 64
 
 // execLoop runs a loop block. Plain bodies (no privileged or capturing
 // instructions) fast-forward analytically between timer interrupts: the
@@ -522,7 +606,7 @@ func (c *Core) execLoop(p *isa.Program, pc int, hdr isa.Instr) error {
 	remaining := iters
 	for remaining > 0 {
 		n := remaining
-		if c.timerActive() {
+		if c.TimerActive() {
 			headroom := c.Timer.Next - c.Cycles
 			fit := int64(headroom / iterCycles)
 			if fit < n {
@@ -550,7 +634,7 @@ func (c *Core) execLoop(p *isa.Program, pc int, hdr isa.Instr) error {
 			}
 		}
 		if n > 0 {
-			c.retireBulk(n*bodyRetire, float64(n)*iterCycles)
+			c.RetireBulk(n*bodyRetire, float64(n)*iterCycles)
 			remaining -= n
 			if err := c.deliverOverflows(); err != nil {
 				return err
@@ -559,7 +643,7 @@ func (c *Core) execLoop(p *isa.Program, pc int, hdr isa.Instr) error {
 		if remaining > 0 {
 			// The next iteration crosses the tick boundary: execute it,
 			// then deliver.
-			c.retireBulk(bodyRetire, iterCycles)
+			c.RetireBulk(bodyRetire, iterCycles)
 			remaining--
 			if err := c.maybeInterrupt(); err != nil {
 				return err
@@ -577,19 +661,8 @@ func (c *Core) execLoop(p *isa.Program, pc int, hdr isa.Instr) error {
 func (c *Core) execLoopStepwise(p *isa.Program, pc int, body []isa.Instr, iters int64) error {
 	for k := int64(0); k < iters; k++ {
 		for j, in := range body {
-			switch in.Op {
-			case isa.OpBranch:
-				c.execBranch(p, pc+1+j, in)
-			case isa.OpSyscall:
-				if err := c.execSyscall(in); err != nil {
-					return err
-				}
-			case isa.OpLoop:
-				return fmt.Errorf("cpu: nested loop blocks must be flattened (program %q)", p.Name)
-			default:
-				if err := c.exec1(p, pc+1+j, in); err != nil {
-					return err
-				}
+			if err := c.execStraight(p, pc+1+j, in); err != nil {
+				return err
 			}
 			if err := c.maybeInterrupt(); err != nil {
 				return err
@@ -597,6 +670,26 @@ func (c *Core) execLoopStepwise(p *isa.Program, pc int, body []isa.Instr, iters 
 		}
 	}
 	return nil
+}
+
+// execStraight executes one instruction of straight-line code: control
+// flow is linear, so a branch is costed and predicted but not followed
+// (loop-body branches fall through by construction — Builder emits them
+// only as the paper's compare-and-fall-through pattern). This is the
+// per-instruction dispatch shared by the stepwise loop fallback; the
+// compiled engine's block summaries count by exactly these classes.
+func (c *Core) execStraight(p *isa.Program, pc int, in isa.Instr) error {
+	switch in.Op {
+	case isa.OpBranch:
+		c.execBranch(p, pc, in)
+		return nil
+	case isa.OpSyscall:
+		return c.execSyscall(in)
+	case isa.OpLoop:
+		return fmt.Errorf("cpu: nested loop blocks must be flattened (program %q)", p.Name)
+	default:
+		return c.exec1(p, pc, in)
+	}
 }
 
 // plainBody reports whether all instructions may be bulk-advanced.
@@ -630,19 +723,20 @@ func (c *Core) IterCycles(addr, bytes uint64, memOps int) float64 {
 	}
 	// Memory latency is pinned to the bus clock, so its cycle cost
 	// scales with the core frequency (Section 8's frequency-scaling
-	// caveat).
+	// caveat). The result is quantized to the CycleGrain grid so that
+	// bulk advancement (n iterations in one add) is bit-exact.
 	cyc += float64(memOps) * 0.5 / m.BaseIPC * c.FreqScale
-	return cyc
+	return GridCycles(cyc)
 }
 
-// timerActive reports whether tick delivery can occur now.
-func (c *Core) timerActive() bool {
+// TimerActive reports whether tick delivery can occur now.
+func (c *Core) TimerActive() bool {
 	return c.Timer.Enabled && c.Timer.Handler != nil && !c.inIRQ
 }
 
 // maybeInterrupt delivers pending timer ticks.
 func (c *Core) maybeInterrupt() error {
-	if !c.timerActive() {
+	if !c.TimerActive() {
 		return nil
 	}
 	for c.Cycles >= c.Timer.Next {
@@ -660,17 +754,18 @@ func (c *Core) deliverTimer() error {
 
 	// Counter save/restore around the interrupt rounds user-attributed
 	// counts by a few instructions (the source of Figure 8's tiny
-	// nonzero slopes).
+	// nonzero slopes). The bias sum is quantized to the cycle grid so
+	// skewed counter values stay exactly addable (see CycleGrain).
 	if max := c.Model.TickSkewMax; max > 0 {
-		delta := c.Model.TickSkewBias + c.Timer.SkewBias +
+		delta := GridCycles(c.Model.TickSkewBias+c.Timer.SkewBias) +
 			float64(c.rng.Intn(2*max+1)-max)
 		c.PMU.SkewExclusive(delta)
 	}
 
 	prev := c.Mode
 	c.Mode = Kernel
-	c.addCycles(c.opCost(costIRQ))
-	err := c.runProg(c.Timer.Handler)
+	c.addCycles(c.ClassCost(ClassIRQ))
+	err := c.runNested(c.Timer.Handler)
 	if c.OnTick != nil {
 		c.OnTick()
 	}
@@ -682,18 +777,20 @@ func (c *Core) deliverTimer() error {
 
 // retire counts n instructions in the current mode and advances time by
 // the per-op cycle cost.
-func (c *Core) retire(n int64, opClass int) {
+func (c *Core) retire(n int64, cl Class) {
 	c.PMU.AddInstr(c.Mode, n)
 	if c.Mode == User {
 		c.RetiredUser += n
 	} else {
 		c.RetiredKernel += n
 	}
-	c.addCycles(float64(n) * c.opCost(opClass))
+	c.addCycles(float64(n) * c.ClassCost(cl))
 }
 
-// retireBulk counts n instructions and cyc cycles in the current mode.
-func (c *Core) retireBulk(n int64, cyc float64) {
+// RetireBulk counts n instructions and cyc cycles in the current mode
+// without front-end effects — the accounting primitive behind both the
+// loop fast-forward and the compiled engine's block application.
+func (c *Core) RetireBulk(n int64, cyc float64) {
 	c.PMU.AddInstr(c.Mode, n)
 	if c.Mode == User {
 		c.RetiredUser += n
@@ -707,6 +804,53 @@ func (c *Core) retireBulk(n int64, cyc float64) {
 func (c *Core) addCycles(cyc float64) {
 	c.Cycles += cyc
 	c.PMU.AddCycles(c.Mode, cyc)
+}
+
+// SetExecAddr sets the executing-address tracker used for overflow
+// attribution, without fetch side effects. The compiled engine uses it
+// after a bulk block to leave the same attribution address a stepwise
+// pass through the block would have left.
+func (c *Core) SetExecAddr(addr uint64) { c.curAddr = addr }
+
+// FetchColdCount reports how many of the given i-cache lines and i-TLB
+// pages are still untouched this run, without changing tracking state.
+// The compiled engine folds the corresponding first-touch penalties into
+// a block's bulk cost: penalties are integer cycle constants and miss
+// events integer counts, so the aggregate is exactly what stepping
+// would have charged.
+func (c *Core) FetchColdCount(lines, pages []uint64) (coldLines, coldPages int) {
+	for _, l := range lines {
+		if _, ok := c.lines[l]; !ok {
+			coldLines++
+		}
+	}
+	for _, p := range pages {
+		if _, ok := c.pages[p]; !ok {
+			coldPages++
+		}
+	}
+	return coldLines, coldPages
+}
+
+// FetchMark records the lines and pages as touched, charging the cold
+// first-touch miss events and penalty cycles exactly as per-instruction
+// fetches would have. Callers bulk-advancing a region use it with the
+// region's full footprint.
+func (c *Core) FetchMark(lines, pages []uint64) {
+	for _, l := range lines {
+		if _, ok := c.lines[l]; !ok {
+			c.lines[l] = struct{}{}
+			c.PMU.AddEvent(c.Mode, EventICacheMiss, 1)
+			c.addCycles(c.Model.ICacheMissPenalty)
+		}
+	}
+	for _, p := range pages {
+		if _, ok := c.pages[p]; !ok {
+			c.pages[p] = struct{}{}
+			c.PMU.AddEvent(c.Mode, EventITLBMiss, 1)
+			c.addCycles(c.Model.ITLBMissPenalty)
+		}
+	}
 }
 
 // fetchPenalty applies cold i-cache and i-TLB costs on first touch of a

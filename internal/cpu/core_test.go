@@ -121,7 +121,7 @@ func (c *Core) execLoopForTest(p *isa.Program, iters int64) error {
 		return err
 	}
 	// halt
-	c.retire(1, costALU)
+	c.retire(1, ClassALU)
 	return nil
 }
 

@@ -1,6 +1,9 @@
 package cpu
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Arch identifies a micro-architecture family.
 type Arch uint8
@@ -198,43 +201,73 @@ func ModelByTag(tag string) (*Model, error) {
 	return nil, fmt.Errorf("cpu: unknown processor tag %q", tag)
 }
 
-// opCycleCost returns the baseline cycle cost of one instruction of the
-// given kind on this model, excluding front-end penalties. Special
-// instructions (counter and privilege operations) carry realistic costs
-// so that call-path cycle totals land near the numbers reported by Moore
-// (Section 9: ~3524 cycles start/stop, ~1299 cycles read on Linux/x86).
-func (m *Model) opCycleCost(opClass int) float64 {
-	base := 1.0 / m.BaseIPC
-	switch opClass {
-	case costALU:
-		return base
-	case costMem:
-		return base * 1.5
-	case costBranch:
-		return base
-	case costRDPMC:
-		return 32 * m.TransitionCycles
-	case costRDTSC:
-		return 24 * m.TransitionCycles
-	case costMSR:
-		return 90 * m.TransitionCycles
-	case costSyscall:
-		return 160 * m.TransitionCycles
-	case costIRQ:
-		return 220 * m.TransitionCycles
-	default:
-		return base
-	}
+// CycleGrain is the resolution of every per-instruction cycle cost:
+// costs are quantized to multiples of 1/256 cycle. On this grid (and
+// its refinements by the dyadic factors 1.5 and FreqScale=0.5, giving a
+// finest grain of 2^-10) float64 addition is exact up to 2^43 cycles —
+// far beyond any simulated run — so a sum of costs is bit-identical no
+// matter how the additions are grouped. That is what lets the compiled
+// engine bulk-add whole basic blocks and still reproduce the
+// interpreter's clock and counter state byte for byte.
+const CycleGrain = 1.0 / 256
+
+// GridCycles quantizes a cycle quantity to the CycleGrain grid.
+func GridCycles(x float64) float64 {
+	return math.Round(x*256) / 256
 }
 
-// Instruction cost classes used by opCycleCost.
+// Class is an instruction cost class: every executed instruction is
+// costed and retired as exactly one class, so per-instruction costs have
+// a single definition shared by the interpreter (exec1), the loop
+// fast-forward, and the compiled engine's block summaries.
+type Class uint8
+
+// The instruction cost classes.
 const (
-	costALU = iota
-	costMem
-	costBranch
-	costRDPMC
-	costRDTSC
-	costMSR
-	costSyscall
-	costIRQ
+	// ClassALU is plain integer work (ALU, NOP, and VarWork base).
+	ClassALU Class = iota
+	// ClassMem is a load or store (cost scales with FreqScale).
+	ClassMem
+	// ClassBranch is a conditional branch (mispredict penalty extra).
+	ClassBranch
+	// ClassRDPMC is a user-space counter read.
+	ClassRDPMC
+	// ClassRDTSC is a time-stamp-counter read.
+	ClassRDTSC
+	// ClassMSR is a privileged counter-control access.
+	ClassMSR
+	// ClassSyscall is a privilege transition (SYSENTER/SYSRET).
+	ClassSyscall
+	// ClassIRQ is an interrupt entry/exit.
+	ClassIRQ
 )
+
+// opCycleCost returns the baseline cycle cost of one instruction of the
+// given class on this model, excluding front-end penalties, quantized to
+// the CycleGrain grid. Special instructions (counter and privilege
+// operations) carry realistic costs so that call-path cycle totals land
+// near the numbers reported by Moore (Section 9: ~3524 cycles
+// start/stop, ~1299 cycles read on Linux/x86).
+func (m *Model) opCycleCost(cl Class) float64 {
+	base := 1.0 / m.BaseIPC
+	switch cl {
+	case ClassALU:
+		return GridCycles(base)
+	case ClassMem:
+		return GridCycles(base * 1.5)
+	case ClassBranch:
+		return GridCycles(base)
+	case ClassRDPMC:
+		return GridCycles(32 * m.TransitionCycles)
+	case ClassRDTSC:
+		return GridCycles(24 * m.TransitionCycles)
+	case ClassMSR:
+		return GridCycles(90 * m.TransitionCycles)
+	case ClassSyscall:
+		return GridCycles(160 * m.TransitionCycles)
+	case ClassIRQ:
+		return GridCycles(220 * m.TransitionCycles)
+	default:
+		return GridCycles(base)
+	}
+}

@@ -46,6 +46,11 @@ type Counter struct {
 // the 48-bit hardware register would.
 func (c *Counter) Value() int64 { return int64(c.value) }
 
+// Raw returns the counter's unrounded accumulator. Engine conformance
+// tests compare it bit-exactly: Value's truncation could mask
+// sub-integer drift between execution engines.
+func (c *Counter) Raw() float64 { return c.value }
+
 // PMU is the per-core performance monitoring unit: programmable counters,
 // optional fixed-function counters, and the time stamp counter.
 type PMU struct {

@@ -1,0 +1,20 @@
+package cpu
+
+import "repro/internal/isa"
+
+// Runner is an execution engine: a strategy for driving a Core through
+// a program. The interpreter engine steps every instruction; the
+// compiled engine bulk-applies precomputed basic-block summaries (see
+// internal/engine). Defined here, beneath the engines, so that the
+// measurement layers can accept an engine without importing one.
+//
+// RunProgram must be a drop-in replacement for Core.Run: it resets
+// per-run state and executes p to completion with byte-identical
+// effects on the PMU, clock, captures, and tallies.
+type Runner interface {
+	// Name identifies the engine ("interpreter", "compiled") for
+	// request routing and health reporting.
+	Name() string
+	// RunProgram executes p on c to completion.
+	RunProgram(c *Core, p *isa.Program) error
+}

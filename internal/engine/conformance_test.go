@@ -1,0 +1,200 @@
+package engine_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/engine"
+	"repro/internal/engine/enginetest"
+	"repro/internal/kernel"
+	"repro/internal/mpx"
+	"repro/internal/sampling"
+	"repro/internal/stack"
+)
+
+// twin builds two identical systems pinned to the interpreter and the
+// compiled engine respectively.
+func twin(t *testing.T, model string, code string, opts stack.Options) (interp, compiled *stack.System) {
+	t.Helper()
+	m, err := cpu.ModelByTag(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oi := opts
+	oi.Engine = engine.NewInterpreter()
+	si, err := stack.New(m, code, oi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := opts
+	oc.Engine = engine.NewCompiled(nil)
+	sc, err := stack.New(m, code, oc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return si, sc
+}
+
+// measurePair runs one request on both systems and asserts identical
+// measurements and identical final machine state.
+func measurePair(t *testing.T, si, sc *stack.System, req core.Request) {
+	t.Helper()
+	si.Reset()
+	sc.Reset()
+	mi, errI := si.Measure(req)
+	mc, errC := sc.Measure(req)
+	if (errI == nil) != (errC == nil) || (errI != nil && errI.Error() != errC.Error()) {
+		t.Fatalf("error mismatch: interpreter=%v compiled=%v", errI, errC)
+	}
+	if errI == nil && !reflect.DeepEqual(mi, mc) {
+		t.Fatalf("measurement mismatch:\ninterpreter: %+v\ncompiled:    %+v", mi, mc)
+	}
+	d := enginetest.Diff(
+		enginetest.Snapshot(si.Kernel.Core, errI),
+		enginetest.Snapshot(sc.Kernel.Core, errC),
+	)
+	if d != "" {
+		t.Fatalf("state mismatch: %s", d)
+	}
+}
+
+// TestConformanceCountingMatrix runs the benchmark × pattern × model ×
+// stack × mode counting matrix through both engines.
+func TestConformanceCountingMatrix(t *testing.T) {
+	models := []string{"PD", "CD", "K8"}
+	stacks := []string{"pc", "pm", "PLpc", "PHpm"}
+	benches := map[string]func() *core.Benchmark{
+		"null":     core.NullBenchmark,
+		"loop5k":   func() *core.Benchmark { return core.LoopBenchmark(5000) },
+		"array512": func() *core.Benchmark { return core.ArrayBenchmark(512) },
+	}
+	patterns := []core.Pattern{core.StartRead, core.StartStop, core.ReadRead, core.ReadStop}
+	modes := []core.MeasureMode{core.ModeUser, core.ModeUserKernel, core.ModeKernel}
+
+	for _, model := range models {
+		for _, code := range stacks {
+			si, sc := twin(t, model, code, stack.DefaultOptions)
+			for bname, bench := range benches {
+				for _, pat := range patterns {
+					if !pat.SupportedBy(si.Infra) {
+						continue
+					}
+					for _, mode := range modes {
+						name := fmt.Sprintf("%s/%s/%s/%s/%s", model, code, bname, pat.Code(), mode)
+						t.Run(name, func(t *testing.T) {
+							measurePair(t, si, sc, core.Request{
+								Bench: bench(), Pattern: pat, Mode: mode, Seed: 7,
+							})
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceLongRun crosses many timer ticks, exercising tick
+// skew, handler acceleration, and bulk-versus-boundary interleaving.
+func TestConformanceLongRun(t *testing.T) {
+	for _, model := range []string{"PD", "CD", "K8"} {
+		t.Run(model, func(t *testing.T) {
+			si, sc := twin(t, model, "pc", stack.DefaultOptions)
+			for seed := uint64(1); seed <= 3; seed++ {
+				measurePair(t, si, sc, core.Request{
+					Bench: core.LoopBenchmark(2_000_000), Pattern: core.StartRead,
+					Mode: core.ModeUserKernel, Seed: seed,
+				})
+			}
+		})
+	}
+}
+
+// TestConformanceOndemandGovernor varies the clock frequency mid-run:
+// FreqScale-dependent costs must stay exact on both engines.
+func TestConformanceOndemandGovernor(t *testing.T) {
+	opts := stack.DefaultOptions
+	opts.Governor = kernel.Ondemand
+	for _, model := range []string{"PD", "K8"} {
+		t.Run(model, func(t *testing.T) {
+			si, sc := twin(t, model, "pm", opts)
+			measurePair(t, si, sc, core.Request{
+				Bench: core.ArrayBenchmark(4096), Pattern: core.StartStop,
+				Mode: core.ModeUser, Seed: 11,
+			})
+		})
+	}
+}
+
+// TestConformanceSampling profiles through both engines: with a
+// sampling consumer installed the compiled engine must step so overflow
+// interrupts fire at exact crossings, making profiles identical.
+func TestConformanceSampling(t *testing.T) {
+	for _, model := range []string{"PD", "CD", "K8"} {
+		t.Run(model, func(t *testing.T) {
+			si, sc := twin(t, model, "pc", stack.DefaultOptions)
+			run := func(s *stack.System, r cpu.Runner) (*sampling.Profile, error) {
+				s.Reset()
+				p, err := sampling.New(s.Kernel, cpu.EventInstrRetired, 10_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.Runner = r
+				return p.Run(core.LoopBenchmark(200_000).RawProgram(), 7)
+			}
+			pi, errI := run(si, engine.NewInterpreter())
+			pc, errC := run(sc, engine.NewCompiled(nil))
+			if (errI == nil) != (errC == nil) {
+				t.Fatalf("error mismatch: %v vs %v", errI, errC)
+			}
+			if !reflect.DeepEqual(pi, pc) {
+				t.Fatalf("profile mismatch:\ninterpreter: %+v\ncompiled:    %+v", pi, pc)
+			}
+			d := enginetest.Diff(
+				enginetest.Snapshot(si.Kernel.Core, errI),
+				enginetest.Snapshot(sc.Kernel.Core, errC),
+			)
+			if d != "" {
+				t.Fatalf("state mismatch: %s", d)
+			}
+		})
+	}
+}
+
+// TestConformanceMultiplexing rotates counter groups on timer ticks
+// through both engines and compares the interpolated estimates.
+func TestConformanceMultiplexing(t *testing.T) {
+	for _, model := range []string{"CD", "K8"} {
+		t.Run(model, func(t *testing.T) {
+			si, sc := twin(t, model, "pm", stack.DefaultOptions)
+			events := []cpu.Event{cpu.EventInstrRetired, cpu.EventCoreCycles}
+			run := func(s *stack.System, r cpu.Runner) ([]mpx.Estimate, error) {
+				s.Reset()
+				m, err := mpx.New(s.Kernel, 1, events)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer m.Close()
+				m.Runner = r
+				return m.Run(core.LoopBenchmark(3_000_000).RawProgram(), 13)
+			}
+			ei, errI := run(si, engine.NewInterpreter())
+			ec, errC := run(sc, engine.NewCompiled(nil))
+			if (errI == nil) != (errC == nil) {
+				t.Fatalf("error mismatch: %v vs %v", errI, errC)
+			}
+			if !reflect.DeepEqual(ei, ec) {
+				t.Fatalf("estimate mismatch:\ninterpreter: %+v\ncompiled:    %+v", ei, ec)
+			}
+			d := enginetest.Diff(
+				enginetest.Snapshot(si.Kernel.Core, errI),
+				enginetest.Snapshot(sc.Kernel.Core, errC),
+			)
+			if d != "" {
+				t.Fatalf("state mismatch: %s", d)
+			}
+		})
+	}
+}

@@ -1,0 +1,87 @@
+// Package enginetest provides the cross-engine conformance harness:
+// helpers that run the same workload through two execution engines on
+// twin systems and assert the resulting architectural state is
+// byte-identical. It follows the pattern of wazero's enginetest — the
+// suite is written once against the engine contract and every engine
+// implementation must pass it unchanged.
+package enginetest
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/cpu"
+)
+
+// State is the complete observable machine state after a run: the
+// exact (float64) clock and counter accumulators, every capture, and
+// the per-run tallies. Two engines conform on a workload when their
+// States — including any execution error — are deeply equal.
+type State struct {
+	// Err is the run error's message ("" for success).
+	Err string
+	// Cycles is the global cycle clock, compared bit-exactly.
+	Cycles float64
+	// TSC is the time stamp counter.
+	TSC int64
+	// Prog and Fixed hold the raw (unrounded) accumulator of every
+	// programmable and fixed counter.
+	Prog  []float64
+	Fixed []float64
+	// Captures is the run's capture log.
+	Captures []cpu.Capture
+	// Tallies.
+	RetiredUser, RetiredKernel int64
+	TimerDeliveries            int
+	OverflowDeliveries         int
+	OverflowsLost              int64
+}
+
+// Snapshot captures the core's state together with a run error.
+func Snapshot(c *cpu.Core, err error) State {
+	s := State{
+		Cycles:             c.Cycles,
+		TSC:                c.PMU.TSC(),
+		Captures:           append([]cpu.Capture(nil), c.Captures...),
+		RetiredUser:        c.RetiredUser,
+		RetiredKernel:      c.RetiredKernel,
+		TimerDeliveries:    c.TimerDeliveries,
+		OverflowDeliveries: c.OverflowDeliveries,
+		OverflowsLost:      c.OverflowsLost,
+	}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	for i := range c.PMU.Prog {
+		s.Prog = append(s.Prog, c.PMU.Prog[i].Raw())
+	}
+	for i := range c.PMU.Fixed {
+		s.Fixed = append(s.Fixed, c.PMU.Fixed[i].Raw())
+	}
+	return s
+}
+
+// Diff returns "" when the states are identical, or a description of
+// the first difference.
+func Diff(interp, compiled State) string {
+	if interp.Err != compiled.Err {
+		return fmt.Sprintf("error: interpreter=%q compiled=%q", interp.Err, compiled.Err)
+	}
+	if interp.Cycles != compiled.Cycles {
+		return fmt.Sprintf("cycles: interpreter=%v compiled=%v (delta %g)",
+			interp.Cycles, compiled.Cycles, compiled.Cycles-interp.Cycles)
+	}
+	if interp.TSC != compiled.TSC {
+		return fmt.Sprintf("tsc: interpreter=%d compiled=%d", interp.TSC, compiled.TSC)
+	}
+	if !reflect.DeepEqual(interp.Prog, compiled.Prog) {
+		return fmt.Sprintf("programmable counters: interpreter=%v compiled=%v", interp.Prog, compiled.Prog)
+	}
+	if !reflect.DeepEqual(interp.Fixed, compiled.Fixed) {
+		return fmt.Sprintf("fixed counters: interpreter=%v compiled=%v", interp.Fixed, compiled.Fixed)
+	}
+	if !reflect.DeepEqual(interp, compiled) {
+		return fmt.Sprintf("state: interpreter=%+v compiled=%+v", interp, compiled)
+	}
+	return ""
+}

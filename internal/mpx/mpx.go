@@ -51,6 +51,12 @@ type Multiplexer struct {
 
 	listener int
 	closed   bool
+
+	// Runner is the execution engine for multiplexed runs; nil uses
+	// the core's interpreter directly. Rotation happens on timer ticks,
+	// which both engines deliver at identical cycle times, so estimates
+	// are byte-identical across engines.
+	Runner cpu.Runner
 }
 
 // Errors reported by New.
@@ -140,7 +146,7 @@ func (m *Multiplexer) Run(prog *isa.Program, seed uint64) ([]Estimate, error) {
 	start := c.Cycles
 
 	c.SeedRun(seed)
-	err := c.Run(prog)
+	err := m.runProg(c, prog)
 	m.active = false
 	m.harvest()
 	m.disableGroup(m.cur)
@@ -213,4 +219,13 @@ func (m *Multiplexer) disableGroup(g int) {
 	mask := (uint64(1) << uint(len(m.groups[g]))) - 1
 	m.k.Core.PMU.Disable(mask)
 	m.k.Core.PMU.Reset(mask)
+}
+
+// runProg executes the measured program on the configured engine.
+func (m *Multiplexer) runProg(c *cpu.Core, prog *isa.Program) error {
+	if m.Runner != nil {
+		return m.Runner.RunProgram(c, prog)
+	}
+	c.NestedRun = nil
+	return c.Run(prog)
 }

@@ -103,6 +103,13 @@ type Profiler struct {
 	k      *kernel.Kernel
 	event  cpu.Event
 	period int64
+
+	// Runner is the execution engine for profiled runs; nil uses the
+	// core's interpreter directly. With a sampling consumer installed
+	// the compiled engine steps every instruction anyway (overflow
+	// interrupts must fire at exact crossings), so the choice is about
+	// uniform routing and conformance testing, not speed.
+	Runner cpu.Runner
 }
 
 // ErrBadPeriod reports a non-positive sampling period.
@@ -149,7 +156,7 @@ func (p *Profiler) Run(prog *isa.Program, seed uint64) (*Profile, error) {
 	}()
 
 	c.SeedRun(seed)
-	if err := c.Run(prog); err != nil {
+	if err := p.runProg(c, prog); err != nil {
 		return nil, err
 	}
 	v, err := c.PMU.Value(samplingCounter)
@@ -159,4 +166,13 @@ func (p *Profiler) Run(prog *isa.Program, seed uint64) (*Profile, error) {
 	prof.TrueCount = v
 	prof.Lost = c.OverflowsLost
 	return prof, nil
+}
+
+// runProg executes the profiled program on the configured engine.
+func (p *Profiler) runProg(c *cpu.Core, prog *isa.Program) error {
+	if p.Runner != nil {
+		return p.Runner.RunProgram(c, prog)
+	}
+	c.NestedRun = nil
+	return c.Run(prog)
 }

@@ -133,6 +133,7 @@ func (s *Service) analyzeCounting(ctx context.Context, item api.AnalyzeItem, sys
 	if err != nil {
 		return err
 	}
+	creq.Runner = s.runnerFor(norm.Engine)
 	sys.Reset()
 	counts := make([][]float64, len(norm.Events))
 	for i := 0; i < norm.Runs; i++ {
@@ -188,6 +189,7 @@ func (s *Service) analyzeMultiplexed(ctx context.Context, item api.AnalyzeItem, 
 	// The rotation callback must not outlive this analysis: the worker
 	// goes back into the pool when we return.
 	defer m.Close()
+	m.Runner = s.runnerFor(norm.Engine)
 
 	prog := bench.RawProgram()
 	perEvent := make([][]mpx.Estimate, len(events))
@@ -231,6 +233,7 @@ func (s *Service) analyzeSampling(ctx context.Context, item api.AnalyzeItem, sys
 	if err != nil {
 		return err
 	}
+	p.Runner = s.runnerFor(norm.Engine)
 	prof, err := p.Run(bench.RawProgram(), norm.Seed)
 	if err != nil {
 		return err
@@ -264,6 +267,8 @@ func (s *Service) analyzeDuet(ctx context.Context, item api.AnalyzeItem, sys *st
 	if err != nil {
 		return err
 	}
+	reqA.Runner = s.runnerFor(item.Measure.Engine)
+	reqB.Runner = s.runnerFor(item.Duet.Engine)
 	sys.Reset()
 	n := item.Measure.Runs
 	errsA := make([]float64, 0, n)

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/api"
+)
+
+// TestMeasureEnginePinning runs one configuration through both engines
+// and requires identical measurement bodies (the echoed request differs
+// only in its engine selector).
+func TestMeasureEnginePinning(t *testing.T) {
+	s := New(Config{WorkersPerShard: 1, CalibrationRuns: 5})
+	base := api.MeasureRequest{
+		Processor: "K8", Stack: "pc", Bench: "loop:20000",
+		Runs: 3, Calibrate: true,
+	}
+
+	run := func(engine string) *api.MeasureResponse {
+		req := base
+		req.Engine = engine
+		resp, err := s.Measure(context.Background(), req)
+		if err != nil {
+			t.Fatalf("engine %q: %v", engine, err)
+		}
+		return resp
+	}
+	ri := run(api.EngineInterpreter)
+	rc := run(api.EngineCompiled)
+
+	ri.Request.Engine = ""
+	rc.Request.Engine = ""
+	bi, _ := json.Marshal(ri)
+	bc, _ := json.Marshal(rc)
+	if string(bi) != string(bc) {
+		t.Fatalf("engines measured differently:\ninterpreter: %s\ncompiled:    %s", bi, bc)
+	}
+}
+
+// TestHealthEngineStats checks that /healthz surfaces per-engine run
+// counts and the shared compile cache.
+func TestHealthEngineStats(t *testing.T) {
+	s := New(Config{WorkersPerShard: 1, CalibrationRuns: 5})
+	req := api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000", Runs: 2}
+
+	if _, err := s.Measure(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	req.Engine = api.EngineInterpreter
+	if _, err := s.Measure(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	eh := s.Health().Engines
+	if eh.CompiledRuns == 0 {
+		t.Error("no compiled runs recorded for a default-engine measurement")
+	}
+	if eh.InterpreterRuns == 0 {
+		t.Error("no interpreter runs recorded for a pinned measurement")
+	}
+	if eh.CompileCacheSize == 0 || eh.CompileCacheMisses == 0 {
+		t.Errorf("compile cache unused: %+v", eh)
+	}
+	if eh.CompileCacheCapacity <= 0 {
+		t.Errorf("cache capacity %d not reported", eh.CompileCacheCapacity)
+	}
+	if eh.CompileCacheHits > 0 && eh.CompileCacheHitRate <= 0 {
+		t.Errorf("hit rate not derived: %+v", eh)
+	}
+}

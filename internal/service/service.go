@@ -33,6 +33,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/kernel"
 	stackpkg "repro/internal/stack"
@@ -79,6 +80,13 @@ type Service struct {
 
 	expSem chan struct{}
 
+	// interp and compiled are the two execution engines requests may
+	// pin. The compiled engine (the default) is shared by every shard so
+	// its compile cache — like the calibration cache — is warmed once
+	// per program, not once per worker.
+	interp   *engine.Interpreter
+	compiled *engine.Compiled
+
 	requests  atomic.Uint64
 	analyzes  atomic.Uint64
 	infers    atomic.Uint64
@@ -93,13 +101,24 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:     cfg,
-		shards:  make(map[string]*shard),
-		flight:  NewFlight[*api.MeasureResponse](),
-		aflight: NewFlight[*api.AnalyzeResult](),
-		iflight: NewFlight[*api.InferResult](),
-		expSem:  make(chan struct{}, cfg.MaxConcurrentExperiments),
+		cfg:      cfg,
+		shards:   make(map[string]*shard),
+		flight:   NewFlight[*api.MeasureResponse](),
+		aflight:  NewFlight[*api.AnalyzeResult](),
+		iflight:  NewFlight[*api.InferResult](),
+		expSem:   make(chan struct{}, cfg.MaxConcurrentExperiments),
+		interp:   engine.NewInterpreter(),
+		compiled: engine.NewCompiled(engine.NewCache(engine.DefaultCacheCapacity)),
 	}
+}
+
+// runnerFor maps a normalized request's engine selector to the
+// service's engine instance ("" is the canonicalized compiled default).
+func (s *Service) runnerFor(name string) cpu.Runner {
+	if name == api.EngineInterpreter {
+		return s.interp
+	}
+	return s.compiled
 }
 
 // Measure serves one measurement request. The response for a given
@@ -146,6 +165,7 @@ func (s *Service) execute(ctx context.Context, norm api.MeasureRequest) (*api.Me
 	if err != nil {
 		return nil, err
 	}
+	creq.Runner = s.runnerFor(norm.Engine)
 
 	// A reset system measures byte-identically to a fresh one, which is
 	// what makes pooled workers interchangeable.
@@ -275,6 +295,19 @@ func (s *Service) Health() api.HealthResponse {
 	if hits+misses > 0 {
 		h.CalibrationHitRate = float64(hits) / float64(hits+misses)
 	}
+	cs := s.compiled.CacheStats()
+	h.Engines = api.EngineHealth{
+		InterpreterRuns:       s.interp.Runs(),
+		CompiledRuns:          s.compiled.Runs(),
+		CompileCacheSize:      cs.Size,
+		CompileCacheCapacity:  cs.Capacity,
+		CompileCacheHits:      cs.Hits,
+		CompileCacheMisses:    cs.Misses,
+		CompileCacheEvictions: cs.Evictions,
+	}
+	if total := cs.Hits + cs.Misses; total > 0 {
+		h.Engines.CompileCacheHitRate = float64(cs.Hits) / float64(total)
+	}
 	for _, sh := range shards {
 		idle := len(sh.workers)
 		cals := sh.calCount()
@@ -304,6 +337,7 @@ func (s *Service) shard(norm api.MeasureRequest) (*shard, error) {
 			proc:    norm.Processor,
 			stack:   norm.Stack,
 			withTSC: !norm.NoTSC,
+			engine:  s.compiled,
 			size:    s.cfg.WorkersPerShard,
 			workers: make(chan *stackpkg.System, s.cfg.WorkersPerShard),
 			cal:     make(map[string]*calEntry),
@@ -326,6 +360,7 @@ type shard struct {
 	proc    string
 	stack   string
 	withTSC bool
+	engine  cpu.Runner
 	size    int
 	workers chan *stackpkg.System
 
@@ -351,7 +386,7 @@ func (sh *shard) build() {
 		sh.initErr = err
 		return
 	}
-	opts := stackpkg.Options{WithTSC: sh.withTSC, Governor: kernel.Performance}
+	opts := stackpkg.Options{WithTSC: sh.withTSC, Governor: kernel.Performance, Engine: sh.engine}
 	for i := 0; i < sh.size; i++ {
 		sys, err := stackpkg.New(model, sh.stack, opts)
 		if err != nil {

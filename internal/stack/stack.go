@@ -31,6 +31,9 @@ type System struct {
 	// TSC reports whether the perfctr TSC fast-read path is enabled
 	// (meaningless for perfmon-backed stacks).
 	TSC bool
+	// Engine is the execution engine measurements run on when the
+	// request does not pin one; nil selects the process default.
+	Engine cpu.Runner
 }
 
 // Options configure system construction.
@@ -42,6 +45,11 @@ type Options struct {
 	// Governor selects the frequency policy; the study pins
 	// "performance" (Section 3.2).
 	Governor kernel.Governor
+	// Engine is the execution engine for this system's measurements
+	// (nil: the process default, the compiled engine). Engines are
+	// conformance-tested to be byte-identical, so the choice affects
+	// throughput only.
+	Engine cpu.Runner
 }
 
 // DefaultOptions is the study's configuration.
@@ -74,7 +82,7 @@ func New(model *cpu.Model, code string, opts Options) (*System, error) {
 	case "PH":
 		infra = papi.New(backend, papi.High)
 	}
-	return &System{Kernel: k, Infra: infra, Code: code, TSC: opts.WithTSC}, nil
+	return &System{Kernel: k, Infra: infra, Code: code, TSC: opts.WithTSC, Engine: opts.Engine}, nil
 }
 
 // backendOf extracts the substrate code ("pm" or "pc").
@@ -101,12 +109,19 @@ func (s *System) Reset() {
 	s.Kernel.ResetState()
 }
 
-// Measure runs one measurement on this system.
+// Measure runs one measurement on this system. Requests that do not
+// pin an engine run on the system's engine.
 func (s *System) Measure(req core.Request) (*core.Measurement, error) {
+	if req.Runner == nil {
+		req.Runner = s.Engine
+	}
 	return core.Measure(s.Kernel, s.Infra, req)
 }
 
 // MeasureN runs n repetitions and returns counter 0's per-run error.
 func (s *System) MeasureN(req core.Request, n int, seedBase uint64) ([]int64, error) {
+	if req.Runner == nil {
+		req.Runner = s.Engine
+	}
 	return core.MeasureN(s.Kernel, s.Infra, req, n, seedBase)
 }

@@ -61,6 +61,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/kernel"
 	"repro/internal/stack"
@@ -175,6 +176,29 @@ func WithTSC(on bool) Option {
 // the study's configuration).
 func WithGovernor(g Governor) Option {
 	return func(o *stack.Options) { o.Governor = g }
+}
+
+// Runner is an execution engine (see internal/engine). Engines differ
+// only in throughput: the interpreter steps every simulated
+// instruction, the compiled engine bulk-applies precompiled basic-block
+// summaries, and a conformance suite guarantees byte-identical
+// measurements from both.
+type Runner = cpu.Runner
+
+// Engine constructors, re-exported. NewSystem without WithEngine uses a
+// process-wide compiled engine with a shared compile cache.
+var (
+	// NewInterpreterEngine returns the canonical per-instruction engine.
+	NewInterpreterEngine = func() Runner { return engine.NewInterpreter() }
+	// NewCompiledEngine returns a block-dispatch engine with a private
+	// compile cache.
+	NewCompiledEngine = func() Runner { return engine.NewCompiled(nil) }
+)
+
+// WithEngine pins the system's execution engine (default: the shared
+// compiled engine).
+func WithEngine(r Runner) Option {
+	return func(o *stack.Options) { o.Engine = r }
 }
 
 // System is a bootable measurement system: one simulated processor, a
