@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+// campaignJob is one validation campaign to open and consume.
+type campaignJob struct {
+	req api.CampaignRequest
+}
+
+// campaignOutcome records one fully consumed campaign stream.
+type campaignOutcome struct {
+	// configKey groups campaigns that must stream identical events: the
+	// Key of the server's normalized-config echo, so client-side default
+	// guessing can't split a group.
+	configKey string
+	open      time.Duration // POST /campaigns latency
+	stream    time.Duration // first byte to end event
+	programs  int
+	findings  int
+	body      string // the whole NDJSON stream
+	endReason string
+	err       error
+}
+
+// runCampaign opens validation campaigns in identical-configuration
+// pairs, consumes every NDJSON stream to completion with c concurrent
+// consumers, and cross-checks that paired campaigns streamed
+// byte-identical event series — the determinism contract extended to
+// the adversarial validation layer. Any finding is a failure: the
+// stock models must survive their own campaigns.
+func runCampaign(w io.Writer, addr, mixSpec string, campaigns, programs, c int) error {
+	if c <= 0 {
+		return fmt.Errorf("-c must be positive (got %d)", c)
+	}
+	if campaigns <= 0 {
+		return fmt.Errorf("-campaigns must be positive (got %d)", campaigns)
+	}
+	if programs <= 0 {
+		return fmt.Errorf("-programs must be positive (got %d)", programs)
+	}
+	if campaigns%2 != 0 {
+		campaigns++ // pairs: every configuration is opened twice
+	}
+	configs, err := parseMix(mixSpec)
+	if err != nil {
+		return err
+	}
+
+	jobs := make([]campaignJob, campaigns)
+	for i := range jobs {
+		pair := i / 2 // both members of a pair share everything
+		m := configs[pair%len(configs)]
+		jobs[i] = campaignJob{req: api.CampaignRequest{
+			Seed:       uint64(1 + pair),
+			Programs:   programs,
+			Processors: []string{m.Processor},
+			Stack:      m.Stack,
+			Runs:       4,
+			Scale:      2,
+			InferEvery: 2,
+			PlanEvery:  4,
+		}}
+	}
+
+	work := make(chan campaignJob)
+	results := make(chan campaignOutcome, len(jobs))
+	client := &http.Client{} // no timeout: streams are long-lived
+	var wg sync.WaitGroup
+	for i := 0; i < c; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range work {
+				results <- consumeCampaign(client, addr, job)
+			}
+		}()
+	}
+	start := time.Now()
+	for _, job := range jobs {
+		work <- job
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+
+	return reportCampaign(w, results, elapsed)
+}
+
+// consumeCampaign opens one campaign and reads its stream to the end
+// event.
+func consumeCampaign(client *http.Client, addr string, job campaignJob) campaignOutcome {
+	body, err := json.Marshal(job.req)
+	if err != nil {
+		return campaignOutcome{err: err}
+	}
+	openStart := time.Now()
+	resp, err := client.Post(addr+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return campaignOutcome{err: err}
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return campaignOutcome{err: err}
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return campaignOutcome{err: fmt.Errorf("POST /campaigns: status %d: %s", resp.StatusCode, data)}
+	}
+	var created api.CampaignCreated
+	if err := json.Unmarshal(data, &created); err != nil {
+		return campaignOutcome{err: err}
+	}
+	out := campaignOutcome{configKey: created.Config.Key(), open: time.Since(openStart)}
+
+	streamStart := time.Now()
+	sresp, err := client.Get(fmt.Sprintf("%s/campaigns/%s/stream", addr, created.ID))
+	if err != nil {
+		out.err = err
+		return out
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		out.err = fmt.Errorf("GET stream: status %d", sresp.StatusCode)
+		return out
+	}
+	var stream bytes.Buffer
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		var ev api.CampaignEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			out.err = fmt.Errorf("bad stream line %q: %w", sc.Bytes(), err)
+			return out
+		}
+		stream.Write(sc.Bytes())
+		stream.WriteByte('\n')
+		switch ev.Type {
+		case api.CampaignEventProgram:
+			out.programs++
+		case api.CampaignEventFinding:
+			out.findings++
+		case api.CampaignEventEnd:
+			out.endReason = ev.Reason
+		}
+	}
+	if err := sc.Err(); err != nil {
+		out.err = err
+		return out
+	}
+	if out.endReason == "" {
+		out.err = fmt.Errorf("stream closed without an end event")
+		return out
+	}
+	out.stream = time.Since(streamStart)
+	out.body = stream.String()
+	return out
+}
+
+// reportCampaign prints the campaign workload report, the determinism
+// cross-check over paired campaigns, and the finding count (nonzero
+// findings fail the run: the server's stock models are under attack
+// and must hold).
+func reportCampaign(w io.Writer, results <-chan campaignOutcome, elapsed time.Duration) error {
+	var (
+		opens, streams     []time.Duration
+		total, failures    int
+		programs, findings int
+		unfinished         int
+		byStream           = make(map[string]string) // config key -> first stream
+		divergent          int
+	)
+	for res := range results {
+		total++
+		if res.err != nil {
+			failures++
+			fmt.Fprintf(w, "campaign error: %v\n", res.err)
+			continue
+		}
+		opens = append(opens, res.open)
+		streams = append(streams, res.stream)
+		programs += res.programs
+		findings += res.findings
+		if res.endReason != api.SessionDone {
+			// A truncated stream (deleted, evicted, drained) is a
+			// lifecycle outcome, not a determinism signal; only complete
+			// streams are cross-checked.
+			unfinished++
+			continue
+		}
+		if prev, ok := byStream[res.configKey]; ok && prev != res.body {
+			divergent++
+		} else {
+			byStream[res.configKey] = res.body
+		}
+	}
+
+	fmt.Fprintf(w, "campaigns:   %d (%d failed, %d ended early)\n", total, failures, unfinished)
+	fmt.Fprintf(w, "elapsed:     %v\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "programs:    %d swept, %d findings\n", programs, findings)
+	fmt.Fprintf(w, "open:        %s\n", summarizeLatency(opens))
+	fmt.Fprintf(w, "stream:      %s\n", summarizeLatency(streams))
+	if divergent > 0 {
+		fmt.Fprintf(w, "DETERMINISM VIOLATION: %d campaigns streamed different events than their pair\n", divergent)
+		return fmt.Errorf("%d divergent campaign streams", divergent)
+	}
+	fmt.Fprintf(w, "determinism: %d distinct configs, all paired streams identical\n", len(byStream))
+	if findings > 0 {
+		fmt.Fprintf(w, "MODEL REFUTED: campaigns produced %d findings against the server's models\n", findings)
+		return fmt.Errorf("%d campaign findings", findings)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d campaigns failed", failures)
+	}
+	return nil
+}

@@ -42,6 +42,15 @@
 // cross-engine conformance suite, exercised over the wire against a
 // live server.
 //
+// With -campaign, the workload turns the server against itself:
+// pcload opens -campaigns adversarial counter-validation campaigns
+// (POST /campaigns) in identical-configuration pairs, each sweeping
+// -programs generated programs through the measurement, inference,
+// and planning layers, consumes every NDJSON stream to its end event,
+// and fails the run if paired campaigns diverge byte-for-byte or if
+// any campaign produces a finding — the stock models must survive
+// their own attack suite. See docs/CAMPAIGNS.md.
+//
 // Usage:
 //
 //	pcload -addr http://localhost:7090 -n 200 -c 8 -calibrate
@@ -51,6 +60,7 @@
 //	pcload -addr http://localhost:7090 -plan -plans 24 -c 4
 //	pcload -addr http://localhost:7090 -infer -infers 24 -c 4
 //	pcload -addr http://localhost:7090 -engine -n 64 -c 8
+//	pcload -addr http://localhost:7090 -campaign -campaigns 6 -programs 4
 package main
 
 import (
@@ -87,19 +97,24 @@ func main() {
 		inferMode = flag.Bool("infer", false, "drive /infer instead of /measure: constraint-graph inference, asserting determinism, posterior<=prior intervals, and residual verdicts")
 		infers    = flag.Int("infers", 18, "infer requests to send with -infer (issued as identical pairs)")
 		engine    = flag.Bool("engine", false, "drive /measure in engine pairs: every configuration pinned to the interpreter and the compiled engine, asserting byte-identical responses")
+		campMode  = flag.Bool("campaign", false, "drive /campaigns instead of /measure: paired adversarial counter-validation campaigns, asserting byte-identical streams and zero findings")
+		campaigns = flag.Int("campaigns", 6, "campaigns to open with -campaign (rounded up to pairs)")
+		programs  = flag.Int("programs", 4, "generated programs per campaign with -campaign")
 	)
 	flag.Parse()
 
 	var err error
 	modes := 0
-	for _, on := range []bool{*monitor, *planMode, *analyze, *inferMode, *engine} {
+	for _, on := range []bool{*monitor, *planMode, *analyze, *inferMode, *engine, *campMode} {
 		if on {
 			modes++
 		}
 	}
 	switch {
 	case modes > 1:
-		err = fmt.Errorf("-analyze, -monitor, -plan, -infer, and -engine are mutually exclusive workloads")
+		err = fmt.Errorf("-analyze, -monitor, -plan, -infer, -engine, and -campaign are mutually exclusive workloads")
+	case *campMode:
+		err = runCampaign(os.Stdout, *addr, *mixSpec, *campaigns, *programs, *c)
 	case *monitor:
 		err = runMonitor(os.Stdout, *addr, *mixSpec, *sessions, *steps, *window, *c)
 	case *planMode:

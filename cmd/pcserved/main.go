@@ -14,6 +14,10 @@
 //	GET    /sessions/{id}        -> api.SessionSnapshot
 //	GET    /sessions/{id}/stream -> NDJSON api.StreamEvent lines
 //	DELETE /sessions/{id}        -> 204
+//	POST   /campaigns            api.CampaignRequest   -> api.CampaignCreated
+//	GET    /campaigns/{id}       -> api.CampaignSnapshot
+//	GET    /campaigns/{id}/stream -> NDJSON api.CampaignEvent lines
+//	DELETE /campaigns/{id}       -> 204
 //	GET    /healthz              -> api.HealthResponse
 //
 // Responses to /measure, /analyze, and /plan are deterministic:
@@ -45,6 +49,12 @@
 // long-lived observers that stream corrected samples, window
 // summaries, and drift events over NDJSON. See docs/MONITORING.md.
 //
+// The /campaigns endpoints run adversarial counter-validation
+// campaigns: sweeps of randomized generated programs with analytically
+// known ground truth, driven through the measurement, inference, and
+// planning paths to attack the service's own models; every failed
+// check streams out as an NDJSON finding. See docs/CAMPAIGNS.md.
+//
 // Usage:
 //
 //	pcserved -addr :7090 -workers 4 -calruns 31
@@ -65,6 +75,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/monitor"
 	"repro/internal/plan"
@@ -73,12 +84,14 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":7090", "listen address")
-		workers     = flag.Int("workers", 4, "systems pooled per (processor, stack) shard")
-		calruns     = flag.Int("calruns", 31, "runs per calibration estimate")
-		maxexp      = flag.Int("maxexp", 2, "maximum concurrent experiments")
-		maxsessions = flag.Int("maxsessions", 16, "maximum concurrent monitoring sessions")
-		sessionidle = flag.Duration("sessionidle", 2*time.Minute, "evict monitoring sessions idle this long")
+		addr         = flag.String("addr", ":7090", "listen address")
+		workers      = flag.Int("workers", 4, "systems pooled per (processor, stack) shard")
+		calruns      = flag.Int("calruns", 31, "runs per calibration estimate")
+		maxexp       = flag.Int("maxexp", 2, "maximum concurrent experiments")
+		maxsessions  = flag.Int("maxsessions", 16, "maximum concurrent monitoring sessions")
+		sessionidle  = flag.Duration("sessionidle", 2*time.Minute, "evict monitoring sessions idle this long")
+		maxcampaigns = flag.Int("maxcampaigns", 4, "maximum concurrent validation campaigns")
+		campaignidle = flag.Duration("campaignidle", 2*time.Minute, "evict validation campaigns idle this long")
 	)
 	flag.Parse()
 
@@ -92,9 +105,17 @@ func main() {
 		IdleTimeout: *sessionidle,
 	})
 	planner := plan.New(svc)
+	creg := campaign.NewRegistry(campaign.Services{
+		Measure: svc.Measure,
+		Infer:   svc.Infer,
+		Plan:    planner.Do,
+	}, campaign.Config{
+		MaxCampaigns: *maxcampaigns,
+		IdleTimeout:  *campaignidle,
+	})
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newHandler(svc, reg, planner),
+		Handler: newHandler(svc, reg, creg, planner),
 		// A hostile or stalled client must not hold a connection open
 		// while it dribbles in headers or a request body.
 		ReadHeaderTimeout: 5 * time.Second,
@@ -114,10 +135,11 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
-		// Drain order matters: closing the registry first ends every
-		// session with a drained end event, so open NDJSON streams
-		// terminate cleanly and Shutdown's wait for in-flight requests
-		// can finish instead of hanging on live streams.
+		// Drain order matters: closing the registries first ends every
+		// session and campaign with a drained end event, so open NDJSON
+		// streams terminate cleanly and Shutdown's wait for in-flight
+		// requests can finish instead of hanging on live streams.
+		creg.Close()
 		reg.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -135,12 +157,13 @@ func main() {
 	log.Printf("pcserved: drained, exiting")
 }
 
-// newHandler wires the service, session registry, and planner into an
-// HTTP mux. Split out of main so tests can drive the exact production
-// routing in-process.
-func newHandler(svc *service.Service, reg *monitor.Registry, planner *plan.Planner) http.Handler {
+// newHandler wires the service, session and campaign registries, and
+// planner into an HTTP mux. Split out of main so tests can drive the
+// exact production routing in-process.
+func newHandler(svc *service.Service, reg *monitor.Registry, creg *campaign.Registry, planner *plan.Planner) http.Handler {
 	mux := http.NewServeMux()
 	registerSessionRoutes(mux, reg)
+	registerCampaignRoutes(mux, creg)
 	mux.HandleFunc("POST /measure", handleJSON(statusFor, http.StatusOK,
 		func(r *http.Request, req api.MeasureRequest) (*api.MeasureResponse, error) {
 			return svc.Measure(r.Context(), req)
@@ -162,10 +185,12 @@ func newHandler(svc *service.Service, reg *monitor.Registry, planner *plan.Plann
 			return svc.Experiment(r.Context(), req)
 		}))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		// The service owns pool and cache state; the session registry is
-		// the front end's, so its live-session count is overlaid here.
+		// The service owns pool and cache state; the session and campaign
+		// registries are the front end's, so their live counts are
+		// overlaid here.
 		h := svc.Health()
 		h.ActiveSessions = reg.Active()
+		h.ActiveCampaigns = creg.Active()
 		writeJSON(w, http.StatusOK, h)
 	})
 	return mux

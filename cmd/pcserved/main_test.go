@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/api"
+	"repro/internal/campaign"
 	"repro/internal/monitor"
 	"repro/internal/plan"
 	"repro/internal/service"
@@ -22,7 +23,12 @@ func newTestServer(t *testing.T) *httptest.Server {
 	svc := service.New(service.Config{WorkersPerShard: 2, CalibrationRuns: 5})
 	reg := monitor.NewRegistry(svc, monitor.Config{SweepInterval: -1})
 	t.Cleanup(reg.Close)
-	srv := httptest.NewServer(newHandler(svc, reg, plan.New(svc)))
+	planner := plan.New(svc)
+	creg := campaign.NewRegistry(campaign.Services{
+		Measure: svc.Measure, Infer: svc.Infer, Plan: planner.Do,
+	}, campaign.Config{SweepInterval: -1})
+	t.Cleanup(creg.Close)
+	srv := httptest.NewServer(newHandler(svc, reg, creg, planner))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -320,8 +326,12 @@ func TestHealthzEndpoint(t *testing.T) {
 	}
 
 	// An open monitoring session shows up in the count and occupancy.
+	// The interval paces the sampler to wall time so the session is
+	// still alive when the next poll lands (a free-running sampler can
+	// finish its steps before the HTTP round trip completes).
 	status, body := post(t, srv.URL+"/sessions", api.SessionRequest{
-		Measure: api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000"},
+		Measure:    api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000"},
+		IntervalMS: 50,
 	})
 	if status != http.StatusCreated {
 		t.Fatalf("open session: status %d body %s", status, body)
@@ -340,6 +350,13 @@ func TestHealthzEndpoint(t *testing.T) {
 	}
 	if h.ActiveSessions != 1 {
 		t.Errorf("active sessions = %d, want 1", h.ActiveSessions)
+	}
+	del, err := http.NewRequest(http.MethodDelete, srv.URL+"/sessions/"+created.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(del); err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete session: %v, status %v", err, resp.Status)
 	}
 }
 

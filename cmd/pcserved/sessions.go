@@ -40,7 +40,7 @@ func registerSessionRoutes(mux *http.ServeMux, reg *monitor.Registry) {
 			writeError(w, sessionStatusFor(err), err)
 			return
 		}
-		streamSession(w, r, sess)
+		streamEvents(w, r, sess)
 	})
 
 	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -52,14 +52,23 @@ func registerSessionRoutes(mux *http.ServeMux, reg *monitor.Registry) {
 	})
 }
 
-// streamSession writes the session's event log as NDJSON, replaying
-// everything already produced and then following live until the
-// session ends (done, deleted, evicted, or drained) or the client
-// disconnects. Each event is one line, flushed as it happens. The
-// replay-then-follow design is what makes the stream independent of
-// attach timing: a client that connects late still receives the
-// complete, byte-identical series.
-func streamSession(w http.ResponseWriter, r *http.Request, sess *monitor.Session) {
+// eventSource is the replay-then-follow log surface monitoring
+// sessions and validation campaigns share (both delegate to
+// internal/evlog); streamEvents serves any of them.
+type eventSource interface {
+	Events(i int) (lines [][]byte, next int, wait <-chan struct{}, done bool)
+	Subscribe()
+	Unsubscribe()
+}
+
+// streamEvents writes an event log as NDJSON, replaying everything
+// already produced and then following live until the producer ends
+// (done, deleted, evicted, or drained) or the client disconnects. Each
+// event is one line, flushed as it happens. The replay-then-follow
+// design is what makes the stream independent of attach timing: a
+// client that connects late still receives the complete, byte-identical
+// series.
+func streamEvents(w http.ResponseWriter, r *http.Request, src eventSource) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	// The server's ReadTimeout governs reading the *request* and does
@@ -71,12 +80,12 @@ func streamSession(w http.ResponseWriter, r *http.Request, sess *monitor.Session
 	w.WriteHeader(http.StatusOK)
 	flusher, canFlush := w.(http.Flusher)
 
-	sess.Subscribe()
-	defer sess.Unsubscribe()
+	src.Subscribe()
+	defer src.Unsubscribe()
 
 	i := 0
 	for {
-		lines, next, wait, done := sess.Events(i)
+		lines, next, wait, done := src.Events(i)
 		i = next
 		if len(lines) > 0 {
 			for _, line := range lines {

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/campaign/gen"
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -329,6 +330,10 @@ type HealthResponse struct {
 	// producing (each pinning a worker). Filled by the server front end,
 	// which owns the session registry.
 	ActiveSessions int `json:"activeSessions"`
+	// ActiveCampaigns is how many validation campaigns are currently
+	// sweeping. Filled by the server front end, which owns the campaign
+	// registry.
+	ActiveCampaigns int `json:"activeCampaigns"`
 	// Engines reports per-engine run counts and the compile cache shared
 	// by every shard's compiled engine.
 	Engines EngineHealth `json:"engines"`
@@ -416,16 +421,24 @@ func ParseBench(spec string) (*core.Benchmark, error) {
 			return core.LoopBenchmark(n), nil
 		}
 		return core.ArrayBenchmark(n), nil
+	case "gen":
+		// Campaign-generated benchmark: gen:v1:<class>:<seed>[:<scale>].
+		p, err := gen.Parse(spec)
+		if err != nil {
+			return nil, fmt.Errorf("api: %w", err)
+		}
+		return p.Benchmark(), nil
 	}
-	return nil, fmt.Errorf("api: unknown benchmark %q (want null, loop:N, array:N)", spec)
+	return nil, fmt.Errorf("api: unknown benchmark %q (want null, loop:N, array:N, gen:v1:class:seed:scale)", spec)
 }
 
 // canonicalBenchSpec renders a benchmark back to its wire spelling.
 // Only the null benchmark spells bare: a zero-iteration loop/array
 // must keep its ":0" or the canonical form would not re-parse (caught
-// by the api fuzz tests).
+// by the api fuzz tests). A generated benchmark's name is already its
+// canonical spec, scale rendered explicitly.
 func canonicalBenchSpec(b *core.Benchmark) string {
-	if b.Name == "null" {
+	if b.Name == "null" || strings.HasPrefix(b.Name, "gen:") {
 		return b.Name
 	}
 	return fmt.Sprintf("%s:%d", b.Name, b.Iterations)

@@ -1,0 +1,382 @@
+package api
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/accuracy"
+	"repro/internal/campaign/gen"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stack"
+)
+
+// Limits and defaults of the /campaigns endpoint.
+const (
+	// DefaultCampaignPrograms is the sweep size when the request leaves
+	// it zero — small enough for an interactive round trip.
+	DefaultCampaignPrograms = 16
+	// MaxCampaignPrograms bounds one campaign's sweep so a single
+	// request cannot monopolize the service for hours.
+	MaxCampaignPrograms = 2000
+	// DefaultInferEvery runs the inference cross-check on every 4th
+	// program of the sweep.
+	DefaultInferEvery = 4
+	// DefaultPlanEvery runs the planner cross-check on every 16th
+	// program of the sweep (plans are the most expensive check).
+	DefaultPlanEvery = 16
+	// DefaultEngineEvery re-measures every program on the reference
+	// interpreter for the engine-divergence check.
+	DefaultEngineEvery = 1
+	// DefaultCampaignTargetRelWidth is the accuracy goal handed to the
+	// planner cross-check when the request leaves it zero.
+	DefaultCampaignTargetRelWidth = 0.25
+)
+
+// Campaign finding checks: which adversarial cross-check fired. Each
+// finding names exactly one.
+const (
+	// CheckEngineDivergence: the compiled and interpreter engines
+	// disagreed on a measurement that must be byte-identical.
+	CheckEngineDivergence = "engine-divergence"
+	// CheckInvariantRefuted: a processor-model invariant was violated by
+	// the joint inference over measured events (standardized residual
+	// beyond the violation threshold).
+	CheckInvariantRefuted = "invariant-refuted"
+	// CheckPosteriorWidened: constraint fusion widened an interval it
+	// may only ever tighten.
+	CheckPosteriorWidened = "posterior-widened"
+	// CheckFusedWiderThanNaive: the planner's fused interval came out
+	// wider than the naive per-group one it refines.
+	CheckFusedWiderThanNaive = "fused-wider-than-naive"
+	// CheckCIGrossMiss: a calibrated confidence interval missed the
+	// analytic ground truth by a gross margin (individual intervals are
+	// allowed to miss at the nominal rate; the aggregate rate is judged
+	// by CheckCoverageRate).
+	CheckCIGrossMiss = "ci-gross-miss"
+	// CheckCoverageRate: across the whole sweep, confidence intervals
+	// missed the analytic ground truth significantly more often than the
+	// nominal rate allows.
+	CheckCoverageRate = "coverage-rate"
+)
+
+// CampaignRequest asks the service to attack its own models: sweep
+// randomized generated programs (each with an analytically known
+// ground-truth event vector) through measurement, inference, and
+// planning on every selected processor, and stream every check that
+// fails as a finding. A campaign over a correctly specified system
+// produces zero findings.
+type CampaignRequest struct {
+	// Seed individualizes the sweep: program i uses the derived seed
+	// Mix(Seed, i). Zero means DefaultSeed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Programs is how many programs the sweep generates (0 means
+	// DefaultCampaignPrograms, capped at MaxCampaignPrograms).
+	Programs int `json:"programs,omitempty"`
+	// Processors selects the models under attack (default: all three,
+	// canonicalized to the paper's PD, CD, K8 order).
+	Processors []string `json:"processors,omitempty"`
+	// Stack is the measurement stack every program runs on (default pc).
+	Stack string `json:"stack,omitempty"`
+	// Pattern is the start-read pattern (default DefaultPattern).
+	Pattern string `json:"pattern,omitempty"`
+	// Classes selects the generator classes drawn from, round-robin
+	// (default: every class, in gen.Classes order).
+	Classes []string `json:"classes,omitempty"`
+	// Scale is the generator size knob (0 means gen.DefaultScale).
+	Scale int `json:"scale,omitempty"`
+	// Runs is the replication per measurement (0 means DefaultInferRuns;
+	// at least 2, so intervals and inference have observable dispersion).
+	Runs int `json:"runs,omitempty"`
+	// InferEvery runs the inference cross-check on every n-th program
+	// (0 means DefaultInferEvery; negative disables the check and
+	// canonicalizes to -1).
+	InferEvery int `json:"inferEvery,omitempty"`
+	// PlanEvery runs the planner cross-check on every n-th program
+	// (0 means DefaultPlanEvery; negative disables, canonicalized -1).
+	PlanEvery int `json:"planEvery,omitempty"`
+	// EngineEvery runs the engine-divergence check on every n-th program
+	// (0 means DefaultEngineEvery; negative disables, canonicalized -1).
+	EngineEvery int `json:"engineEvery,omitempty"`
+	// TargetRelWidth is the accuracy goal of the planner cross-check
+	// (0 means DefaultCampaignTargetRelWidth).
+	TargetRelWidth float64 `json:"targetRelWidth,omitempty"`
+	// Confidence is the level of every interval the campaign audits
+	// (0 means accuracy.DefaultConfidence).
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// Normalized validates the request and makes every default explicit.
+// The canonical form is the campaign's identity: requests meaning the
+// same sweep normalize identically, and identical normalized requests
+// produce byte-identical event streams.
+func (r CampaignRequest) Normalized() (CampaignRequest, error) {
+	if r.Seed == 0 {
+		r.Seed = DefaultSeed
+	}
+	if r.Programs == 0 {
+		r.Programs = DefaultCampaignPrograms
+	}
+	if r.Programs < 1 || r.Programs > MaxCampaignPrograms {
+		return r, badf("api: campaign programs %d out of range 1-%d", r.Programs, MaxCampaignPrograms)
+	}
+	if len(r.Processors) == 0 {
+		for _, m := range cpu.AllModels {
+			r.Processors = append(r.Processors, m.Tag)
+		}
+	} else {
+		seen := make(map[string]bool, len(r.Processors))
+		for _, tag := range r.Processors {
+			m, err := cpu.ModelByTag(tag)
+			if err != nil {
+				return r, badf("api: bad processor %q (want PD, CD, or K8)", tag)
+			}
+			if seen[m.Tag] {
+				return r, badf("api: duplicate processor %q", m.Tag)
+			}
+			seen[m.Tag] = true
+		}
+		// Canonical order is the paper's model order, not request order:
+		// the selection is a set, and two spellings of the same set must
+		// share a key.
+		var procs []string
+		for _, m := range cpu.AllModels {
+			if seen[m.Tag] {
+				procs = append(procs, m.Tag)
+			}
+		}
+		r.Processors = procs
+	}
+	if r.Stack == "" {
+		r.Stack = "pc"
+	}
+	if !validStack(r.Stack) {
+		return r, badf("api: bad stack %q (want one of %s)", r.Stack, strings.Join(stack.Codes, ", "))
+	}
+	if r.Pattern == "" {
+		r.Pattern = DefaultPattern
+	}
+	if _, err := core.PatternByCode(r.Pattern); err != nil {
+		return r, badf("api: bad pattern %q (want ar, ao, rr, ro)", r.Pattern)
+	}
+	if len(r.Classes) == 0 {
+		for _, c := range gen.Classes {
+			r.Classes = append(r.Classes, string(c))
+		}
+	} else {
+		seen := make(map[gen.Class]bool, len(r.Classes))
+		for _, name := range r.Classes {
+			c, err := gen.ClassByName(name)
+			if err != nil {
+				return r, badf("api: %v", err)
+			}
+			if seen[c] {
+				return r, badf("api: duplicate class %q", c)
+			}
+			seen[c] = true
+		}
+		var classes []string
+		for _, c := range gen.Classes {
+			if seen[c] {
+				classes = append(classes, string(c))
+			}
+		}
+		r.Classes = classes
+	}
+	if r.Scale == 0 {
+		r.Scale = gen.DefaultScale
+	}
+	if r.Scale < 1 || r.Scale > gen.MaxScale {
+		return r, badf("api: campaign scale %d out of range 1-%d", r.Scale, gen.MaxScale)
+	}
+	if r.Runs == 0 {
+		r.Runs = DefaultInferRuns
+	}
+	if r.Runs < 2 || r.Runs > MaxRuns {
+		return r, badf("api: campaign runs %d out of range 2-%d", r.Runs, MaxRuns)
+	}
+	var err error
+	if r.InferEvery, err = canonEvery("inferEvery", r.InferEvery, DefaultInferEvery); err != nil {
+		return r, err
+	}
+	if r.PlanEvery, err = canonEvery("planEvery", r.PlanEvery, DefaultPlanEvery); err != nil {
+		return r, err
+	}
+	if r.EngineEvery, err = canonEvery("engineEvery", r.EngineEvery, DefaultEngineEvery); err != nil {
+		return r, err
+	}
+	if r.TargetRelWidth == 0 {
+		r.TargetRelWidth = DefaultCampaignTargetRelWidth
+	}
+	if r.TargetRelWidth < MinTargetRelWidth || r.TargetRelWidth > MaxTargetRelWidth {
+		return r, badf("api: target relative width %v out of range %v-%v",
+			r.TargetRelWidth, MinTargetRelWidth, MaxTargetRelWidth)
+	}
+	if r.Confidence == 0 {
+		r.Confidence = accuracy.DefaultConfidence
+	}
+	if r.Confidence < MinConfidence || r.Confidence > MaxConfidence {
+		return r, badf("api: confidence %v out of range %v-%v", r.Confidence, MinConfidence, MaxConfidence)
+	}
+	return r, nil
+}
+
+// canonEvery canonicalizes an every-n-th cadence knob: zero means the
+// default, any negative value means "disabled" and canonicalizes to -1
+// (zero is the unset spelling; keeping it would round-trip back to the
+// default and break normalization idempotence).
+func canonEvery(name string, v, def int) (int, error) {
+	switch {
+	case v == 0:
+		return def, nil
+	case v < 0:
+		return -1, nil
+	case v > MaxCampaignPrograms:
+		return v, badf("api: %s %d exceeds the program cap %d", name, v, MaxCampaignPrograms)
+	}
+	return v, nil
+}
+
+// Key returns the canonical identity of a normalized campaign request.
+// Equal keys mean byte-identical event streams.
+func (r CampaignRequest) Key() string {
+	return fmt.Sprintf("s%d|n%d|%s|%s|%s|%s|x%d|r%d|i%d|p%d|e%d|w%v|c%v",
+		r.Seed, r.Programs, strings.Join(r.Processors, ","), r.Stack, r.Pattern,
+		strings.Join(r.Classes, ","), r.Scale, r.Runs,
+		r.InferEvery, r.PlanEvery, r.EngineEvery, r.TargetRelWidth, r.Confidence)
+}
+
+// CampaignCreated is the response of POST /campaigns: the assigned ID
+// and the normalized configuration the sweep will run.
+type CampaignCreated struct {
+	ID     string          `json:"id"`
+	Config CampaignRequest `json:"config"`
+}
+
+// Campaign stream event types, in the order a stream interleaves them:
+// per-program findings precede the program's own event; the summary and
+// the end event close the stream.
+const (
+	// CampaignEventFinding reports one failed cross-check.
+	CampaignEventFinding = "finding"
+	// CampaignEventProgram closes one program of the sweep: every
+	// processor measured, every scheduled check run.
+	CampaignEventProgram = "program"
+	// CampaignEventSummary reports sweep totals before the end event.
+	CampaignEventSummary = "summary"
+	// CampaignEventEnd closes the stream; Reason carries the final
+	// campaign state.
+	CampaignEventEnd = "end"
+)
+
+// CampaignEvent is one NDJSON line of a campaign stream.
+type CampaignEvent struct {
+	Type    string           `json:"type"`
+	Finding *CampaignFinding `json:"finding,omitempty"`
+	Program *CampaignProgram `json:"program,omitempty"`
+	Summary *CampaignSummary `json:"summary,omitempty"`
+	// Reason and Error annotate the end event: the final state, and the
+	// failure message when the campaign did not complete.
+	Reason string `json:"reason,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// CampaignProgram summarizes one swept program after all its checks.
+type CampaignProgram struct {
+	// Index is the program's position in the sweep, 0-based.
+	Index int `json:"index"`
+	// Spec is the generator spec (gen:v1:class:seed:scale); the program
+	// is fully reproducible from it.
+	Spec string `json:"spec"`
+	// Class is the generator class the program was drawn from.
+	Class string `json:"class"`
+	// ExpectedInstr is the analytic dynamic instruction count of the
+	// program body (the Halt retires one more).
+	ExpectedInstr int `json:"expectedInstr"`
+	// Measurements is how many measurement requests the program cost
+	// across processors and checks.
+	Measurements int `json:"measurements"`
+	// Checked and Covered are the program's coverage-audit tallies:
+	// calibrated confidence intervals checked against the analytic
+	// ground truth, and how many contained it.
+	Checked int `json:"checked"`
+	Covered int `json:"covered"`
+	// Findings is how many findings the program produced (at most
+	// the per-program cap; the rest are counted but not streamed).
+	Findings int `json:"findings"`
+}
+
+// CampaignFinding is one failed cross-check: the campaign caught the
+// system's models contradicting themselves or the analytic truth.
+type CampaignFinding struct {
+	// Program and Spec locate the offending program in the sweep.
+	Program int    `json:"program"`
+	Spec    string `json:"spec"`
+	// Processor is the model under attack when the check fired (empty
+	// for sweep-wide findings such as the coverage rate).
+	Processor string `json:"processor,omitempty"`
+	// Check names the cross-check that fired (the Check* constants).
+	Check string `json:"check"`
+	// Constraint spells the violated invariant, for invariant findings.
+	Constraint string `json:"constraint,omitempty"`
+	// Sigma is the standardized magnitude of the violation where the
+	// check has one (residual sigmas, gross-miss distance).
+	Sigma float64 `json:"sigma,omitempty"`
+	// Detail is the human-readable account of what disagreed with what.
+	Detail string `json:"detail"`
+}
+
+// CoverageInfo is the sweep-wide coverage audit: how often calibrated
+// confidence intervals contained the analytic ground truth, against the
+// nominal rate they advertise.
+type CoverageInfo struct {
+	// N is how many intervals were audited; Misses is how many did not
+	// contain the ground truth.
+	N      int `json:"n"`
+	Misses int `json:"misses"`
+	// Rate is the observed miss rate Misses/N (0 when N is 0).
+	Rate float64 `json:"rate"`
+	// Nominal is the advertised miss rate, 1 - Confidence.
+	Nominal float64 `json:"nominal"`
+	// Bound is the largest observed rate compatible with the nominal
+	// one at the audit's binomial slack; Rate above Bound is a finding.
+	Bound float64 `json:"bound"`
+}
+
+// CampaignSummary reports the totals of a completed sweep.
+type CampaignSummary struct {
+	// Programs is how many programs were swept.
+	Programs int `json:"programs"`
+	// Measurements is the total measurement requests issued.
+	Measurements int `json:"measurements"`
+	// Findings is the total findings (including any over the streaming
+	// cap).
+	Findings int `json:"findings"`
+	// Coverage is the sweep-wide interval audit.
+	Coverage CoverageInfo `json:"coverage"`
+}
+
+// CampaignSnapshot is the GET view of a campaign: configuration, state,
+// progress, and the retained findings.
+type CampaignSnapshot struct {
+	ID     string          `json:"id"`
+	Config CampaignRequest `json:"config"`
+	// State is the campaign's lifecycle state; campaigns share the
+	// session-state vocabulary (running, done, failed, deleted, evicted,
+	// drained).
+	State string `json:"state"`
+	// Programs is how many programs have completed so far.
+	Programs int `json:"programs"`
+	// Measurements and Findings are running totals.
+	Measurements int `json:"measurements"`
+	// Findings holds the findings so far, capped at MaxSnapshotFindings;
+	// FindingsTotal is the uncapped count.
+	Findings      []CampaignFinding `json:"findings,omitempty"`
+	FindingsTotal int               `json:"findingsTotal"`
+	// Coverage is the audit over the programs completed so far.
+	Coverage CoverageInfo `json:"coverage"`
+}
+
+// MaxSnapshotFindings bounds the findings a snapshot carries; the
+// stream has every finding up to the per-program cap.
+const MaxSnapshotFindings = 64

@@ -1,0 +1,90 @@
+package api
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCampaignRequestDefaults(t *testing.T) {
+	norm, err := CampaignRequest{}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CampaignRequest{
+		Seed:           DefaultSeed,
+		Programs:       DefaultCampaignPrograms,
+		Processors:     []string{"PD", "CD", "K8"},
+		Stack:          "pc",
+		Pattern:        DefaultPattern,
+		Classes:        []string{"mix", "branch", "chase", "phase", "probe"},
+		Scale:          3,
+		Runs:           DefaultInferRuns,
+		InferEvery:     DefaultInferEvery,
+		PlanEvery:      DefaultPlanEvery,
+		EngineEvery:    DefaultEngineEvery,
+		TargetRelWidth: DefaultCampaignTargetRelWidth,
+		Confidence:     0.95,
+	}
+	if !reflect.DeepEqual(norm, want) {
+		t.Fatalf("defaults:\n got %+v\nwant %+v", norm, want)
+	}
+}
+
+// TestCampaignRequestCanonicalSets: processor and class selections are
+// sets — different spellings of the same set share a key.
+func TestCampaignRequestCanonicalSets(t *testing.T) {
+	a, err := CampaignRequest{Processors: []string{"K8", "PD"}, Classes: []string{"probe", "mix"}}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CampaignRequest{Processors: []string{"PD", "K8"}, Classes: []string{"mix", "probe"}}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("set spellings split keys:\n%s\n%s", a.Key(), b.Key())
+	}
+	if !reflect.DeepEqual(a.Processors, []string{"PD", "K8"}) {
+		t.Fatalf("processors not in canonical order: %v", a.Processors)
+	}
+	if !reflect.DeepEqual(a.Classes, []string{"mix", "probe"}) {
+		t.Fatalf("classes not in canonical order: %v", a.Classes)
+	}
+}
+
+// TestCampaignRequestCadence: the every-n-th knobs follow the MaxRefine
+// convention — zero defaults, negatives canonicalize to -1 (disabled).
+func TestCampaignRequestCadence(t *testing.T) {
+	norm, err := CampaignRequest{InferEvery: -7, PlanEvery: -1, EngineEvery: 3}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.InferEvery != -1 || norm.PlanEvery != -1 || norm.EngineEvery != 3 {
+		t.Fatalf("cadence: infer %d, plan %d, engine %d", norm.InferEvery, norm.PlanEvery, norm.EngineEvery)
+	}
+}
+
+func TestCampaignRequestRejects(t *testing.T) {
+	bad := []CampaignRequest{
+		{Programs: -1},
+		{Programs: MaxCampaignPrograms + 1},
+		{Processors: []string{"P6"}},
+		{Processors: []string{"PD", "PD"}},
+		{Stack: "nope"},
+		{Pattern: "xx"},
+		{Classes: []string{"nope"}},
+		{Classes: []string{"mix", "mix"}},
+		{Scale: -1},
+		{Scale: 65},
+		{Runs: 1},
+		{Runs: MaxRuns + 1},
+		{InferEvery: MaxCampaignPrograms + 1},
+		{TargetRelWidth: 2},
+		{Confidence: 0.1},
+	}
+	for _, req := range bad {
+		if _, err := req.Normalized(); err == nil {
+			t.Errorf("accepted %+v", req)
+		}
+	}
+}

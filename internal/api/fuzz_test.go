@@ -1,6 +1,7 @@
 package api
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/bayes"
@@ -135,6 +136,34 @@ func FuzzInferItemNormalized(f *testing.F) {
 		checkCanonical(t, norm, InferItem.Normalized)
 		if _, err := norm.Model(); err != nil {
 			t.Fatalf("normalized item's model does not assemble: %v", err)
+		}
+	})
+}
+
+func FuzzCampaignRequestNormalized(f *testing.F) {
+	f.Add(uint64(1), 16, "PD,CD,K8", "pc", "ar", "mix,branch", 3, 8, 4, 16, 1, 0.25, 0.95)
+	f.Add(uint64(0), 0, "", "", "", "", 0, 0, 0, 0, 0, 0.0, 0.0)
+	f.Add(uint64(7), 500, "K8", "pm", "rr", "probe", 64, 2, -1, -1, -1, 0.5, 0.999)
+	f.Fuzz(func(t *testing.T, seed uint64, programs int, procs, stack, pattern, classes string,
+		scale, runs, inferEvery, planEvery, engineEvery int, target, conf float64) {
+		req := CampaignRequest{
+			Seed: seed, Programs: programs, Stack: stack, Pattern: pattern,
+			Scale: scale, Runs: runs, InferEvery: inferEvery, PlanEvery: planEvery,
+			EngineEvery: engineEvery, TargetRelWidth: target, Confidence: conf,
+		}
+		if procs != "" {
+			req.Processors = strings.Split(procs, ",")
+		}
+		if classes != "" {
+			req.Classes = strings.Split(classes, ",")
+		}
+		norm, err := req.Normalized()
+		if err != nil {
+			return
+		}
+		checkCanonical(t, norm, CampaignRequest.Normalized)
+		if len(norm.Processors) == 0 || len(norm.Classes) == 0 {
+			t.Fatalf("normalized campaign has empty selection: %+v", norm)
 		}
 	})
 }

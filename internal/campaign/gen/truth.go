@@ -1,0 +1,172 @@
+package gen
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// Vector is the analytic ground-truth event vector of one bare-core
+// execution of a generated program: no timer, no kernel, performance
+// governor (FreqScale 1.0). Counts are float64 because cycle and
+// d-cache accounting is fractional; every value lies on the simulator's
+// exact-addition grid, so equality with a real run is exact, not
+// approximate.
+type Vector struct {
+	Instr  float64
+	Cycles float64
+	Misp   float64
+	ICache float64
+	ITLB   float64
+	DCache float64
+}
+
+// Event returns the vector component counting the given event. The
+// second result is false for events the model never emits in a
+// bare-core run (bus accesses).
+func (v Vector) Event(ev cpu.Event) (float64, bool) {
+	switch ev {
+	case cpu.EventInstrRetired:
+		return v.Instr, true
+	case cpu.EventCoreCycles:
+		return v.Cycles, true
+	case cpu.EventBrMispRetired:
+		return v.Misp, true
+	case cpu.EventICacheMiss:
+		return v.ICache, true
+	case cpu.EventITLBMiss:
+		return v.ITLB, true
+	case cpu.EventDCacheMiss:
+		return v.DCache, true
+	}
+	return 0, false
+}
+
+// Truth computes the exact event vector of Raw() on the given model by
+// mirroring the core's execution semantics structurally: per-class
+// retire costs, first-touch i-cache/i-TLB penalties, static branch
+// prediction, the plain-loop analytic fast-forward, and the stepwise
+// path for probe-laced bodies. Every cycle addend is a multiple of the
+// CycleGrain grid, on which float64 addition is exact, so the grouped
+// sums here are bit-identical to the simulator's sequential ones.
+func (p *Program) Truth(m *cpu.Model) Vector {
+	c := cpu.NewCore(m) // cost oracle only: ClassCost, IterCycles at FreqScale 1.0
+	prog := p.Raw()
+	var v Vector
+	lines := make(map[uint64]struct{})
+	pages := make(map[uint64]struct{})
+
+	fetch := func(addr uint64) {
+		line, page := addr>>6, addr>>12
+		if _, ok := lines[line]; !ok {
+			lines[line] = struct{}{}
+			v.ICache++
+			v.Cycles += m.ICacheMissPenalty
+		}
+		if _, ok := pages[page]; !ok {
+			pages[page] = struct{}{}
+			v.ITLB++
+			v.Cycles += m.ITLBMissPenalty
+		}
+	}
+	retire := func(n int64, cl cpu.Class) {
+		v.Instr += float64(n)
+		v.Cycles += float64(n) * c.ClassCost(cl)
+	}
+
+	pc := 0
+	for pc < len(prog.Code) {
+		in := prog.Code[pc]
+		switch in.Op {
+		case isa.OpHalt:
+			// Halt retires without a fetch penalty (terminators skip it).
+			retire(1, cpu.ClassALU)
+			return v
+
+		case isa.OpBranch:
+			fetch(prog.Addr(pc))
+			retire(1, cpu.ClassBranch)
+			backward := in.A <= int64(pc)
+			taken := in.B != 0
+			if taken != backward {
+				v.Misp++
+				v.Cycles += m.MispredictPenalty
+			}
+			if taken {
+				pc = int(in.A)
+			} else {
+				pc++
+			}
+
+		case isa.OpLoop:
+			body := prog.Code[pc+1 : pc+1+int(in.B)]
+			if iters := in.A; iters > 0 {
+				bodyAddr := prog.Addr(pc + 1)
+				if plain(body) {
+					var bodyBytes uint64
+					var bodyRetire int64
+					memOps := 0
+					for _, bi := range body {
+						bodyBytes += uint64(bi.Size)
+						bodyRetire += int64(bi.Retires())
+						if bi.Op == isa.OpLoad || bi.Op == isa.OpStore {
+							memOps++
+						}
+					}
+					fetch(bodyAddr)
+					v.Misp += 2
+					v.Cycles += 2 * m.MispredictPenalty
+					if memOps > 0 {
+						v.DCache += float64(memOps) * float64(iters) / 8
+					}
+					v.Instr += float64(iters) * float64(bodyRetire)
+					v.Cycles += float64(iters) * c.IterCycles(bodyAddr, bodyBytes, memOps)
+				} else {
+					// Stepwise: the first iteration pays the cold fetches
+					// (accrued by fetch above as it touches each address);
+					// every iteration pays class costs and per-iteration
+					// mispredicts.
+					var warmCycles float64
+					var perIterInstr, perIterMisp int64
+					for j, bi := range body {
+						fetch(prog.Addr(pc + 1 + j))
+						perIterInstr += int64(bi.Retires())
+						if bi.Op == isa.OpBranch {
+							warmCycles += c.ClassCost(cpu.ClassBranch)
+							backward := bi.A <= int64(pc+1+j)
+							if (bi.B != 0) != backward {
+								perIterMisp++
+								warmCycles += m.MispredictPenalty
+							}
+							continue
+						}
+						cl, _ := cpu.ClassOf(bi.Op)
+						warmCycles += float64(bi.Retires()) * c.ClassCost(cl)
+					}
+					v.Instr += float64(iters) * float64(perIterInstr)
+					v.Misp += float64(iters) * float64(perIterMisp)
+					v.Cycles += float64(iters) * warmCycles
+				}
+			}
+			pc += 1 + int(in.B)
+
+		default:
+			fetch(prog.Addr(pc))
+			cl, _ := cpu.ClassOf(in.Op)
+			retire(1, cl)
+			pc++
+		}
+	}
+	return v
+}
+
+// plain mirrors the simulator's fast-forward eligibility test.
+func plain(body []isa.Instr) bool {
+	for _, in := range body {
+		switch in.Op {
+		case isa.OpALU, isa.OpNop, isa.OpLoad, isa.OpStore, isa.OpBranch:
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -3,6 +3,7 @@ package engine_test
 import (
 	"testing"
 
+	"repro/internal/campaign/gen"
 	"repro/internal/cpu"
 	"repro/internal/engine"
 	"repro/internal/engine/enginetest"
@@ -10,84 +11,9 @@ import (
 	"repro/internal/kernel"
 )
 
-// fuzzSyscall is the syscall number the fuzz harness registers a
-// handler for on both systems.
-const fuzzSyscall = 7
-
-// buildFuzzProgram decodes a byte string into a structurally valid
-// program: straight-line work, forward taken branches (backward taken
-// branches could loop forever; backward prediction is still exercised
-// through not-taken branches with backward targets), counted loops with
-// straight bodies, the occasional invalid nested loop (both engines
-// must fail identically), syscalls, VarWork, and PMU-visible reads.
-func buildFuzzProgram(data []byte) *isa.Program {
-	i := 0
-	next := func() byte {
-		if i >= len(data) {
-			return 0
-		}
-		v := data[i]
-		i++
-		return v
-	}
-
-	var code []isa.Instr
-	for op := 0; op < 48 && i < len(data); op++ {
-		switch next() % 12 {
-		case 0, 1:
-			for n := 1 + int(next()%6); n > 0; n-- {
-				code = append(code, isa.ALU())
-			}
-		case 2:
-			code = append(code, isa.Load())
-		case 3:
-			code = append(code, isa.Store())
-		case 4:
-			// Forward taken branch over k filler instructions (dead code,
-			// but still compiled — targets become block leaders).
-			k := 1 + int(next()%4)
-			code = append(code, isa.Branch(len(code)+1+k, true))
-			for ; k > 0; k-- {
-				code = append(code, isa.ALU())
-			}
-		case 5:
-			// Not-taken branch with a backward target: statically
-			// predicted taken, so it mispredicts — without looping.
-			target := int(next()) % (len(code) + 1)
-			code = append(code, isa.Branch(target, false))
-		case 6:
-			iters := int64(next()) * int64(next()) % 301
-			body := 1 + int(next()%3)
-			code = append(code, isa.Loop(iters, body))
-			for n := body; n > 0; n-- {
-				if next()%2 == 0 {
-					code = append(code, isa.ALU())
-				} else {
-					code = append(code, isa.Load())
-				}
-			}
-		case 7:
-			code = append(code, isa.Syscall(fuzzSyscall))
-		case 8:
-			code = append(code, isa.VarWork(int(next()%32), int64(next())))
-		case 9:
-			code = append(code, isa.RDPMC(int(next()%2), int(next()%4)))
-		case 10:
-			code = append(code, isa.RDTSC(int(next()%4)))
-		case 11:
-			if next() == 255 {
-				// Invalid at runtime: a loop whose body is another loop.
-				// Structurally valid, so it reaches both engines, which
-				// must report the identical error at the identical state.
-				code = append(code, isa.Loop(3, 2), isa.Loop(2, 1), isa.ALU())
-			} else {
-				code = append(code, isa.Nop())
-			}
-		}
-	}
-	code = append(code, isa.Halt())
-	return &isa.Program{Name: "fuzz", Base: 0x4000, Code: code}
-}
+// The fuzz program generator lives in campaign/gen (gen.FromBytes), so
+// generated program shapes are defined exactly once; this test keeps
+// only the engine-conformance harness.
 
 // fuzzRun executes the program on a fresh system through the given
 // engine and returns the final state snapshot.
@@ -98,7 +24,7 @@ func fuzzRun(t *testing.T, model *cpu.Model, p *isa.Program, seed uint64, r cpu.
 		ALUBlock(20).
 		Emit(isa.RDMSR(0), isa.WRMSR(isa.MSREnable, 0b11), isa.SysRet()).
 		Build()
-	if err := k.RegisterSyscall(fuzzSyscall, "fuzz", handler); err != nil {
+	if err := k.RegisterSyscall(gen.FuzzSyscall, "fuzz", handler); err != nil {
 		t.Fatal(err)
 	}
 	for slot, ev := range []cpu.Event{cpu.EventInstrRetired, cpu.EventCoreCycles} {
@@ -129,7 +55,7 @@ func FuzzEngineConformance(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p := buildFuzzProgram(data)
+		p := gen.FromBytes(data)
 		if err := p.Validate(true); err != nil {
 			t.Skip("generator produced invalid program:", err)
 		}

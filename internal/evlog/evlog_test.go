@@ -1,0 +1,99 @@
+package evlog
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func fakeNow() func() time.Time {
+	t := time.Unix(0, 0)
+	return func() time.Time { return t }
+}
+
+type ev struct {
+	N int `json:"n"`
+}
+
+func TestReplayThenFollow(t *testing.T) {
+	l := New(100, fakeNow())
+	l.Append(ev{1}, ev{2})
+	lines, next, wait, done := l.Events(0)
+	if len(lines) != 2 || next != 2 || done {
+		t.Fatalf("replay: %d lines, next %d, done %v", len(lines), next, done)
+	}
+	if string(lines[0]) != `{"n":1}` {
+		t.Fatalf("line 0 = %s", lines[0])
+	}
+	// Caught up: get a wait channel.
+	lines, next, wait, done = l.Events(next)
+	if len(lines) != 0 || wait == nil || done {
+		t.Fatalf("follow: %d lines, wait %v, done %v", len(lines), wait, done)
+	}
+	go l.Append(ev{3})
+	<-wait
+	lines, next, _, _ = l.Events(next)
+	if len(lines) != 1 || next != 3 {
+		t.Fatalf("after append: %d lines, next %d", len(lines), next)
+	}
+}
+
+func TestEndGateAndDrops(t *testing.T) {
+	l := New(100, fakeNow())
+	if !l.Append(ev{1}) {
+		t.Fatal("append before end refused")
+	}
+	if !l.End(ev{99}) {
+		t.Fatal("first End refused")
+	}
+	if l.End(ev{100}) {
+		t.Fatal("second End accepted")
+	}
+	if l.Append(ev{2}) {
+		t.Fatal("append after End accepted")
+	}
+	lines, _, _, done := l.Events(0)
+	if !done || len(lines) != 2 {
+		t.Fatalf("ended log: %d lines, done %v", len(lines), done)
+	}
+	if string(lines[len(lines)-1]) != `{"n":99}` {
+		t.Fatalf("log does not end with the end event: %s", lines[len(lines)-1])
+	}
+	if !l.Ended() {
+		t.Fatal("Ended() false after End")
+	}
+}
+
+func TestRetentionTrim(t *testing.T) {
+	l := New(10, fakeNow())
+	for i := 0; i < 40; i++ {
+		l.Append(ev{i})
+	}
+	lines, next, _, _ := l.Events(0)
+	if len(lines) > 13 { // cap + cap/4 slack
+		t.Fatalf("retained %d lines, cap 10", len(lines))
+	}
+	if next != 40 {
+		t.Fatalf("next = %d, want 40", next)
+	}
+	// The retained tail is contiguous and ends at the newest line.
+	if want := []byte(`{"n":39}`); !bytes.Equal(lines[len(lines)-1], want) {
+		t.Fatalf("tail = %s", lines[len(lines)-1])
+	}
+}
+
+func TestIdleAccounting(t *testing.T) {
+	base := time.Unix(1000, 0)
+	l := New(10, func() time.Time { return base })
+	if d := l.IdleSince(base.Add(time.Minute)); d != time.Minute {
+		t.Fatalf("idle = %v", d)
+	}
+	l.Subscribe()
+	if d := l.IdleSince(base.Add(time.Hour)); d != 0 {
+		t.Fatalf("subscribed log idle = %v", d)
+	}
+	l.Unsubscribe()
+	if d := l.IdleSince(base.Add(time.Hour)); d != time.Hour {
+		t.Fatalf("unsubscribed log idle = %v", d)
+	}
+}

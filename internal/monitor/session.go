@@ -1,12 +1,12 @@
 package monitor
 
 import (
-	"encoding/json"
 	"sync"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/evlog"
 	stackpkg "repro/internal/stack"
 	"repro/internal/tsdb"
 )
@@ -31,7 +31,6 @@ type Session struct {
 	cfg  api.SessionRequest
 	cal  core.Calibration
 	creq core.Request
-	now  func() time.Time
 
 	// stop ends the sampler early (delete, eviction, drain).
 	stop     chan struct{}
@@ -43,20 +42,12 @@ type Session struct {
 	failure  string
 	baseline *tsdb.Window // drift-detection reference window
 	drifts   []api.DriftInfo
-	// log holds marshaled NDJSON event lines in emission order. It is
-	// a bounded ring: logStart is the absolute index of log[0], and
-	// lines older than roughly two rings' worth of samples are dropped
-	// so a max-step session cannot hold megabytes of history. Streams
-	// that attach while the full log is retained (any attach within
-	// Capacity samples of the start — pcload attaches immediately)
-	// replay the complete series; later attaches replay the tail.
-	log         [][]byte
-	logStart    int
-	logCap      int
-	notify      chan struct{} // closed and renewed on every append
-	ended       bool          // end event written; log is complete
-	subscribers int
-	lastAccess  time.Time
+	// log is the bounded NDJSON event log streams read from. Its
+	// retention covers two rings' worth of samples, so streams that
+	// attach while the full log is retained (any attach within Capacity
+	// samples of the start — pcload attaches immediately) replay the
+	// complete series; later attaches replay the tail.
+	log *evlog.Log
 }
 
 // newSession builds a registered-but-not-yet-running session.
@@ -78,7 +69,6 @@ func newSession(id string, cfg api.SessionRequest, cal core.Calibration, now fun
 		cfg:   cfg,
 		cal:   cal,
 		creq:  creq,
-		now:   now,
 		stop:  make(chan struct{}),
 		store: store,
 		state: api.SessionRunning,
@@ -86,9 +76,7 @@ func newSession(id string, cfg api.SessionRequest, cal core.Calibration, now fun
 		// plus one window line per WindowSize >= 2 samples plus one
 		// drift line per window, so 2x Capacity (and slack for the end
 		// event) always covers a full sample ring.
-		logCap:     2*cfg.Capacity + 16,
-		notify:     make(chan struct{}),
-		lastAccess: now(),
+		log: evlog.New(2*cfg.Capacity+16, now),
 	}, nil
 }
 
@@ -138,25 +126,27 @@ func (s *Session) run(sys *stackpkg.System) {
 
 // observe appends one sample to the store and the event log, emitting
 // window and drift events as windows complete. Dropped silently if the
-// session already ended (a closer won the race mid-measurement).
+// session already ended (a closer won the race mid-measurement): the
+// log appends atomically and refuses events after its end event.
 func (s *Session) observe(p tsdb.Sample) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.ended {
+	if s.log.Ended() {
+		s.mu.Unlock()
 		return
 	}
 	w, completed := s.store.Append(p)
 	sp := samplePoint(p)
-	s.appendLocked(api.StreamEvent{Type: api.StreamSample, Sample: &sp})
-	if !completed {
-		return
+	events := []any{api.StreamEvent{Type: api.StreamSample, Sample: &sp}}
+	if completed {
+		wi := windowInfo(w)
+		events = append(events, api.StreamEvent{Type: api.StreamWindow, Window: &wi})
+		if drift, ok := s.detectLocked(w); ok {
+			s.drifts = append(s.drifts, drift)
+			events = append(events, api.StreamEvent{Type: api.StreamDrift, Drift: &drift})
+		}
 	}
-	wi := windowInfo(w)
-	s.appendLocked(api.StreamEvent{Type: api.StreamWindow, Window: &wi})
-	if drift, ok := s.detectLocked(w); ok {
-		s.drifts = append(s.drifts, drift)
-		s.appendLocked(api.StreamEvent{Type: api.StreamDrift, Drift: &drift})
-	}
+	s.mu.Unlock()
+	s.log.Append(events...)
 }
 
 // detectLocked runs the drift rule on a completed window: the first
@@ -193,84 +183,33 @@ func overlap(a, b tsdb.Window) bool {
 		b.Est.CI.Lo-quantizationSlack <= a.Est.CI.Hi+quantizationSlack
 }
 
-// appendLocked marshals one event onto the log and wakes waiters.
-// Stream-event marshaling is deterministic (fixed field order, no
-// maps), which is what makes identical sessions byte-identical on the
-// wire.
-func (s *Session) appendLocked(ev api.StreamEvent) {
-	line, err := json.Marshal(ev)
-	if err != nil {
-		// Unreachable: every event type marshals. Keep the log
-		// consistent rather than panicking a sampler.
-		return
-	}
-	s.log = append(s.log, line)
-	// Trim in chunks (a quarter over the cap) so the copy that
-	// releases dropped lines' backing array amortizes to O(1) per
-	// append.
-	if len(s.log) > s.logCap+s.logCap/4 {
-		drop := len(s.log) - s.logCap
-		s.log = append([][]byte(nil), s.log[drop:]...)
-		s.logStart += drop
-	}
-	close(s.notify)
-	s.notify = make(chan struct{})
-}
-
 // close ends the session with a final end event carrying the reason.
 // Idempotent: the first closer (sampler completion, delete, eviction,
-// drain, failure) wins and later calls are no-ops.
+// drain, failure) wins — the log's End gate decides the race — and
+// later calls are no-ops.
 func (s *Session) close(state, failure string) {
-	s.mu.Lock()
-	if s.ended {
-		s.mu.Unlock()
+	if !s.log.End(api.StreamEvent{Type: api.StreamEnd, Reason: state, Error: failure}) {
 		return
 	}
-	s.ended = true
+	s.mu.Lock()
 	s.state = state
 	s.failure = failure
-	s.appendLocked(api.StreamEvent{Type: api.StreamEnd, Reason: state, Error: failure})
 	s.mu.Unlock()
 	s.stopOnce.Do(func() { close(s.stop) })
 }
 
-// Events returns the retained log lines from absolute index i on,
-// and the next index to resume from (i plus the delivered lines;
-// ahead of that when lines older than the retention bound were
-// dropped). When no new lines exist, it returns a channel that is
-// closed on the next append and whether the log is already complete
-// (the end event is written, so a reader that has consumed everything
-// can stop). Reading counts as client activity for idle accounting.
+// Events exposes the event log's replay-then-follow read; see
+// evlog.Log.Events.
 func (s *Session) Events(i int) (lines [][]byte, next int, wait <-chan struct{}, done bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.lastAccess = s.now()
-	if i < s.logStart {
-		i = s.logStart
-	}
-	if idx := i - s.logStart; idx < len(s.log) {
-		lines = s.log[idx:]
-		return lines, i + len(lines), nil, s.ended
-	}
-	return nil, i, s.notify, s.ended
+	return s.log.Events(i)
 }
 
 // Subscribe registers an attached stream; subscribed sessions are
 // never evicted as idle.
-func (s *Session) Subscribe() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.subscribers++
-	s.lastAccess = s.now()
-}
+func (s *Session) Subscribe() { s.log.Subscribe() }
 
 // Unsubscribe detaches a stream.
-func (s *Session) Unsubscribe() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.subscribers--
-	s.lastAccess = s.now()
-}
+func (s *Session) Unsubscribe() { s.log.Unsubscribe() }
 
 // idleSince returns how long the session has been without client
 // activity. A session with an attached stream is never idle; a
@@ -278,12 +217,7 @@ func (s *Session) Unsubscribe() {
 // sampler still produces — eviction is what reclaims the pinned
 // worker of an abandoned session.
 func (s *Session) idleSince(now time.Time) time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.subscribers > 0 {
-		return 0
-	}
-	return now.Sub(s.lastAccess)
+	return s.log.IdleSince(now)
 }
 
 // Config returns the normalized session configuration.
@@ -291,18 +225,10 @@ func (s *Session) Config() api.SessionRequest { return s.cfg }
 
 // Ended reports whether the session has stopped producing (its end
 // event is written and its worker released or releasing).
-func (s *Session) Ended() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ended
-}
+func (s *Session) Ended() bool { return s.log.Ended() }
 
 // lastAccessed returns the last client-activity time.
-func (s *Session) lastAccessed() time.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lastAccess
-}
+func (s *Session) lastAccessed() time.Time { return s.log.LastAccess() }
 
 // State returns the current session state.
 func (s *Session) State() string {
@@ -313,9 +239,9 @@ func (s *Session) State() string {
 
 // Snapshot reports the session's current state and retained rings.
 func (s *Session) Snapshot() api.SessionSnapshot {
+	s.log.Touch()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.lastAccess = s.now()
 	snap := api.SessionSnapshot{
 		ID:     s.ID,
 		Config: s.cfg,
