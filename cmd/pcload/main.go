@@ -51,6 +51,18 @@
 // any campaign produces a finding — the stock models must survive
 // their own attack suite. See docs/CAMPAIGNS.md.
 //
+// With -mixed, every request rotates through /measure, /analyze,
+// /plan, and /infer, and the report splits latency percentiles per
+// endpoint (one pooled line plus one p50/p90/p99 line per endpoint),
+// so the cheap endpoints don't hide the expensive ones.
+//
+// With -trace, every configuration is driven as a traced+untraced
+// pair across all four endpoints: the traced response must carry a
+// span block drawn from the telemetry catalogue, the untraced one must
+// not, and the two bodies must be byte-identical once the trace block
+// is stripped — the client-side check of the observability contract
+// (docs/OBSERVABILITY.md).
+//
 // Usage:
 //
 //	pcload -addr http://localhost:7090 -n 200 -c 8 -calibrate
@@ -61,6 +73,8 @@
 //	pcload -addr http://localhost:7090 -infer -infers 24 -c 4
 //	pcload -addr http://localhost:7090 -engine -n 64 -c 8
 //	pcload -addr http://localhost:7090 -campaign -campaigns 6 -programs 4
+//	pcload -addr http://localhost:7090 -mixed -n 64 -c 8
+//	pcload -addr http://localhost:7090 -trace -n 32 -c 4
 package main
 
 import (
@@ -71,6 +85,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -100,19 +115,25 @@ func main() {
 		campMode  = flag.Bool("campaign", false, "drive /campaigns instead of /measure: paired adversarial counter-validation campaigns, asserting byte-identical streams and zero findings")
 		campaigns = flag.Int("campaigns", 6, "campaigns to open with -campaign (rounded up to pairs)")
 		programs  = flag.Int("programs", 4, "generated programs per campaign with -campaign")
+		mixed     = flag.Bool("mixed", false, "rotate every request through /measure, /analyze, /plan, and /infer; the report splits latency percentiles per endpoint")
+		traceMode = flag.Bool("trace", false, "drive traced+untraced request pairs across all endpoints, asserting span presence and byte-identity once the trace block is stripped")
 	)
 	flag.Parse()
 
 	var err error
 	modes := 0
-	for _, on := range []bool{*monitor, *planMode, *analyze, *inferMode, *engine, *campMode} {
+	for _, on := range []bool{*monitor, *planMode, *analyze, *inferMode, *engine, *campMode, *mixed, *traceMode} {
 		if on {
 			modes++
 		}
 	}
 	switch {
 	case modes > 1:
-		err = fmt.Errorf("-analyze, -monitor, -plan, -infer, -engine, and -campaign are mutually exclusive workloads")
+		err = fmt.Errorf("-analyze, -monitor, -plan, -infer, -engine, -campaign, -mixed, and -trace are mutually exclusive workloads")
+	case *mixed:
+		err = runMixed(os.Stdout, *addr, *mixSpec, *n, *c, *runs)
+	case *traceMode:
+		err = runTrace(os.Stdout, *addr, *mixSpec, *n, *c, *runs)
 	case *campMode:
 		err = runCampaign(os.Stdout, *addr, *mixSpec, *campaigns, *programs, *c)
 	case *monitor:
@@ -137,19 +158,48 @@ type workItem struct {
 	key  string
 	req  api.MeasureRequest
 	cold bool // first request of its configuration in this plan
-	// analyze, when set, wraps req into this /analyze batch instead of
-	// posting it to /measure.
+	// analyze, plan, and infer, when set, redirect the item to that
+	// endpoint instead of posting req to /measure. At most one is set.
 	analyze *api.AnalyzeRequest
+	plan    *api.PlanRequest
+	infer   *api.InferRequest
+}
+
+// endpoint returns the path the item posts to.
+func (it workItem) endpoint() string {
+	switch {
+	case it.analyze != nil:
+		return "/analyze"
+	case it.plan != nil:
+		return "/plan"
+	case it.infer != nil:
+		return "/infer"
+	}
+	return "/measure"
+}
+
+// payload returns the request body the item posts.
+func (it workItem) payload() any {
+	switch {
+	case it.analyze != nil:
+		return it.analyze
+	case it.plan != nil:
+		return it.plan
+	case it.infer != nil:
+		return it.infer
+	}
+	return it.req
 }
 
 // outcome records one completed request.
 type outcome struct {
-	key     string
-	cold    bool
-	latency time.Duration
-	body    string
-	status  int
-	err     error
+	key      string
+	endpoint string
+	cold     bool
+	latency  time.Duration
+	body     string
+	status   int
+	err      error
 }
 
 func run(w io.Writer, addr, mixSpec string, n, c, runs, seeds int, calibrate, analyze bool) error {
@@ -166,7 +216,14 @@ func run(w io.Writer, addr, mixSpec string, n, c, runs, seeds int, calibrate, an
 	if err != nil {
 		return err
 	}
+	results, elapsed := executePlan(addr, plan, c)
+	return report(w, results, elapsed, calibrate)
+}
 
+// executePlan fires a work plan through c concurrent workers and
+// returns the closed results channel plus the wall-clock elapsed time.
+// Shared by the default, -mixed, and -trace workloads.
+func executePlan(addr string, plan []workItem, c int) (<-chan outcome, time.Duration) {
 	work := make(chan workItem)
 	results := make(chan outcome, len(plan))
 	client := &http.Client{Timeout: 60 * time.Second}
@@ -190,8 +247,7 @@ func run(w io.Writer, addr, mixSpec string, n, c, runs, seeds int, calibrate, an
 	wg.Wait()
 	elapsed := time.Since(start)
 	close(results)
-
-	return report(w, results, elapsed, calibrate)
+	return results, elapsed
 }
 
 // parseMix parses a -mix spec — comma-separated PROC/stack pairs —
@@ -280,29 +336,25 @@ func analyzeWrap(req api.MeasureRequest, i int) *api.AnalyzeRequest {
 
 // fire sends one request and records its outcome.
 func fire(client *http.Client, addr string, item workItem) outcome {
-	path := "/measure"
-	var payload any = item.req
-	if item.analyze != nil {
-		path = "/analyze"
-		payload = item.analyze
-	}
-	body, err := json.Marshal(payload)
+	path := item.endpoint()
+	body, err := json.Marshal(item.payload())
 	if err != nil {
-		return outcome{key: item.key, err: err}
+		return outcome{key: item.key, endpoint: path, err: err}
 	}
 	start := time.Now()
 	resp, err := client.Post(addr+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return outcome{key: item.key, cold: item.cold, err: err}
+		return outcome{key: item.key, endpoint: path, cold: item.cold, err: err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	out := outcome{
-		key:     item.key,
-		cold:    item.cold,
-		latency: time.Since(start),
-		status:  resp.StatusCode,
-		err:     err,
+		key:      item.key,
+		endpoint: path,
+		cold:     item.cold,
+		latency:  time.Since(start),
+		status:   resp.StatusCode,
+		err:      err,
 	}
 	if err == nil && resp.StatusCode == http.StatusOK {
 		// Identity for the determinism cross-check: identical request
@@ -320,6 +372,7 @@ func report(w io.Writer, results <-chan outcome, elapsed time.Duration, calibrat
 		failures        int
 		total           int
 		byRequest       = make(map[string]string) // request body -> response body
+		byEndpoint      = make(map[string][]time.Duration)
 		divergent       int
 	)
 	for res := range results {
@@ -329,6 +382,7 @@ func report(w io.Writer, results <-chan outcome, elapsed time.Duration, calibrat
 			continue
 		}
 		all = append(all, res.latency)
+		byEndpoint[res.endpoint] = append(byEndpoint[res.endpoint], res.latency)
 		if res.cold {
 			cold = append(cold, res.latency)
 		} else {
@@ -348,6 +402,18 @@ func report(w io.Writer, results <-chan outcome, elapsed time.Duration, calibrat
 		fmt.Fprintf(w, "throughput:  %.1f req/s\n", float64(len(all))/elapsed.Seconds())
 	}
 	fmt.Fprintf(w, "latency:     %s\n", summarizeLatency(all))
+	// A mixed workload pools endpoints with very different costs; split
+	// the percentiles per endpoint so neither hides the other.
+	if len(byEndpoint) > 1 {
+		endpoints := make([]string, 0, len(byEndpoint))
+		for ep := range byEndpoint {
+			endpoints = append(endpoints, ep)
+		}
+		sort.Strings(endpoints)
+		for _, ep := range endpoints {
+			fmt.Fprintf(w, "  %-10s %s (n=%d)\n", ep+":", summarizeLatency(byEndpoint[ep]), len(byEndpoint[ep]))
+		}
+	}
 	if calibrate && len(cold) > 0 && len(warm) > 0 {
 		fmt.Fprintf(w, "cold (first per config, runs calibration): %s\n", summarizeLatency(cold))
 		fmt.Fprintf(w, "warm (calibration cache hit):              %s\n", summarizeLatency(warm))

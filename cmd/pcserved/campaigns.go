@@ -15,7 +15,7 @@ import (
 //	GET    /campaigns/{id}        -> api.CampaignSnapshot
 //	GET    /campaigns/{id}/stream -> NDJSON api.CampaignEvent lines
 //	DELETE /campaigns/{id}        -> 204
-func registerCampaignRoutes(mux *http.ServeMux, creg *campaign.Registry) {
+func registerCampaignRoutes(mux router, creg *campaign.Registry) {
 	mux.HandleFunc("POST /campaigns", handleJSON(campaignStatusFor, http.StatusCreated,
 		func(r *http.Request, req api.CampaignRequest) (api.CampaignCreated, error) {
 			camp, err := creg.Open(req)

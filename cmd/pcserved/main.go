@@ -19,6 +19,8 @@
 //	GET    /campaigns/{id}/stream -> NDJSON api.CampaignEvent lines
 //	DELETE /campaigns/{id}       -> 204
 //	GET    /healthz              -> api.HealthResponse
+//	GET    /metrics              -> Prometheus text exposition
+//	GET    /debug/pprof/*        -> net/http/pprof (behind -pprof)
 //
 // Responses to /measure, /analyze, and /plan are deterministic:
 // identical requests receive byte-identical bodies, no matter how they
@@ -55,6 +57,12 @@
 // planning paths to attack the service's own models; every failed
 // check streams out as an NDJSON finding. See docs/CAMPAIGNS.md.
 //
+// Observability: every request runs under a telemetry trace feeding
+// per-endpoint and per-stage metrics at GET /metrics (Prometheus text
+// exposition, derived from the same snapshot as /healthz); requests
+// with "trace": true get their span trace echoed in the response, with
+// canonical keys and coalescing unchanged. See docs/OBSERVABILITY.md.
+//
 // Usage:
 //
 //	pcserved -addr :7090 -workers 4 -calruns 31
@@ -69,8 +77,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -80,6 +90,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/plan"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -92,6 +103,7 @@ func main() {
 		sessionidle  = flag.Duration("sessionidle", 2*time.Minute, "evict monitoring sessions idle this long")
 		maxcampaigns = flag.Int("maxcampaigns", 4, "maximum concurrent validation campaigns")
 		campaignidle = flag.Duration("campaignidle", 2*time.Minute, "evict validation campaigns idle this long")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -115,7 +127,7 @@ func main() {
 	})
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newHandler(svc, reg, creg, planner),
+		Handler: newHandler(svc, reg, creg, planner, handlerConfig{pprof: *pprofOn}),
 		// A hostile or stalled client must not hold a connection open
 		// while it dribbles in headers or a request body.
 		ReadHeaderTimeout: 5 * time.Second,
@@ -157,42 +169,95 @@ func main() {
 	log.Printf("pcserved: drained, exiting")
 }
 
+// handlerConfig carries front-end options that are not services.
+type handlerConfig struct {
+	// pprof mounts net/http/pprof under /debug/pprof/ (the -pprof
+	// flag). Off by default: profiling endpoints expose internals and
+	// cost CPU while sampling, so production opts in explicitly.
+	pprof bool
+}
+
+// router is the route-registration surface shared by the raw mux and
+// the instrumenting wrapper, so route files register the same way
+// whether or not they are measured.
+type router interface {
+	HandleFunc(pattern string, handler func(http.ResponseWriter, *http.Request))
+}
+
+// instrumentedRouter registers every handler wrapped in the
+// per-endpoint telemetry middleware, labeled by route pattern.
+type instrumentedRouter struct {
+	mux *http.ServeMux
+	ts  *telemetrySet
+}
+
+func (ir instrumentedRouter) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {
+	ir.mux.HandleFunc(pattern, ir.ts.instrument(endpointLabel(pattern), h))
+}
+
+// endpointLabel derives the metric label from a route pattern: the
+// path template with the method dropped ("POST /measure" becomes
+// "/measure"). Wildcards stay as templates ("/sessions/{id}"), so
+// label cardinality is bounded by the route table, never by URLs.
+func endpointLabel(pattern string) string {
+	if _, path, ok := strings.Cut(pattern, " "); ok {
+		return path
+	}
+	return pattern
+}
+
 // newHandler wires the service, session and campaign registries, and
 // planner into an HTTP mux. Split out of main so tests can drive the
-// exact production routing in-process.
-func newHandler(svc *service.Service, reg *monitor.Registry, creg *campaign.Registry, planner *plan.Planner) http.Handler {
+// exact production routing in-process. Every route is registered
+// through the telemetry middleware; /metrics serves the accumulated
+// exposition plus the same Stats snapshot /healthz renders as JSON.
+func newHandler(svc *service.Service, reg *monitor.Registry, creg *campaign.Registry, planner *plan.Planner, cfg handlerConfig) http.Handler {
 	mux := http.NewServeMux()
-	registerSessionRoutes(mux, reg)
-	registerCampaignRoutes(mux, creg)
-	mux.HandleFunc("POST /measure", handleJSON(statusFor, http.StatusOK,
+	ts := newTelemetrySet()
+	ir := instrumentedRouter{mux: mux, ts: ts}
+	registerSessionRoutes(ir, reg)
+	registerCampaignRoutes(ir, creg)
+	ir.HandleFunc("POST /measure", handleJSON(statusFor, http.StatusOK,
 		func(r *http.Request, req api.MeasureRequest) (*api.MeasureResponse, error) {
 			return svc.Measure(r.Context(), req)
 		}))
-	mux.HandleFunc("POST /analyze", handleJSON(statusFor, http.StatusOK,
+	ir.HandleFunc("POST /analyze", handleJSON(statusFor, http.StatusOK,
 		func(r *http.Request, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
 			return svc.Analyze(r.Context(), req)
 		}))
-	mux.HandleFunc("POST /plan", handleJSON(statusFor, http.StatusOK,
+	ir.HandleFunc("POST /plan", handleJSON(statusFor, http.StatusOK,
 		func(r *http.Request, req api.PlanRequest) (*api.PlanResponse, error) {
 			return planner.Do(r.Context(), req)
 		}))
-	mux.HandleFunc("POST /infer", handleJSON(statusFor, http.StatusOK,
+	ir.HandleFunc("POST /infer", handleJSON(statusFor, http.StatusOK,
 		func(r *http.Request, req api.InferRequest) (*api.InferResponse, error) {
 			return svc.Infer(r.Context(), req)
 		}))
-	mux.HandleFunc("POST /experiment", handleJSON(statusFor, http.StatusOK,
+	ir.HandleFunc("POST /experiment", handleJSON(statusFor, http.StatusOK,
 		func(r *http.Request, req api.ExperimentRequest) (*api.ExperimentResponse, error) {
 			return svc.Experiment(r.Context(), req)
 		}))
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	ir.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// The service owns pool and cache state; the session and campaign
 		// registries are the front end's, so their live counts are
-		// overlaid here.
+		// overlaid here — from the same one-lock snapshots /metrics uses.
 		h := svc.Health()
-		h.ActiveSessions = reg.Active()
-		h.ActiveCampaigns = creg.Active()
+		h.ActiveSessions, _ = reg.Stats()
+		h.ActiveCampaigns, _ = creg.Stats()
 		writeJSON(w, http.StatusOK, h)
 	})
+	ir.HandleFunc("GET /metrics", ts.serveMetrics(svc, reg, creg, planner))
+	if cfg.pprof {
+		// Explicit registrations rather than the package's init-time
+		// DefaultServeMux side effects: the flag, not the import, decides
+		// exposure. Index serves the named-profile subpaths (heap,
+		// goroutine, ...) under the trailing slash.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -203,17 +268,25 @@ func newHandler(svc *service.Service, reg *monitor.Registry, creg *campaign.Regi
 // helper means every endpoint emits the same error shape.
 func handleJSON[Req, Resp any](status func(error) int, code int, do func(*http.Request, Req) (Resp, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		tr := telemetry.FromContext(r.Context())
+		pstart := tr.Clock()
 		var req Req
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 			return
 		}
+		tr.AddSince(telemetry.SpanParse, pstart)
 		resp, err := do(r, req)
 		if err != nil {
 			writeError(w, status(err), err)
 			return
 		}
+		// The encode span cannot appear in the response it times — the
+		// body is sealed before the span ends — so it feeds the stage
+		// histogram only (docs/OBSERVABILITY.md).
+		estart := tr.Clock()
 		writeJSON(w, code, resp)
+		tr.AddSince(telemetry.SpanEncode, estart)
 	}
 }
 

@@ -28,7 +28,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 		Measure: svc.Measure, Infer: svc.Infer, Plan: planner.Do,
 	}, campaign.Config{SweepInterval: -1})
 	t.Cleanup(creg.Close)
-	srv := httptest.NewServer(newHandler(svc, reg, creg, planner))
+	srv := httptest.NewServer(newHandler(svc, reg, creg, planner, handlerConfig{}))
 	t.Cleanup(srv.Close)
 	return srv
 }

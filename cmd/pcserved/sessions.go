@@ -15,7 +15,7 @@ import (
 //	GET    /sessions/{id}        -> api.SessionSnapshot
 //	GET    /sessions/{id}/stream -> NDJSON api.StreamEvent lines
 //	DELETE /sessions/{id}        -> 204
-func registerSessionRoutes(mux *http.ServeMux, reg *monitor.Registry) {
+func registerSessionRoutes(mux router, reg *monitor.Registry) {
 	mux.HandleFunc("POST /sessions", handleJSON(sessionStatusFor, http.StatusCreated,
 		func(r *http.Request, req api.SessionRequest) (api.SessionCreated, error) {
 			sess, err := reg.Open(r.Context(), req)

@@ -1,0 +1,307 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/campaign"
+	"repro/internal/monitor"
+	"repro/internal/plan"
+	"repro/internal/service"
+)
+
+// newPprofTestServer builds the handler with profiling endpoints
+// mounted, as `pcserved -pprof` would.
+func newPprofTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc := service.New(service.Config{WorkersPerShard: 1})
+	reg := monitor.NewRegistry(svc, monitor.Config{SweepInterval: -1})
+	t.Cleanup(reg.Close)
+	planner := plan.New(svc)
+	creg := campaign.NewRegistry(campaign.Services{
+		Measure: svc.Measure, Infer: svc.Infer, Plan: planner.Do,
+	}, campaign.Config{SweepInterval: -1})
+	t.Cleanup(creg.Close)
+	srv := httptest.NewServer(newHandler(svc, reg, creg, planner, handlerConfig{pprof: true}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// stripTraceKey removes the top-level "trace" key from a JSON body and
+// re-marshals the rest for byte-level comparison.
+func stripTraceKey(t *testing.T, body []byte) string {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("unmarshal %s: %v", body, err)
+	}
+	delete(m, "trace")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("remarshal: %v", err)
+	}
+	return string(out)
+}
+
+// TestTraceOptInEndToEnd exercises the full wire contract on every
+// traced endpoint: "trace": true yields a span block, omitting it
+// yields none, and stripping the block restores byte-identity with the
+// untraced response.
+func TestTraceOptInEndToEnd(t *testing.T) {
+	srv := newTestServer(t)
+
+	cases := []struct {
+		path             string
+		untraced, traced any
+	}{
+		{"/measure",
+			api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000", Pattern: "rr", Runs: 3},
+			api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000", Pattern: "rr", Runs: 3, Trace: true}},
+		{"/analyze",
+			api.AnalyzeRequest{Items: []api.AnalyzeItem{{
+				Measure: api.MeasureRequest{Processor: "CD", Stack: "pc", Bench: "loop:500", Runs: 4}, MpxCounters: 2}}},
+			api.AnalyzeRequest{Items: []api.AnalyzeItem{{
+				Measure: api.MeasureRequest{Processor: "CD", Stack: "pc", Bench: "loop:500", Runs: 4}, MpxCounters: 2}},
+				Trace: true}},
+		{"/plan",
+			api.PlanRequest{Measure: api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:400"},
+				TargetRelWidth: 0.2, Counters: 2},
+			api.PlanRequest{Measure: api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:400"},
+				TargetRelWidth: 0.2, Counters: 2, Trace: true}},
+		{"/infer",
+			api.InferRequest{Items: []api.InferItem{{Processor: "K8", Inputs: []api.InferInput{
+				{Event: "INSTR_RETIRED", Mean: 1000, Variance: 100},
+				{Event: "CPU_CLK_UNHALTED", Mean: 2000, Variance: 400}}}}},
+			api.InferRequest{Items: []api.InferItem{{Processor: "K8", Inputs: []api.InferInput{
+				{Event: "INSTR_RETIRED", Mean: 1000, Variance: 100},
+				{Event: "CPU_CLK_UNHALTED", Mean: 2000, Variance: 400}}}},
+				Trace: true}},
+	}
+	for _, tc := range cases {
+		t.Run(strings.TrimPrefix(tc.path, "/"), func(t *testing.T) {
+			status, plain := post(t, srv.URL+tc.path, tc.untraced)
+			if status != http.StatusOK {
+				t.Fatalf("untraced status = %d, body = %s", status, plain)
+			}
+			var pm map[string]json.RawMessage
+			if err := json.Unmarshal(plain, &pm); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if _, ok := pm["trace"]; ok {
+				t.Fatal("untraced response carries a trace block")
+			}
+
+			status, traced := post(t, srv.URL+tc.path, tc.traced)
+			if status != http.StatusOK {
+				t.Fatalf("traced status = %d, body = %s", status, traced)
+			}
+			var tm struct {
+				Trace *api.TraceInfo `json:"trace"`
+			}
+			if err := json.Unmarshal(traced, &tm); err != nil {
+				t.Fatalf("unmarshal traced: %v", err)
+			}
+			if tm.Trace == nil || len(tm.Trace.Spans) == 0 {
+				t.Fatalf("traced response has no spans: %s", traced)
+			}
+			for _, sp := range tm.Trace.Spans {
+				if sp.DurationNs < 0 {
+					t.Errorf("span %q has negative duration %d", sp.Name, sp.DurationNs)
+				}
+			}
+			if got, want := stripTraceKey(t, traced), stripTraceKey(t, plain); got != want {
+				t.Errorf("responses differ beyond the trace block:\n traced: %s\nuntraced: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics after some traffic and checks
+// the exposition: parseable line format, HELP and TYPE for every
+// sampled family, no duplicate family definitions, and the key
+// families present with plausible values.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+
+	// Generate traffic: two measures (one repeated for a calibration
+	// hit), one of them erroring.
+	ok := api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000", Pattern: "rr", Runs: 3, Calibrate: true}
+	post(t, srv.URL+"/measure", ok)
+	post(t, srv.URL+"/measure", ok)
+	post(t, srv.URL+"/measure", api.MeasureRequest{Processor: "Z80"})
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+
+	help := make(map[string]bool)
+	typed := make(map[string]string)
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)[0]
+			help[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if prev, dup := typed[fields[0]]; dup {
+				t.Errorf("family %s declared twice (%s, %s)", fields[0], prev, fields[1])
+			}
+			typed[fields[0]] = fields[1]
+		case strings.HasPrefix(line, "#"):
+			t.Errorf("unrecognized comment line: %q", line)
+		default:
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+			var v float64
+			if err := json.Unmarshal([]byte(fields[1]), &v); err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+			samples[fields[0]] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+
+	// Every sample's base family must carry HELP and TYPE.
+	base := func(name string) string {
+		name = name[:strings.IndexAny(name+"{", "{")]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name && typed[trimmed] == "histogram" {
+				return trimmed
+			}
+		}
+		return name
+	}
+	for name := range samples {
+		fam := base(name)
+		if !help[fam] || typed[fam] == "" {
+			t.Errorf("sample %s: family %s missing HELP or TYPE", name, fam)
+		}
+	}
+
+	for name, want := range map[string]float64{
+		`pcserved_http_requests_total{endpoint="/measure"}`: 3,
+		`pcserved_http_errors_total{endpoint="/measure"}`:   1,
+		"pcserved_measure_requests_total":                   2,
+		"pcserved_calibration_cache_hits_total":             1,
+		"pcserved_calibration_cache_misses_total":           1,
+	} {
+		if got := samples[name]; got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	// Stage histograms accumulate even though no request asked for a
+	// trace: the observer path is always on.
+	if got := samples[`pcserved_stage_duration_seconds_count{stage="engine-run"}`]; got < 2 {
+		t.Errorf("engine-run stage count = %v, want >= 2", got)
+	}
+	if got := samples[`pcserved_http_request_duration_seconds_count{endpoint="/measure"}`]; got != 3 {
+		t.Errorf("latency histogram count = %v, want 3", got)
+	}
+}
+
+// TestHealthzAndMetricsAgree checks the one-source-of-truth satellite:
+// the JSON health view and the exposition view render the same
+// snapshot counters.
+func TestHealthzAndMetricsAgree(t *testing.T) {
+	srv := newTestServer(t)
+	post(t, srv.URL+"/measure", api.MeasureRequest{
+		Processor: "PD", Stack: "pc", Bench: "loop:700", Runs: 3, Calibrate: true})
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	var h api.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	resp.Body.Close()
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	expo, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	find := func(name string) float64 {
+		for _, line := range strings.Split(string(expo), "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				var v float64
+				if err := json.Unmarshal([]byte(strings.Fields(line)[1]), &v); err != nil {
+					t.Fatalf("parse %q: %v", line, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("metric %s not found", name)
+		return 0
+	}
+	if got := find("pcserved_measure_requests_total"); got != float64(h.Stats.Requests) {
+		t.Errorf("measure_requests_total = %v, healthz requests = %d", got, h.Stats.Requests)
+	}
+	if got := find("pcserved_calibration_cache_misses_total"); got != float64(h.Stats.CalibrationMisses) {
+		t.Errorf("calibration misses disagree: metrics %v, healthz %d", got, h.Stats.CalibrationMisses)
+	}
+	if got := find("pcserved_calibration_cache_entries"); got != float64(h.Calibrations) {
+		t.Errorf("calibration entries disagree: metrics %v, healthz %d", got, h.Calibrations)
+	}
+}
+
+// TestPprofGating checks the profiling satellite: /debug/pprof/ serves
+// the index only when the flag is on, and 404s by default.
+func TestPprofGating(t *testing.T) {
+	off := newTestServer(t)
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET pprof (off): %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof disabled: status = %d, want 404", resp.StatusCode)
+	}
+
+	on := newPprofTestServer(t)
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET pprof (on): %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof enabled: status = %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index does not list profiles: %s", body)
+	}
+}

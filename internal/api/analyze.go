@@ -58,6 +58,10 @@ type AnalyzeItem struct {
 // AnalyzeRequest is the batch body of POST /analyze.
 type AnalyzeRequest struct {
 	Items []AnalyzeItem `json:"items"`
+	// Trace asks for a span trace on the response. Stripped by
+	// Normalized (the canonical batch is trace-free), so traced and
+	// untraced items share coalescing keys.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Normalized validates the item and makes every default explicit.
@@ -271,6 +275,10 @@ type AnalyzeResult struct {
 // in item order.
 type AnalyzeResponse struct {
 	Results []AnalyzeResult `json:"results"`
+	// Trace is the opt-in span trace of the whole batch (request field
+	// "trace": true); item spans carry an "item" annotation. Strip it
+	// and the body is byte-identical to the untraced response.
+	Trace *TraceInfo `json:"trace,omitempty"`
 }
 
 // String renders a compact one-line view of an estimate, used by CLI

@@ -83,6 +83,12 @@ type MeasureRequest struct {
 	// byte-identical measurements, so the choice never changes a result —
 	// it exists for cross-checking and for pinning down engine bugs.
 	Engine string `json:"engine,omitempty"`
+	// Trace asks the service to echo a per-request span trace on the
+	// response. Tracing is observability, not measurement: Normalized
+	// strips the flag, so traced and untraced requests share one
+	// canonical Key (and therefore coalesce together), and the echoed
+	// request never reports it. See docs/OBSERVABILITY.md.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Engine selector values for MeasureRequest.Engine.
@@ -178,6 +184,11 @@ func (r MeasureRequest) Normalized() (MeasureRequest, error) {
 	default:
 		return r, badf("api: bad engine %q (want %s or %s)", r.Engine, EngineInterpreter, EngineCompiled)
 	}
+	// Tracing never changes what is measured, so it is canonicalized
+	// away entirely: the service captures the caller's wish before
+	// normalizing, and the canonical request — the coalescing identity
+	// and the echoed body — is trace-free (fuzz-verified).
+	r.Trace = false
 	return r, nil
 }
 
@@ -287,6 +298,12 @@ type MeasureResponse struct {
 	// for calibration). The paper's thesis as a service contract: no
 	// count leaves the service without an error estimate attached.
 	Accuracy *EstimateInfo `json:"accuracy,omitempty"`
+	// Trace is the opt-in span trace (request field "trace": true). It
+	// is the one deliberately non-deterministic block of the response:
+	// durations are wall time. Stripping it recovers the byte-identical
+	// deterministic body, which is why it is attached to a per-caller
+	// copy after coalescing, never to the shared response.
+	Trace *TraceInfo `json:"trace,omitempty"`
 }
 
 // MaxExperimentRuns bounds ExperimentRequest.Runs. Experiments sweep
@@ -389,6 +406,9 @@ type ServiceStats struct {
 	// Coalesced is how many calls were served by joining an identical
 	// in-flight request instead of executing.
 	Coalesced uint64 `json:"coalesced"`
+	// CoalesceLeaders is how many calls executed as a flight leader
+	// (followers joined them); Coalesced counts the followers.
+	CoalesceLeaders uint64 `json:"coalesceLeaders"`
 	// CalibrationHits and CalibrationMisses count calibration-cache
 	// lookups that were served warm versus computed.
 	CalibrationHits   uint64 `json:"calibrationHits"`

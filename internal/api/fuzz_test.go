@@ -27,6 +27,29 @@ func checkCanonical[T interface{ Key() string }](t *testing.T, norm T, renorm fu
 	}
 }
 
+// checkTraceCanonicalizedAway pins the observability contract: asking
+// for a trace is presentation, not semantics. A request with Trace set
+// must normalize to the same canonical form (same Key, Trace cleared)
+// as its untraced twin, so traced and untraced callers share one
+// coalescing flight and one cache entry.
+func checkTraceCanonicalizedAway[T interface{ Key() string }](t *testing.T, raw, norm T,
+	renorm func(T) (T, error), setTrace func(*T), getTrace func(T) bool) {
+	t.Helper()
+	traced := raw
+	setTrace(&traced)
+	tnorm, err := renorm(traced)
+	if err != nil {
+		t.Fatalf("setting trace broke normalization: %v", err)
+	}
+	if getTrace(tnorm) {
+		t.Fatal("normalization left the trace flag set")
+	}
+	if tnorm.Key() != norm.Key() {
+		t.Fatalf("trace flag changed canonical key:\nuntraced: %s\n  traced: %s",
+			norm.Key(), tnorm.Key())
+	}
+}
+
 func FuzzMeasureRequestNormalized(f *testing.F) {
 	f.Add("K8", "pc", "loop:1000", "ar", "user", "INSTR_RETIRED", 0, 3, uint64(1), true, false)
 	f.Add("PD", "PHpm", "null", "", "", "", 2, 0, uint64(0), false, true)
@@ -50,6 +73,9 @@ func FuzzMeasureRequestNormalized(f *testing.F) {
 		if norm.ShardKey() == "" || norm.CalibrationKey() == "" {
 			t.Fatal("normalized request produced empty shard/calibration key")
 		}
+		checkTraceCanonicalizedAway(t, req, norm, MeasureRequest.Normalized,
+			func(r *MeasureRequest) { r.Trace = true },
+			func(r MeasureRequest) bool { return r.Trace })
 		if _, err := norm.Build(); err != nil {
 			t.Fatalf("normalized request does not build: %v", err)
 		}
@@ -102,6 +128,9 @@ func FuzzPlanRequestNormalized(f *testing.F) {
 		if norm.Mode() != PlanModeDedicated && norm.Mode() != PlanModeMultiplexed {
 			t.Fatalf("normalized plan has no mode: %+v", norm)
 		}
+		checkTraceCanonicalizedAway(t, req, norm, PlanRequest.Normalized,
+			func(r *PlanRequest) { r.Trace = true },
+			func(r PlanRequest) bool { return r.Trace })
 	})
 }
 

@@ -82,6 +82,10 @@ type InferItem struct {
 // InferRequest is the batch body of POST /infer.
 type InferRequest struct {
 	Items []InferItem `json:"items"`
+	// Trace asks for a span trace on the response. Stripped by
+	// Normalized (the canonical batch is trace-free), so traced and
+	// untraced items share coalescing keys.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Normalized validates the input and makes every default explicit.
@@ -375,4 +379,8 @@ type InferResult struct {
 // item order.
 type InferResponse struct {
 	Results []InferResult `json:"results"`
+	// Trace is the opt-in span trace of the whole batch (request field
+	// "trace": true); item spans carry an "item" annotation. Strip it
+	// and the body is byte-identical to the untraced response.
+	Trace *TraceInfo `json:"trace,omitempty"`
 }

@@ -82,6 +82,10 @@ type PlanRequest struct {
 	// information. Posterior intervals are never wider than the fused
 	// ones, and attainment is then judged on them.
 	Posterior bool `json:"posterior,omitempty"`
+	// Trace asks for a span trace on the response. Stripped by
+	// Normalized (the canonical plan is trace-free), so traced and
+	// untraced plans share one coalescing key.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Normalized validates the request and makes every default explicit.
@@ -166,6 +170,9 @@ func (r PlanRequest) Normalized() (PlanRequest, error) {
 	}
 	norm.Events = canonical
 	r.Measure = norm
+	// Tracing is observability, not planning: canonicalized away so the
+	// plan key and echoed request stay trace-free (fuzz-verified).
+	r.Trace = false
 	return r, nil
 }
 
@@ -268,4 +275,9 @@ type PlanResponse struct {
 	// Residuals reports the invariant-consistency verdicts of the
 	// posterior-fusion step, present when the request opted in.
 	Residuals []ResidualInfo `json:"residuals,omitempty"`
+	// Trace is the opt-in span trace (request field "trace": true).
+	// Strip it and the body is byte-identical to the untraced response;
+	// it is attached to a per-caller copy, never the coalesced-shared
+	// response.
+	Trace *TraceInfo `json:"trace,omitempty"`
 }

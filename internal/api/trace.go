@@ -1,0 +1,55 @@
+package api
+
+import "repro/internal/telemetry"
+
+// SpanInfo is one finished span on the wire: a named stage of the
+// request's execution with its offset from the request start and its
+// duration, both in nanoseconds of monotonic time.
+type SpanInfo struct {
+	Name string `json:"name"`
+	// StartNs is the span's start offset from the trace start.
+	StartNs int64 `json:"startNs"`
+	// DurationNs is the span's monotonic duration.
+	DurationNs int64 `json:"durationNs"`
+	// Annotations carries span notes (engine used, cache hit/miss,
+	// worker shard, coalesce role) as ordered key/value pairs.
+	Annotations map[string]string `json:"annotations,omitempty"`
+}
+
+// TraceInfo is the opt-in "trace" block echoed on /measure, /analyze,
+// /plan, and /infer responses when the request set "trace": true. It
+// rides outside the determinism contract: strip it and the remaining
+// body is byte-identical to the untraced response.
+type TraceInfo struct {
+	// Coalesced marks the request a coalesce follower: it was served a
+	// leader's response, so its spans record only its own wait, never a
+	// replay of the leader's execution.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Spans lists finished spans in completion order.
+	Spans []SpanInfo `json:"spans"`
+}
+
+// TraceInfoFrom converts a telemetry trace to its wire form, or nil
+// for a nil trace.
+func TraceInfoFrom(t *telemetry.Trace) *TraceInfo {
+	if t == nil {
+		return nil
+	}
+	spans, coalesced := t.Snapshot()
+	info := &TraceInfo{Coalesced: coalesced, Spans: make([]SpanInfo, len(spans))}
+	for i, sd := range spans {
+		si := SpanInfo{
+			Name:       sd.Name,
+			StartNs:    sd.Start.Nanoseconds(),
+			DurationNs: sd.Duration.Nanoseconds(),
+		}
+		if len(sd.Annotations) > 0 {
+			si.Annotations = make(map[string]string, len(sd.Annotations))
+			for _, a := range sd.Annotations {
+				si.Annotations[a.Key] = a.Value
+			}
+		}
+		info.Spans[i] = si
+	}
+	return info
+}

@@ -230,6 +230,16 @@ func (r *Registry) Len() int {
 	return len(r.campaigns)
 }
 
+// Stats snapshots the registry's gauges under one lock acquisition:
+// Active is campaigns still sweeping, Retained is every registered
+// campaign including finished ones kept for replay. One snapshot feeds
+// both /healthz and /metrics so the views agree.
+func (r *Registry) Stats() (active, retained int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.activeLocked(), len(r.campaigns)
+}
+
 // IDs returns the registered campaign IDs in order.
 func (r *Registry) IDs() []string {
 	r.mu.Lock()

@@ -283,6 +283,16 @@ func (r *Registry) Len() int {
 	return len(r.sessions)
 }
 
+// Stats snapshots the registry's gauges under one lock acquisition:
+// Active is sessions still producing (each pinning a worker), Retained
+// is every registered session including ended ones kept for replay.
+// One snapshot feeds both /healthz and /metrics so the views agree.
+func (r *Registry) Stats() (active, retained int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.activeLocked(), len(r.sessions)
+}
+
 // IDs returns the registered session IDs in order.
 func (r *Registry) IDs() []string {
 	r.mu.Lock()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/mpx"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // perRunStats is one event's observed per-run variability, the input
@@ -156,6 +157,8 @@ func (p *Planner) executeMultiplexed(ctx context.Context, norm api.PlanRequest, 
 	if err != nil {
 		return nil, err
 	}
+	tr := telemetry.FromContext(ctx)
+	sp := tr.Start(telemetry.SpanEngineRun).Annotate("phase", "reference")
 	refSeed := norm.Measure.Seed + uint64(api.MaxPlanRuns)
 	refRuns := make([]mpx.Estimate, 0, norm.PilotRuns)
 	for i := 0; i < norm.PilotRuns; i++ {
@@ -171,6 +174,7 @@ func (p *Planner) executeMultiplexed(ctx context.Context, norm api.PlanRequest, 
 		refRuns = append(refRuns, ests[0])
 	}
 	refM.Close()
+	sp.End()
 	ref, err := accuracy.Multiplex(refRuns, conf)
 	if err != nil {
 		return nil, err
@@ -188,6 +192,11 @@ func (p *Planner) executeMultiplexed(ctx context.Context, norm api.PlanRequest, 
 	}
 	slotRuns := make([][]mpx.Estimate, len(sched.EvList))
 	runTo := func(n int) error {
+		if len(slotRuns[0]) >= n {
+			return nil
+		}
+		sp := tr.Start(telemetry.SpanEngineRun).Annotate("phase", "rotation")
+		defer sp.End()
 		for i := len(slotRuns[0]); i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -206,6 +215,10 @@ func (p *Planner) executeMultiplexed(ctx context.Context, norm api.PlanRequest, 
 	anchorSlots := sched.anchorSlots()
 	var postResiduals []api.ResidualInfo
 	fuseAll := func() ([]api.PlanEstimate, bool, error) {
+		// One fuse span per round; posterior conditioning (when opted in)
+		// is part of the fusion step it refines.
+		sp := tr.Start(telemetry.SpanFuse)
+		defer sp.End()
 		ests := make([]api.PlanEstimate, 0, len(norm.Measure.Events))
 		attained := true
 		for e, name := range norm.Measure.Events {
@@ -433,6 +446,8 @@ func (p *Planner) executeDedicated(ctx context.Context, norm api.PlanRequest, sc
 			return err
 		},
 		func() ([]api.PlanEstimate, bool, error) {
+			sp := telemetry.StartSpan(ctx, telemetry.SpanFuse)
+			defer sp.End()
 			out := make([]api.PlanEstimate, 0, len(ests))
 			attained := true
 			for e, est := range ests {

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 // Planner turns plan requests into executed, fused measurement plans
@@ -56,6 +57,7 @@ type Planner struct {
 
 	plans     atomic.Uint64
 	coalesced atomic.Uint64
+	leaders   atomic.Uint64
 }
 
 // New returns a planner executing on svc's worker pools.
@@ -69,24 +71,51 @@ func (p *Planner) Stats() (plans, coalesced uint64) {
 	return p.plans.Load(), p.coalesced.Load()
 }
 
+// Leaders reports how many plans executed as a flight leader.
+func (p *Planner) Leaders() uint64 { return p.leaders.Load() }
+
 // Do plans, executes, and fuses one request. The response for a given
 // normalized request is deterministic, so identical in-flight requests
 // join one execution (the same service.Flight protocol /measure and
 // /analyze coalesce through).
 func (p *Planner) Do(ctx context.Context, req api.PlanRequest) (*api.PlanResponse, error) {
+	// As in service.Measure: the trace wish is captured before
+	// normalization strips it, so traced and untraced plans share one
+	// coalescing key, and a follower's trace is marked coalesced rather
+	// than replaying the leader's execution spans.
+	wantTrace := req.Trace
+	tr := telemetry.FromContext(ctx)
+	if wantTrace && tr == nil {
+		tr = telemetry.New()
+		ctx = telemetry.NewContext(ctx, tr)
+	}
+	sp := tr.Start(telemetry.SpanCanonicalize)
 	norm, err := req.Normalized()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	p.plans.Add(1)
 
+	wait := tr.Clock()
 	resp, joined, err := p.flight.Do(ctx, norm.Key(), func() (*api.PlanResponse, error) {
 		return p.execute(ctx, norm)
 	})
 	if joined {
 		p.coalesced.Add(1)
+		tr.SetCoalesced()
+		tr.AddSince(telemetry.SpanCoalesceWait, wait)
+	} else {
+		p.leaders.Add(1)
 	}
-	return resp, err
+	if err != nil || !wantTrace {
+		return resp, err
+	}
+	// The trace block is per-caller wall time; never write it onto the
+	// flight-shared response.
+	out := *resp
+	out.Trace = api.TraceInfoFrom(tr)
+	return &out, nil
 }
 
 // execute routes a normalized request to its mode's executor.

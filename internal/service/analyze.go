@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/accuracy"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/mpx"
 	"repro/internal/sampling"
 	stackpkg "repro/internal/stack"
+	"repro/internal/telemetry"
 )
 
 // Analyze serves one batch of analysis items. Items are independent:
@@ -22,7 +24,15 @@ import (
 // normalized batch is deterministic, and identical in-flight items are
 // coalesced.
 func (s *Service) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
+	wantTrace := req.Trace
+	tr := telemetry.FromContext(ctx)
+	if wantTrace && tr == nil {
+		tr = telemetry.New()
+		ctx = telemetry.NewContext(ctx, tr)
+	}
+	sp := tr.Start(telemetry.SpanCanonicalize)
 	norm, err := req.Normalized()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -35,7 +45,7 @@ func (s *Service) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.Ana
 		wg.Add(1)
 		go func(i int, item api.AnalyzeItem) {
 			defer wg.Done()
-			res, err := s.analyzeItem(ctx, item)
+			res, err := s.analyzeItem(ctx, i, item)
 			if err != nil {
 				errs[i] = err
 				return
@@ -51,16 +61,31 @@ func (s *Service) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.Ana
 			return nil, fmt.Errorf("item %d: %w", i, err)
 		}
 	}
+	if wantTrace {
+		// The response is assembled fresh per call (only item results are
+		// flight-shared, and those are copied in by value), so the
+		// timing-dependent trace block can be attached directly.
+		resp.Trace = api.TraceInfoFrom(tr)
+	}
 	return resp, nil
 }
 
 // analyzeItem runs one normalized item with in-flight coalescing.
-func (s *Service) analyzeItem(ctx context.Context, item api.AnalyzeItem) (*api.AnalyzeResult, error) {
+// Batch coalescing is per item: a followed item records its own
+// coalesce-wait span annotated with the item index, while the batch as
+// a whole is never marked coalesced (other items may have executed).
+func (s *Service) analyzeItem(ctx context.Context, i int, item api.AnalyzeItem) (*api.AnalyzeResult, error) {
+	tr := telemetry.FromContext(ctx)
+	wait := tr.Clock()
 	res, joined, err := s.aflight.Do(ctx, item.Key(), func() (*api.AnalyzeResult, error) {
 		return s.executeAnalyze(ctx, item)
 	})
 	if joined {
 		s.coalesced.Add(1)
+		tr.AddSince(telemetry.SpanCoalesceWait, wait,
+			telemetry.Annotation{Key: "item", Value: strconv.Itoa(i)})
+	} else {
+		s.leaders.Add(1)
 	}
 	return res, err
 }
@@ -69,11 +94,14 @@ func (s *Service) analyzeItem(ctx context.Context, item api.AnalyzeItem) (*api.A
 // worker from the item's shard. Each phase starts from a Reset system,
 // so the result is a pure function of the normalized item.
 func (s *Service) executeAnalyze(ctx context.Context, item api.AnalyzeItem) (*api.AnalyzeResult, error) {
+	tr := telemetry.FromContext(ctx)
 	sh, err := s.shard(item.Measure)
 	if err != nil {
 		return nil, err
 	}
+	sp := tr.Start(telemetry.SpanPoolAcquire).Annotate("shard", sh.key)
 	sys, err := sh.checkout(ctx)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +110,7 @@ func (s *Service) executeAnalyze(ctx context.Context, item api.AnalyzeItem) (*ap
 	// Overhead subtraction always consults the calibration cache: the
 	// calibrated fixed error is the first correction term of the
 	// counting model (the paper's Section 8 guideline).
-	cal, err := s.calibration(sh, item.Measure, sys)
+	cal, err := s.calibration(ctx, sh, item.Measure, sys)
 	if err != nil {
 		return nil, err
 	}
@@ -102,21 +130,29 @@ func (s *Service) executeAnalyze(ctx context.Context, item api.AnalyzeItem) (*ap
 	res.Expected = bench.ExpectedInstr
 
 	if item.MpxCounters > 0 {
-		if err := s.analyzeMultiplexed(ctx, item, sys, bench, res); err != nil {
-			return nil, err
-		}
+		sp = tr.Start(telemetry.SpanEngineRun).Annotate("phase", "multiplexed")
+		err = s.analyzeMultiplexed(ctx, item, sys, bench, res)
 	} else {
-		if err := s.analyzeCounting(ctx, item, sys, cal, res); err != nil {
-			return nil, err
-		}
+		sp = tr.Start(telemetry.SpanEngineRun).Annotate("phase", "counting")
+		err = s.analyzeCounting(ctx, item, sys, cal, res)
+	}
+	sp.End()
+	if err != nil {
+		return nil, err
 	}
 	if item.SamplingPeriod > 0 {
-		if err := s.analyzeSampling(ctx, item, sys, bench, res); err != nil {
+		sp = tr.Start(telemetry.SpanEngineRun).Annotate("phase", "sampling")
+		err = s.analyzeSampling(ctx, item, sys, bench, res)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
 	if item.Duet != nil {
-		if err := s.analyzeDuet(ctx, item, sys, res); err != nil {
+		sp = tr.Start(telemetry.SpanEngineRun).Annotate("phase", "duet")
+		err = s.analyzeDuet(ctx, item, sys, res)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}

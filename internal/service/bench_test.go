@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/api"
+	"repro/internal/telemetry"
 )
 
 // calReq is the calibrated request both benchmarks serve; only the
@@ -60,4 +61,44 @@ func BenchmarkMeasureUncalibrated(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTelemetryOverhead compares /measure with telemetry disabled
+// (no trace in the context — the production default for untraced
+// callers before the server middleware, and the path the acceptance
+// criterion bounds at <2% overhead) against the middleware path (an
+// observed trace feeding stage histograms) and the full opt-in path
+// (spans retained for the response).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	req := calReq
+	req.Calibrate = false
+
+	run := func(b *testing.B, ctx func() context.Context) {
+		s := New(Config{WorkersPerShard: 1})
+		r := req
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Vary the seed so iterations execute rather than coalesce.
+			r.Seed = uint64(i + 1)
+			if _, err := s.Measure(ctx(), r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("disabled", func(b *testing.B) {
+		bg := context.Background()
+		run(b, func() context.Context { return bg })
+	})
+	b.Run("observed", func(b *testing.B) {
+		sink := func(telemetry.SpanData) {}
+		run(b, func() context.Context {
+			return telemetry.NewContext(context.Background(), telemetry.NewObserved(sink))
+		})
+	})
+	b.Run("traced", func(b *testing.B) {
+		run(b, func() context.Context {
+			return telemetry.NewContext(context.Background(), telemetry.New())
+		})
+	})
 }

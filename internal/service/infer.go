@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 
 	"repro/internal/api"
 	"repro/internal/bayes"
+	"repro/internal/telemetry"
 )
 
 // Infer serves one batch of joint-inference items: per-event Gaussian
@@ -18,7 +20,15 @@ import (
 // deterministic, identical in-flight items coalesce, and the
 // lowest-index failing item fails the batch.
 func (s *Service) Infer(ctx context.Context, req api.InferRequest) (*api.InferResponse, error) {
+	wantTrace := req.Trace
+	tr := telemetry.FromContext(ctx)
+	if wantTrace && tr == nil {
+		tr = telemetry.New()
+		ctx = telemetry.NewContext(ctx, tr)
+	}
+	sp := tr.Start(telemetry.SpanCanonicalize)
 	norm, err := req.Normalized()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -31,7 +41,7 @@ func (s *Service) Infer(ctx context.Context, req api.InferRequest) (*api.InferRe
 		wg.Add(1)
 		go func(i int, item api.InferItem) {
 			defer wg.Done()
-			res, err := s.inferItem(ctx, item)
+			res, err := s.inferItem(ctx, i, item)
 			if err != nil {
 				errs[i] = err
 				return
@@ -45,16 +55,29 @@ func (s *Service) Infer(ctx context.Context, req api.InferRequest) (*api.InferRe
 			return nil, fmt.Errorf("item %d: %w", i, err)
 		}
 	}
+	if wantTrace {
+		// Assembled fresh per call (item results copied in by value), so
+		// the trace block can be attached directly.
+		resp.Trace = api.TraceInfoFrom(tr)
+	}
 	return resp, nil
 }
 
-// inferItem runs one normalized item with in-flight coalescing.
-func (s *Service) inferItem(ctx context.Context, item api.InferItem) (*api.InferResult, error) {
+// inferItem runs one normalized item with in-flight coalescing. As in
+// analyzeItem, coalescing is per item: a followed item records its
+// coalesce-wait span with the item index.
+func (s *Service) inferItem(ctx context.Context, i int, item api.InferItem) (*api.InferResult, error) {
+	tr := telemetry.FromContext(ctx)
+	wait := tr.Clock()
 	res, joined, err := s.iflight.Do(ctx, item.Key(), func() (*api.InferResult, error) {
 		return s.executeInfer(ctx, item)
 	})
 	if joined {
 		s.coalesced.Add(1)
+		tr.AddSince(telemetry.SpanCoalesceWait, wait,
+			telemetry.Annotation{Key: "item", Value: strconv.Itoa(i)})
+	} else {
+		s.leaders.Add(1)
 	}
 	return res, err
 }
@@ -112,7 +135,11 @@ func (s *Service) executeInfer(ctx context.Context, item api.InferItem) (*api.In
 	if err != nil {
 		return nil, err
 	}
+	sp := telemetry.StartSpan(ctx, telemetry.SpanInferSolve).
+		Annotate("events", strconv.Itoa(len(events))).
+		Annotate("constraints", strconv.Itoa(len(model.Constraints)))
 	sol, err := bayes.Solve(events, means, vars, model)
+	sp.End()
 	if err != nil {
 		// Solver rejections are the request's fault: dependent equality
 		// constraints or malformed terms survive normalization only when

@@ -7,6 +7,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	stackpkg "repro/internal/stack"
+	"repro/internal/telemetry"
 )
 
 // PinnedWorker is a worker checked out of its shard for a long-lived
@@ -32,7 +33,9 @@ func (s *Service) Pin(ctx context.Context, norm api.MeasureRequest) (*PinnedWork
 	if err != nil {
 		return nil, err
 	}
+	sp := telemetry.StartSpan(ctx, telemetry.SpanPoolAcquire).Annotate("shard", sh.key).Annotate("pin", "true")
 	sys, err := sh.checkout(ctx)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +52,9 @@ func (w *PinnedWorker) System() *stackpkg.System { return w.sys }
 // compute: the calibration seed derives from the cache key, not the
 // worker.
 func (w *PinnedWorker) Calibration(norm api.MeasureRequest) (core.Calibration, error) {
-	return w.svc.calibration(w.sh, norm, w.sys)
+	// A pinned worker outlives any one request, so its calibrations are
+	// not attributed to a request trace.
+	return w.svc.calibration(context.Background(), w.sh, norm, w.sys)
 }
 
 // Release returns the worker to its pool. Idempotent: a second call is

@@ -23,7 +23,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -38,6 +37,7 @@ import (
 	"repro/internal/kernel"
 	stackpkg "repro/internal/stack"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Config sizes the service.
@@ -91,6 +91,7 @@ type Service struct {
 	analyzes  atomic.Uint64
 	infers    atomic.Uint64
 	coalesced atomic.Uint64
+	leaders   atomic.Uint64
 	calHits   atomic.Uint64
 	calMisses atomic.Uint64
 	pins      atomic.Uint64
@@ -125,28 +126,61 @@ func (s *Service) runnerFor(name string) cpu.Runner {
 // normalized request is deterministic: callers (and the coalescing
 // layer) may treat it as an immutable value.
 func (s *Service) Measure(ctx context.Context, req api.MeasureRequest) (*api.MeasureResponse, error) {
+	// The trace wish is captured before normalization strips it: the
+	// canonical request — and therefore the coalescing key — is always
+	// trace-free, so traced and untraced duplicates share one flight.
+	wantTrace := req.Trace
+	tr := telemetry.FromContext(ctx)
+	if wantTrace && tr == nil {
+		// In-process callers (tests, tools) get a trace without the HTTP
+		// middleware having installed one.
+		tr = telemetry.New()
+		ctx = telemetry.NewContext(ctx, tr)
+	}
+	sp := tr.Start(telemetry.SpanCanonicalize)
 	norm, err := req.Normalized()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	s.requests.Add(1)
 
+	wait := tr.Clock()
 	resp, joined, err := s.flight.Do(ctx, norm.Key(), func() (*api.MeasureResponse, error) {
 		return s.execute(ctx, norm)
 	})
 	if joined {
 		s.coalesced.Add(1)
+		// A follower's trace stays truthful: it waited on a leader, it
+		// did not execute, so it records the wait and the coalesced mark
+		// rather than a replay of the leader's execution spans.
+		tr.SetCoalesced()
+		tr.AddSince(telemetry.SpanCoalesceWait, wait)
+	} else {
+		s.leaders.Add(1)
 	}
-	return resp, err
+	if err != nil || !wantTrace {
+		return resp, err
+	}
+	// The trace block is wall-time and per-caller, so it must never be
+	// written onto the flight-shared response other callers hold: attach
+	// it to a shallow copy.
+	out := *resp
+	out.Trace = api.TraceInfoFrom(tr)
+	return &out, nil
 }
 
-// execute runs a normalized request on a worker from its shard.
+// execute runs a normalized request on a worker from its shard. Spans
+// land on the flight leader's trace: ctx here is always the leader's.
 func (s *Service) execute(ctx context.Context, norm api.MeasureRequest) (*api.MeasureResponse, error) {
+	tr := telemetry.FromContext(ctx)
 	sh, err := s.shard(norm)
 	if err != nil {
 		return nil, err
 	}
+	sp := tr.Start(telemetry.SpanPoolAcquire).Annotate("shard", sh.key)
 	sys, err := sh.checkout(ctx)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +188,7 @@ func (s *Service) execute(ctx context.Context, norm api.MeasureRequest) (*api.Me
 
 	var cal *core.Calibration
 	if norm.Calibrate {
-		got, err := s.calibration(sh, norm, sys)
+		got, err := s.calibration(ctx, sh, norm, sys)
 		if err != nil {
 			return nil, err
 		}
@@ -166,6 +200,12 @@ func (s *Service) execute(ctx context.Context, norm api.MeasureRequest) (*api.Me
 		return nil, err
 	}
 	creq.Runner = s.runnerFor(norm.Engine)
+
+	engineName := norm.Engine
+	if engineName == "" {
+		engineName = api.EngineCompiled
+	}
+	sp = tr.Start(telemetry.SpanEngineRun).Annotate("engine", engineName)
 
 	// A reset system measures byte-identically to a fresh one, which is
 	// what makes pooled workers interchangeable.
@@ -188,6 +228,9 @@ func (s *Service) execute(ctx context.Context, norm api.MeasureRequest) (*api.Me
 		resp.Deltas = append(resp.Deltas, append([]int64(nil), m.Deltas...))
 		resp.Errors = append(resp.Errors, m.Error(0, creq.Mode))
 	}
+	sp.End()
+
+	sp = tr.Start(telemetry.SpanCorrect)
 	resp.Summary = summarize(resp.Errors)
 	if cal != nil {
 		resp.Calibration = &api.CalibrationInfo{
@@ -201,6 +244,7 @@ func (s *Service) execute(ctx context.Context, norm api.MeasureRequest) (*api.Me
 		}
 	}
 	resp.Accuracy = annotate(resp, cal)
+	sp.End()
 	return resp, nil
 }
 
@@ -264,60 +308,52 @@ func (s *Service) Experiment(ctx context.Context, req api.ExperimentRequest) (*a
 	return &api.ExperimentResponse{ID: req.ID, Title: title, Text: b.String()}, nil
 }
 
-// Health reports pool and counter state.
+// Health reports pool and counter state: the JSON rendering of the
+// Stats snapshot (the same snapshot /metrics renders as exposition, so
+// the two views cannot disagree).
 func (s *Service) Health() api.HealthResponse {
-	s.mu.Lock()
-	keys := make([]string, 0, len(s.shards))
-	for k := range s.shards {
-		keys = append(keys, k)
-	}
-	shards := make([]*shard, 0, len(keys))
-	sort.Strings(keys)
-	for _, k := range keys {
-		shards = append(shards, s.shards[k])
-	}
-	s.mu.Unlock()
+	return HealthFrom(s.Stats())
+}
 
-	hits, misses := s.calHits.Load(), s.calMisses.Load()
+// HealthFrom renders a Stats snapshot as the /healthz wire shape.
+func HealthFrom(st Stats) api.HealthResponse {
 	h := api.HealthResponse{
-		Status: "ok",
-		Shards: make([]api.ShardHealth, 0, len(shards)),
+		Status:       "ok",
+		Shards:       make([]api.ShardHealth, 0, len(st.Shards)),
+		Calibrations: st.Calibrations,
 		Stats: api.ServiceStats{
-			Requests:          s.requests.Load(),
-			Analyzes:          s.analyzes.Load(),
-			Infers:            s.infers.Load(),
-			Coalesced:         s.coalesced.Load(),
-			CalibrationHits:   hits,
-			CalibrationMisses: misses,
-			PinnedWorkers:     s.pins.Load(),
+			Requests:          st.Requests,
+			Analyzes:          st.Analyzes,
+			Infers:            st.Infers,
+			Coalesced:         st.Coalesced,
+			CoalesceLeaders:   st.CoalesceLeaders,
+			CalibrationHits:   st.CalibrationHits,
+			CalibrationMisses: st.CalibrationMisses,
+			PinnedWorkers:     st.PinnedWorkers,
 		},
 	}
-	if hits+misses > 0 {
-		h.CalibrationHitRate = float64(hits) / float64(hits+misses)
+	if total := st.CalibrationHits + st.CalibrationMisses; total > 0 {
+		h.CalibrationHitRate = float64(st.CalibrationHits) / float64(total)
 	}
-	cs := s.compiled.CacheStats()
 	h.Engines = api.EngineHealth{
-		InterpreterRuns:       s.interp.Runs(),
-		CompiledRuns:          s.compiled.Runs(),
-		CompileCacheSize:      cs.Size,
-		CompileCacheCapacity:  cs.Capacity,
-		CompileCacheHits:      cs.Hits,
-		CompileCacheMisses:    cs.Misses,
-		CompileCacheEvictions: cs.Evictions,
+		InterpreterRuns:       st.Engines.InterpreterRuns,
+		CompiledRuns:          st.Engines.CompiledRuns,
+		CompileCacheSize:      st.Engines.CacheSize,
+		CompileCacheCapacity:  st.Engines.CacheCapacity,
+		CompileCacheHits:      st.Engines.CacheHits,
+		CompileCacheMisses:    st.Engines.CacheMisses,
+		CompileCacheEvictions: st.Engines.CacheEvictions,
 	}
-	if total := cs.Hits + cs.Misses; total > 0 {
-		h.Engines.CompileCacheHitRate = float64(cs.Hits) / float64(total)
+	if total := st.Engines.CacheHits + st.Engines.CacheMisses; total > 0 {
+		h.Engines.CompileCacheHitRate = float64(st.Engines.CacheHits) / float64(total)
 	}
-	for _, sh := range shards {
-		idle := len(sh.workers)
-		cals := sh.calCount()
-		h.Calibrations += cals
+	for _, sh := range st.Shards {
 		h.Shards = append(h.Shards, api.ShardHealth{
-			Key:          sh.key,
-			Workers:      sh.size,
-			Idle:         idle,
-			InUse:        sh.size - idle,
-			Calibrations: cals,
+			Key:          sh.Key,
+			Workers:      sh.Workers,
+			Idle:         sh.Idle,
+			InUse:        sh.InUse,
+			Calibrations: sh.Calibrations,
 		})
 	}
 	return h
@@ -424,7 +460,8 @@ func (sh *shard) calCount() int {
 // first request to need it. Computing on the caller's own worker (not a
 // second checkout) keeps a size-1 pool deadlock-free; determinism makes
 // the result independent of which worker ran it.
-func (s *Service) calibration(sh *shard, norm api.MeasureRequest, sys *stackpkg.System) (core.Calibration, error) {
+func (s *Service) calibration(ctx context.Context, sh *shard, norm api.MeasureRequest, sys *stackpkg.System) (core.Calibration, error) {
+	sp := telemetry.StartSpan(ctx, telemetry.SpanCalibrate)
 	key := norm.CalibrationKey()
 	sh.calMu.Lock()
 	e, ok := sh.cal[key]
@@ -455,6 +492,9 @@ func (s *Service) calibration(sh *shard, norm api.MeasureRequest, sys *stackpkg.
 	})
 	if hit {
 		s.calHits.Add(1)
+		sp.Annotate("cache", "hit").End()
+	} else {
+		sp.Annotate("cache", "miss").End()
 	}
 	if e.err != nil {
 		// Leave the failed entry poisoned rather than retrying: the

@@ -1,0 +1,252 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/telemetry"
+)
+
+// stripTrace marshals a response and deletes the trace block, so
+// traced and untraced responses can be compared byte-for-byte on
+// everything the determinism contract covers.
+func stripTrace(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	delete(m, "trace")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("remarshal: %v", err)
+	}
+	return string(out)
+}
+
+// spanNames collects the set of span names present in a trace block.
+func spanNames(ti *api.TraceInfo) map[string]bool {
+	got := make(map[string]bool)
+	if ti == nil {
+		return got
+	}
+	for _, sp := range ti.Spans {
+		got[sp.Name] = true
+	}
+	return got
+}
+
+// TestMeasureTraceOptIn pins the tentpole contract on /measure: a
+// traced request carries a span trace, an untraced one carries none,
+// and the two responses are byte-identical once the trace block is
+// stripped — tracing is presentation, never semantics.
+func TestMeasureTraceOptIn(t *testing.T) {
+	s := New(Config{WorkersPerShard: 1})
+	req := api.MeasureRequest{
+		Processor: "K8", Stack: "pc", Bench: "loop:1000", Pattern: "rr",
+		Runs: 3, Calibrate: true,
+	}
+
+	plain := measure(t, s, req)
+	if plain.Trace != nil {
+		t.Fatalf("untraced request got a trace block: %+v", plain.Trace)
+	}
+
+	traced := req
+	traced.Trace = true
+	withTrace := measure(t, s, traced)
+	if withTrace.Trace == nil {
+		t.Fatal("traced request got no trace block")
+	}
+	if withTrace.Trace.Coalesced {
+		t.Error("uncontended traced request reported coalesced=true")
+	}
+
+	names := spanNames(withTrace.Trace)
+	for _, want := range []string{
+		telemetry.SpanCanonicalize,
+		telemetry.SpanPoolAcquire,
+		telemetry.SpanCalibrate,
+		telemetry.SpanEngineRun,
+		telemetry.SpanCorrect,
+	} {
+		if !names[want] {
+			t.Errorf("traced /measure missing span %q (got %v)", want, names)
+		}
+	}
+	if names[telemetry.SpanCoalesceWait] {
+		t.Error("uncontended request recorded a coalesce-wait span")
+	}
+	catalogue := make(map[string]bool)
+	for _, n := range telemetry.SpanNames() {
+		catalogue[n] = true
+	}
+	for n := range names {
+		if !catalogue[n] {
+			t.Errorf("span %q not in the telemetry catalogue", n)
+		}
+	}
+
+	// Echoed request must be in canonical form: trace flag stripped.
+	if withTrace.Request.Trace {
+		t.Error("response echoes a request with the trace flag still set")
+	}
+	if got, want := stripTrace(t, withTrace), stripTrace(t, plain); got != want {
+		t.Errorf("traced response differs beyond the trace block:\n traced: %s\nuntraced: %s", got, want)
+	}
+}
+
+// TestMeasureTraceCoalescedFollower checks follower truthfulness: when
+// traced and untraced callers coalesce onto one flight, each follower's
+// trace says coalesced=true and records its own coalesce-wait rather
+// than replaying the leader's execution spans — while the response
+// bodies stay byte-identical after stripping the trace.
+func TestMeasureTraceCoalescedFollower(t *testing.T) {
+	s := New(Config{WorkersPerShard: 1})
+	req := api.MeasureRequest{
+		Processor: "PD", Stack: "pc", Bench: "loop:5000", Pattern: "rr", Runs: 8,
+	}
+	traced := req
+	traced.Trace = true
+
+	const n = 16
+	resps := make([]*api.MeasureResponse, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := req
+			if i%2 == 0 {
+				r = traced
+			}
+			resp, err := s.Measure(context.Background(), r)
+			if err != nil {
+				t.Errorf("Measure: %v", err)
+				return
+			}
+			resps[i] = resp
+		}(i)
+	}
+	wg.Wait()
+
+	want := stripTrace(t, resps[0])
+	followers := 0
+	for i, resp := range resps {
+		if resp == nil {
+			t.Fatal("missing response")
+		}
+		if got := stripTrace(t, resp); got != want {
+			t.Errorf("response %d diverges after stripping trace", i)
+		}
+		if i%2 == 1 {
+			if resp.Trace != nil {
+				t.Errorf("untraced caller %d received a trace block", i)
+			}
+			continue
+		}
+		if resp.Trace == nil {
+			t.Errorf("traced caller %d received no trace block", i)
+			continue
+		}
+		if !resp.Trace.Coalesced {
+			continue // this caller led its flight
+		}
+		followers++
+		names := spanNames(resp.Trace)
+		if !names[telemetry.SpanCoalesceWait] {
+			t.Errorf("coalesced follower %d has no coalesce-wait span", i)
+		}
+		// A follower never executed: the leader's execution spans must
+		// not appear replayed in its trace.
+		for _, leaderOnly := range []string{
+			telemetry.SpanPoolAcquire, telemetry.SpanEngineRun, telemetry.SpanCorrect,
+		} {
+			if names[leaderOnly] {
+				t.Errorf("coalesced follower %d replays leader span %q", i, leaderOnly)
+			}
+		}
+	}
+	if followers == 0 {
+		t.Log("no traced caller coalesced (executions missed each other); strip-identity still verified")
+	}
+	if s.leaders.Load() == 0 {
+		t.Error("leader counter never incremented")
+	}
+	if s.leaders.Load()+s.coalesced.Load() != n {
+		t.Errorf("leaders(%d)+followers(%d) != %d requests",
+			s.leaders.Load(), s.coalesced.Load(), n)
+	}
+}
+
+// TestAnalyzeAndInferTraceOptIn covers the batch endpoints: traces are
+// opt-in, annotated per item when coalescing, and stripping them
+// restores byte-identity with the untraced response.
+func TestAnalyzeAndInferTraceOptIn(t *testing.T) {
+	s := New(Config{WorkersPerShard: 1})
+	ctx := context.Background()
+
+	areq := api.AnalyzeRequest{Items: []api.AnalyzeItem{{
+		Measure:     api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000", Runs: 4},
+		MpxCounters: 2,
+	}}}
+	plain, err := s.Analyze(ctx, areq)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced analyze got a trace block")
+	}
+	atraced := areq
+	atraced.Trace = true
+	withTrace, err := s.Analyze(ctx, atraced)
+	if err != nil {
+		t.Fatalf("Analyze traced: %v", err)
+	}
+	if withTrace.Trace == nil || len(withTrace.Trace.Spans) == 0 {
+		t.Fatal("traced analyze got no spans")
+	}
+	if withTrace.Trace.Coalesced {
+		t.Error("batch response marked coalesced; only per-item waits may be")
+	}
+	if got, want := stripTrace(t, withTrace), stripTrace(t, plain); got != want {
+		t.Errorf("traced analyze differs beyond trace:\n traced: %s\nuntraced: %s", got, want)
+	}
+
+	ireq := api.InferRequest{Items: []api.InferItem{{
+		Processor: "K8",
+		Inputs: []api.InferInput{
+			{Event: "INSTR_RETIRED", Mean: 1000, Variance: 100},
+			{Event: "CPU_CLK_UNHALTED", Mean: 2000, Variance: 400},
+		},
+	}}}
+	iplain, err := s.Infer(ctx, ireq)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	if iplain.Trace != nil {
+		t.Fatal("untraced infer got a trace block")
+	}
+	itraced := ireq
+	itraced.Trace = true
+	iwith, err := s.Infer(ctx, itraced)
+	if err != nil {
+		t.Fatalf("Infer traced: %v", err)
+	}
+	if iwith.Trace == nil {
+		t.Fatal("traced infer got no trace block")
+	}
+	if !spanNames(iwith.Trace)[telemetry.SpanInferSolve] {
+		t.Errorf("traced infer missing %s span", telemetry.SpanInferSolve)
+	}
+	if got, want := stripTrace(t, iwith), stripTrace(t, iplain); got != want {
+		t.Errorf("traced infer differs beyond trace:\n traced: %s\nuntraced: %s", got, want)
+	}
+}

@@ -1,0 +1,231 @@
+// Package telemetry is the dependency-free observability layer of the
+// serving stack: request traces (named spans with monotonic durations
+// and annotations, carried via context.Context), a small metrics
+// registry (counters, gauges, log-spaced histograms) rendered as
+// Prometheus text exposition, and the span catalogue every layer
+// shares. The design constraint is the paper's own discipline turned
+// inward — observe everything, but prove the observer costs ~nothing:
+// every Trace and Span method is nil-safe, so the disabled path (no
+// trace in the context) is a couple of nil checks with no clock reads
+// and no allocation.
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span names shared by every instrumented layer. The catalogue is
+// closed on purpose: a fixed set keeps the per-stage histogram label
+// space bounded and lets docs/OBSERVABILITY.md enumerate every span a
+// trace can carry.
+const (
+	SpanParse        = "parse"         // HTTP body decode (handleJSON)
+	SpanCanonicalize = "canonicalize"  // request normalization
+	SpanCoalesceWait = "coalesce-wait" // follower waiting on a flight leader
+	SpanPoolAcquire  = "pool-acquire"  // worker checkout from a shard pool
+	SpanCalibrate    = "calibrate"     // calibration lookup or run
+	SpanEngineRun    = "engine-run"    // benchmark execution on an engine
+	SpanCorrect      = "correct"       // accuracy correction / annotation
+	SpanFuse         = "fuse"          // plan estimate fusion
+	SpanInferSolve   = "infer-solve"   // bayes constraint solve
+	SpanEncode       = "encode"        // HTTP response encode (handleJSON)
+)
+
+// SpanNames lists the full span catalogue in a stable order, used to
+// pre-bind the per-stage duration histograms.
+func SpanNames() []string {
+	return []string{
+		SpanParse, SpanCanonicalize, SpanCoalesceWait, SpanPoolAcquire,
+		SpanCalibrate, SpanEngineRun, SpanCorrect, SpanFuse,
+		SpanInferSolve, SpanEncode,
+	}
+}
+
+// Annotation is one key=value note on a span (engine used, cache
+// hit/miss, worker shard, ...).
+type Annotation struct {
+	Key   string
+	Value string
+}
+
+// SpanData is one finished span: its name, offset from the trace
+// start, duration, and annotations. Durations come from the monotonic
+// clock (time.Since), so they are immune to wall-clock steps.
+type SpanData struct {
+	Name        string
+	Start       time.Duration // offset from the trace's start
+	Duration    time.Duration
+	Annotations []Annotation
+}
+
+// Observer receives every finished span of a trace, letting the HTTP
+// layer feed per-stage metrics from the same spans a caller can opt
+// into seeing. Observers must be safe for concurrent use: batch
+// endpoints finish spans from many goroutines.
+type Observer func(SpanData)
+
+// Trace accumulates the spans of one request. The zero value is not
+// used; a nil *Trace is the disabled state and every method on it is a
+// cheap no-op, so call sites never branch on enablement.
+type Trace struct {
+	observer Observer
+	start    time.Time
+
+	mu        sync.Mutex
+	spans     []SpanData
+	coalesced bool
+}
+
+// New returns an enabled trace with no observer (spans are retained
+// for Snapshot only).
+func New() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// NewObserved returns an enabled trace whose finished spans are also
+// delivered to obs.
+func NewObserved(obs Observer) *Trace {
+	return &Trace{observer: obs, start: time.Now()}
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying tr.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil when the
+// request is untraced. The nil return composes with the nil-safe
+// methods: tr := FromContext(ctx); defer tr.Start(name).End() is
+// correct and near-free either way.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}
+
+// StartSpan opens a span on the context's trace, if any.
+func StartSpan(ctx context.Context, name string) *Span {
+	return FromContext(ctx).Start(name)
+}
+
+// Span is one in-progress span. A nil *Span (from a nil trace) is a
+// valid no-op.
+type Span struct {
+	t      *Trace
+	name   string
+	start  time.Time
+	annots []Annotation
+}
+
+// Start opens a named span. On a nil trace it returns nil without
+// reading the clock.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// Annotate attaches a key=value note and returns the span for
+// chaining.
+func (s *Span) Annotate(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.annots = append(s.annots, Annotation{Key: key, Value: value})
+	return s
+}
+
+// End finishes the span and records it on the trace.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.t.record(SpanData{
+		Name:        s.name,
+		Start:       s.start.Sub(s.t.start),
+		Duration:    now.Sub(s.start),
+		Annotations: s.annots,
+	})
+}
+
+// Clock returns the current time when the trace is enabled and the
+// zero time otherwise, so disabled paths skip the clock read entirely.
+// Pair with AddSince for spans whose start predates knowing their
+// name (or whose body is a call that must not see the span open).
+func (t *Trace) Clock() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// AddSince records a span retroactively, from start (a Clock() value)
+// to now. A zero start — the disabled-trace Clock — records nothing
+// even on an enabled trace, so callers never pair a live trace with a
+// dead timestamp.
+func (t *Trace) AddSince(name string, start time.Time, annots ...Annotation) {
+	if t == nil || start.IsZero() {
+		return
+	}
+	now := time.Now()
+	t.record(SpanData{
+		Name:        name,
+		Start:       start.Sub(t.start),
+		Duration:    now.Sub(start),
+		Annotations: annots,
+	})
+}
+
+// Add records a span with an externally measured duration, anchored
+// at the current offset.
+func (t *Trace) Add(name string, d time.Duration, annots ...Annotation) {
+	if t == nil {
+		return
+	}
+	t.record(SpanData{
+		Name:        name,
+		Start:       time.Since(t.start) - d,
+		Duration:    d,
+		Annotations: annots,
+	})
+}
+
+// SetCoalesced marks the trace's request as a coalesce follower: it
+// received a leader's response rather than executing itself. The
+// follower's spans stay truthful — canonicalize plus coalesce-wait,
+// never a replay of the leader's execution.
+func (t *Trace) SetCoalesced() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.coalesced = true
+	t.mu.Unlock()
+}
+
+func (t *Trace) record(sd SpanData) {
+	t.mu.Lock()
+	t.spans = append(t.spans, sd)
+	t.mu.Unlock()
+	if t.observer != nil {
+		t.observer(sd)
+	}
+}
+
+// Snapshot returns a copy of the finished spans in completion order
+// and the coalesced flag. Nil-safe: a nil trace snapshots empty.
+func (t *Trace) Snapshot() ([]SpanData, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans := make([]SpanData, len(t.spans))
+	copy(spans, t.spans)
+	return spans, t.coalesced
+}

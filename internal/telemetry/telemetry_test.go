@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatalf("nil trace Start returned non-nil span")
+	}
+	sp.Annotate("k", "v") // must not panic
+	sp.End()
+	if !tr.Clock().IsZero() {
+		t.Fatalf("nil trace Clock not zero")
+	}
+	tr.AddSince("x", time.Time{})
+	tr.Add("x", time.Millisecond)
+	tr.SetCoalesced()
+	spans, coalesced := tr.Snapshot()
+	if spans != nil || coalesced {
+		t.Fatalf("nil trace Snapshot = %v, %v", spans, coalesced)
+	}
+}
+
+func TestFromContextAbsent(t *testing.T) {
+	if tr := FromContext(context.Background()); tr != nil {
+		t.Fatalf("FromContext on bare context = %v, want nil", tr)
+	}
+	if sp := StartSpan(context.Background(), "x"); sp != nil {
+		t.Fatalf("StartSpan on bare context = %v, want nil", sp)
+	}
+}
+
+func TestTraceRecordsSpans(t *testing.T) {
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %p, want %p", got, tr)
+	}
+	sp := StartSpan(ctx, SpanEngineRun)
+	sp.Annotate("engine", "compiled").Annotate("shard", "K8/pc")
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	start := tr.Clock()
+	time.Sleep(time.Millisecond)
+	tr.AddSince(SpanCoalesceWait, start, Annotation{Key: "role", Value: "follower"})
+	tr.SetCoalesced()
+
+	spans, coalesced := tr.Snapshot()
+	if !coalesced {
+		t.Fatalf("coalesced not set")
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != SpanEngineRun || spans[0].Duration <= 0 {
+		t.Fatalf("bad first span: %+v", spans[0])
+	}
+	if len(spans[0].Annotations) != 2 || spans[0].Annotations[0].Value != "compiled" {
+		t.Fatalf("bad annotations: %+v", spans[0].Annotations)
+	}
+	if spans[1].Name != SpanCoalesceWait || spans[1].Duration <= 0 {
+		t.Fatalf("bad second span: %+v", spans[1])
+	}
+}
+
+func TestAddSinceIgnoresZeroStart(t *testing.T) {
+	tr := New()
+	tr.AddSince("x", time.Time{})
+	if spans, _ := tr.Snapshot(); len(spans) != 0 {
+		t.Fatalf("AddSince with zero start recorded %d spans", len(spans))
+	}
+}
+
+func TestObserverSeesEverySpan(t *testing.T) {
+	var seen []string
+	tr := NewObserved(func(sd SpanData) { seen = append(seen, sd.Name) })
+	tr.Start(SpanParse).End()
+	tr.Add(SpanEncode, time.Microsecond)
+	if len(seen) != 2 || seen[0] != SpanParse || seen[1] != SpanEncode {
+		t.Fatalf("observer saw %v", seen)
+	}
+}
+
+func TestSpanNamesStable(t *testing.T) {
+	names := SpanNames()
+	if len(names) != 10 {
+		t.Fatalf("span catalogue has %d names, want 10", len(names))
+	}
+	uniq := map[string]bool{}
+	for _, n := range names {
+		if uniq[n] {
+			t.Fatalf("duplicate span name %s", n)
+		}
+		uniq[n] = true
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(1e-4, 10, 3)
+	if len(b) == 0 {
+		t.Fatal("no buckets")
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets not ascending at %d: %v", i, b)
+		}
+	}
+	if b[0] != 1e-4 {
+		t.Fatalf("first bucket %v, want 1e-4", b[0])
+	}
+	if last := b[len(b)-1]; last < 9.99 || last > 10.01 {
+		t.Fatalf("last bucket %v, want ~10", last)
+	}
+	// Three per decade across five decades: 16 bounds inclusive.
+	if len(b) != 16 {
+		t.Fatalf("got %d buckets, want 16: %v", len(b), b)
+	}
+}
+
+func TestHistogramObserveAndExposition(t *testing.T) {
+	r := NewRegistry()
+	hv := r.NewHistogramVec("test_duration_seconds", "Test durations.", []float64{0.001, 0.01, 0.1}, "stage")
+	h := hv.With("parse")
+	h.Observe(500 * time.Microsecond) // bucket 0.001
+	h.Observe(5 * time.Millisecond)   // bucket 0.01
+	h.Observe(2 * time.Second)        // +Inf
+	if h.Count() != 3 {
+		t.Fatalf("count %d, want 3", h.Count())
+	}
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_duration_seconds Test durations.",
+		"# TYPE test_duration_seconds histogram",
+		`test_duration_seconds_bucket{stage="parse",le="0.001"} 1`,
+		`test_duration_seconds_bucket{stage="parse",le="0.01"} 2`,
+		`test_duration_seconds_bucket{stage="parse",le="0.1"} 2`,
+		`test_duration_seconds_bucket{stage="parse",le="+Inf"} 3`,
+		`test_duration_seconds_count{stage="parse"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVecExposition(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("test_requests_total", "Test requests.", "endpoint")
+	cv.With("/measure").Add(3)
+	cv.With("/plan").Inc()
+	cv.With("/measure").Inc() // same child
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_requests_total{endpoint="/measure"} 4`,
+		`test_requests_total{endpoint="/plan"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateFamilyPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("dup_total", "one")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate family did not panic")
+		}
+	}()
+	r.NewCounterVec("dup_total", "two")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("esc_total", "escapes", "k")
+	cv.With(`a"b\c` + "\n").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `esc_total{k="a\"b\\c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestExpoSharedFormatter(t *testing.T) {
+	var b strings.Builder
+	e := NewExpo(&b)
+	e.Family("pool_workers", "Workers by state.", "gauge")
+	e.Sample(3, Annotation{Key: "shard", Value: "K8/pc"}, Annotation{Key: "state", Value: "idle"})
+	e.Sample(1.5)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP pool_workers Workers by state.",
+		"# TYPE pool_workers gauge",
+		`pool_workers{shard="K8/pc",state="idle"} 3`,
+		"pool_workers 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
