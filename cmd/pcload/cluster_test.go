@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/cluster"
+	"repro/internal/monitor"
+	"repro/internal/server"
+)
+
+// newClusterFleet spins n real pcserved nodes and a pcfront over them,
+// returning the front URL, the direct URL of node 0, and the backend
+// servers (for mid-run kills).
+func newClusterFleet(t *testing.T, n int) (front, direct string, backends []*httptest.Server) {
+	t.Helper()
+	urls := make([]string, n)
+	backends = make([]*httptest.Server, n)
+	for i := range backends {
+		node := server.New(server.Config{
+			Workers:         2,
+			CalibrationRuns: 5,
+			Monitor:         monitor.Config{SweepInterval: -1},
+			Campaign:        campaign.Config{SweepInterval: -1},
+		})
+		t.Cleanup(node.Close)
+		backends[i] = httptest.NewServer(node.Handler())
+		t.Cleanup(backends[i].Close)
+		urls[i] = backends[i].URL
+	}
+	f, err := cluster.NewFront(cluster.Config{
+		Backends:      urls,
+		ProbeInterval: -1,
+		HedgeAfter:    -1,
+		FailAfter:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	fsrv := httptest.NewServer(f.Handler())
+	t.Cleanup(fsrv.Close)
+	return fsrv.URL, urls[0], backends
+}
+
+// TestRunCluster drives the -cluster workload against a real 3-node
+// fleet: zero failures, every body byte-identical to the direct node.
+func TestRunCluster(t *testing.T) {
+	front, direct, _ := newClusterFleet(t, 3)
+	var buf bytes.Buffer
+	if err := runCluster(&buf, front, direct, "K8/pc,CD/pc", 16, 4, 2); err != nil {
+		t.Fatalf("runCluster: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"(0 failed)",
+		"byte-identity:",
+		"fleet:",
+		"encode share:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunClusterSurvivesNodeKill kills one backend before the run: the
+// front must fail over with zero failed requests and the bodies must
+// still match the direct node byte for byte.
+func TestRunClusterSurvivesNodeKill(t *testing.T) {
+	front, direct, backends := newClusterFleet(t, 3)
+	backends[1].Close() // not the direct node — the oracle must survive
+	var buf bytes.Buffer
+	if err := runCluster(&buf, front, direct, "K8/pc", 12, 4, 2); err != nil {
+		t.Fatalf("runCluster with a dead node: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "(0 failed)") {
+		t.Errorf("expected zero failures after node kill:\n%s", buf.String())
+	}
+}
+
+// TestRunClusterValidation: the mode needs its oracle.
+func TestRunClusterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runCluster(&buf, "http://x", "", "K8/pc", 4, 2, 2); err == nil {
+		t.Fatal("runCluster without -direct succeeded")
+	}
+	if err := runCluster(&buf, "http://x", "http://y", "K8/pc", 4, 0, 2); err == nil {
+		t.Fatal("runCluster with zero workers succeeded")
+	}
+}
+
+// TestPromHistogramP99 checks the bucket interpolation against a
+// hand-built exposition.
+func TestPromHistogramP99(t *testing.T) {
+	text := []byte(strings.Join([]string{
+		`fam_bucket{stage="encode",le="0.001"} 90`,
+		`fam_bucket{stage="encode",le="0.01"} 100`,
+		`fam_bucket{stage="encode",le="+Inf"} 100`,
+		`fam_bucket{stage="other",le="+Inf"} 5`,
+	}, "\n"))
+	p99, ok := promHistogramP99(text, "fam_bucket", `stage="encode"`)
+	if !ok {
+		t.Fatal("no histogram found")
+	}
+	// target = 99 of 100; bucket (0.001, 0.01] holds counts 90..100, so
+	// p99 interpolates 90% into it.
+	want := 0.001 + 0.9*(0.01-0.001)
+	if p99 < want-1e-9 || p99 > want+1e-9 {
+		t.Fatalf("p99 = %v, want %v", p99, want)
+	}
+	if _, ok := promHistogramP99(text, "fam_bucket", `stage="missing"`); ok {
+		t.Fatal("matched a label set that does not exist")
+	}
+}

@@ -63,6 +63,17 @@
 // is stripped — the client-side check of the observability contract
 // (docs/OBSERVABILITY.md).
 //
+// With -cluster, -addr names a pcfront cluster front end instead of a
+// single node: the mixed rotation is driven through the proxy, then
+// every distinct request is re-issued once against the -direct node
+// and the bodies compared byte for byte — the cluster contract (an
+// N-node fleet is byte-identical to one node) proven from the client
+// side, including under node kill and restart. The report adds the
+// routing view (attempts and hedges from the X-Pcfront-* headers, the
+// fleet state from the front's /healthz) and the encode-stage share of
+// the direct node's /measure p99, the measurement behind the
+// pooled-encoder decision in docs/CLUSTER.md.
+//
 // Usage:
 //
 //	pcload -addr http://localhost:7090 -n 200 -c 8 -calibrate
@@ -75,6 +86,7 @@
 //	pcload -addr http://localhost:7090 -campaign -campaigns 6 -programs 4
 //	pcload -addr http://localhost:7090 -mixed -n 64 -c 8
 //	pcload -addr http://localhost:7090 -trace -n 32 -c 4
+//	pcload -addr http://localhost:7080 -cluster -direct http://localhost:7090 -n 64 -c 8
 package main
 
 import (
@@ -117,19 +129,23 @@ func main() {
 		programs  = flag.Int("programs", 4, "generated programs per campaign with -campaign")
 		mixed     = flag.Bool("mixed", false, "rotate every request through /measure, /analyze, /plan, and /infer; the report splits latency percentiles per endpoint")
 		traceMode = flag.Bool("trace", false, "drive traced+untraced request pairs across all endpoints, asserting span presence and byte-identity once the trace block is stripped")
+		clusterOn = flag.Bool("cluster", false, "treat -addr as a pcfront cluster: drive the mixed rotation through it and cross-check every response byte-identical to the -direct node")
+		directURL = flag.String("direct", "", "direct pcserved base URL the -cluster cross-check compares against")
 	)
 	flag.Parse()
 
 	var err error
 	modes := 0
-	for _, on := range []bool{*monitor, *planMode, *analyze, *inferMode, *engine, *campMode, *mixed, *traceMode} {
+	for _, on := range []bool{*monitor, *planMode, *analyze, *inferMode, *engine, *campMode, *mixed, *traceMode, *clusterOn} {
 		if on {
 			modes++
 		}
 	}
 	switch {
 	case modes > 1:
-		err = fmt.Errorf("-analyze, -monitor, -plan, -infer, -engine, -campaign, -mixed, and -trace are mutually exclusive workloads")
+		err = fmt.Errorf("-analyze, -monitor, -plan, -infer, -engine, -campaign, -mixed, -trace, and -cluster are mutually exclusive workloads")
+	case *clusterOn:
+		err = runCluster(os.Stdout, *addr, *directURL, *mixSpec, *n, *c, *runs)
 	case *mixed:
 		err = runMixed(os.Stdout, *addr, *mixSpec, *n, *c, *runs)
 	case *traceMode:
@@ -217,7 +233,14 @@ func run(w io.Writer, addr, mixSpec string, n, c, runs, seeds int, calibrate, an
 		return err
 	}
 	results, elapsed := executePlan(addr, plan, c)
-	return report(w, results, elapsed, calibrate)
+	if err := report(w, results, elapsed, calibrate); err != nil {
+		return err
+	}
+	// The serialization-share measurement behind the pooled-encoder
+	// decision (docs/CLUSTER.md), computed from the server's own stage
+	// histograms now that this run has populated them.
+	reportEncodeShare(w, addr)
+	return nil
 }
 
 // executePlan fires a work plan through c concurrent workers and

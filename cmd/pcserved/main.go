@@ -1,7 +1,9 @@
 // Command pcserved serves the measurement apparatus over HTTP: a
 // long-running, concurrent front end to the simulated systems of the
 // paper, backed by internal/service's sharded worker pools, calibration
-// cache, and request coalescing.
+// cache, and request coalescing. The route table, registries, and
+// telemetry middleware live in internal/server; this command adds
+// flags, the listener, and signal-driven graceful drain.
 //
 // Endpoints:
 //
@@ -63,6 +65,10 @@
 // with "trace": true get their span trace echoed in the response, with
 // canonical keys and coalescing unchanged. See docs/OBSERVABILITY.md.
 //
+// Because responses are deterministic, a fleet of pcserved nodes is
+// byte-identical to one node; cmd/pcfront consistent-hashes canonical
+// request keys across such a fleet. See docs/CLUSTER.md.
+//
 // Usage:
 //
 //	pcserved -addr :7090 -workers 4 -calruns 31
@@ -71,26 +77,18 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
-	"repro/internal/api"
 	"repro/internal/campaign"
-	"repro/internal/core"
 	"repro/internal/monitor"
-	"repro/internal/plan"
-	"repro/internal/service"
-	"repro/internal/telemetry"
+	"repro/internal/server"
 )
 
 func main() {
@@ -107,32 +105,29 @@ func main() {
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
-		WorkersPerShard:          *workers,
-		CalibrationRuns:          *calruns,
-		MaxConcurrentExperiments: *maxexp,
+	node := server.New(server.Config{
+		Workers:         *workers,
+		CalibrationRuns: *calruns,
+		MaxExperiments:  *maxexp,
+		Monitor: monitor.Config{
+			MaxSessions: *maxsessions,
+			IdleTimeout: *sessionidle,
+		},
+		Campaign: campaign.Config{
+			MaxCampaigns: *maxcampaigns,
+			IdleTimeout:  *campaignidle,
+		},
+		Pprof: *pprofOn,
 	})
-	reg := monitor.NewRegistry(svc, monitor.Config{
-		MaxSessions: *maxsessions,
-		IdleTimeout: *sessionidle,
-	})
-	planner := plan.New(svc)
-	creg := campaign.NewRegistry(campaign.Services{
-		Measure: svc.Measure,
-		Infer:   svc.Infer,
-		Plan:    planner.Do,
-	}, campaign.Config{
-		MaxCampaigns: *maxcampaigns,
-		IdleTimeout:  *campaignidle,
-	})
+	readHeader, read, idle := server.Timeouts()
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newHandler(svc, reg, creg, planner, handlerConfig{pprof: *pprofOn}),
+		Handler: node.Handler(),
 		// A hostile or stalled client must not hold a connection open
 		// while it dribbles in headers or a request body.
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
+		ReadHeaderTimeout: readHeader,
+		ReadTimeout:       read,
+		IdleTimeout:       idle,
 		// WriteTimeout stays 0 deliberately: /sessions/{id}/stream holds
 		// its response open for the session's whole lifetime, and a
 		// server-wide write deadline would sever every live stream. The
@@ -147,12 +142,10 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
-		// Drain order matters: closing the registries first ends every
-		// session and campaign with a drained end event, so open NDJSON
-		// streams terminate cleanly and Shutdown's wait for in-flight
-		// requests can finish instead of hanging on live streams.
-		creg.Close()
-		reg.Close()
+		// node.Close ends every session and campaign with a drained end
+		// event first, so Shutdown's wait for in-flight requests can
+		// finish instead of hanging on live streams.
+		node.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
@@ -167,152 +160,4 @@ func main() {
 	stop()
 	<-drained
 	log.Printf("pcserved: drained, exiting")
-}
-
-// handlerConfig carries front-end options that are not services.
-type handlerConfig struct {
-	// pprof mounts net/http/pprof under /debug/pprof/ (the -pprof
-	// flag). Off by default: profiling endpoints expose internals and
-	// cost CPU while sampling, so production opts in explicitly.
-	pprof bool
-}
-
-// router is the route-registration surface shared by the raw mux and
-// the instrumenting wrapper, so route files register the same way
-// whether or not they are measured.
-type router interface {
-	HandleFunc(pattern string, handler func(http.ResponseWriter, *http.Request))
-}
-
-// instrumentedRouter registers every handler wrapped in the
-// per-endpoint telemetry middleware, labeled by route pattern.
-type instrumentedRouter struct {
-	mux *http.ServeMux
-	ts  *telemetrySet
-}
-
-func (ir instrumentedRouter) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {
-	ir.mux.HandleFunc(pattern, ir.ts.instrument(endpointLabel(pattern), h))
-}
-
-// endpointLabel derives the metric label from a route pattern: the
-// path template with the method dropped ("POST /measure" becomes
-// "/measure"). Wildcards stay as templates ("/sessions/{id}"), so
-// label cardinality is bounded by the route table, never by URLs.
-func endpointLabel(pattern string) string {
-	if _, path, ok := strings.Cut(pattern, " "); ok {
-		return path
-	}
-	return pattern
-}
-
-// newHandler wires the service, session and campaign registries, and
-// planner into an HTTP mux. Split out of main so tests can drive the
-// exact production routing in-process. Every route is registered
-// through the telemetry middleware; /metrics serves the accumulated
-// exposition plus the same Stats snapshot /healthz renders as JSON.
-func newHandler(svc *service.Service, reg *monitor.Registry, creg *campaign.Registry, planner *plan.Planner, cfg handlerConfig) http.Handler {
-	mux := http.NewServeMux()
-	ts := newTelemetrySet()
-	ir := instrumentedRouter{mux: mux, ts: ts}
-	registerSessionRoutes(ir, reg)
-	registerCampaignRoutes(ir, creg)
-	ir.HandleFunc("POST /measure", handleJSON(statusFor, http.StatusOK,
-		func(r *http.Request, req api.MeasureRequest) (*api.MeasureResponse, error) {
-			return svc.Measure(r.Context(), req)
-		}))
-	ir.HandleFunc("POST /analyze", handleJSON(statusFor, http.StatusOK,
-		func(r *http.Request, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
-			return svc.Analyze(r.Context(), req)
-		}))
-	ir.HandleFunc("POST /plan", handleJSON(statusFor, http.StatusOK,
-		func(r *http.Request, req api.PlanRequest) (*api.PlanResponse, error) {
-			return planner.Do(r.Context(), req)
-		}))
-	ir.HandleFunc("POST /infer", handleJSON(statusFor, http.StatusOK,
-		func(r *http.Request, req api.InferRequest) (*api.InferResponse, error) {
-			return svc.Infer(r.Context(), req)
-		}))
-	ir.HandleFunc("POST /experiment", handleJSON(statusFor, http.StatusOK,
-		func(r *http.Request, req api.ExperimentRequest) (*api.ExperimentResponse, error) {
-			return svc.Experiment(r.Context(), req)
-		}))
-	ir.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		// The service owns pool and cache state; the session and campaign
-		// registries are the front end's, so their live counts are
-		// overlaid here — from the same one-lock snapshots /metrics uses.
-		h := svc.Health()
-		h.ActiveSessions, _ = reg.Stats()
-		h.ActiveCampaigns, _ = creg.Stats()
-		writeJSON(w, http.StatusOK, h)
-	})
-	ir.HandleFunc("GET /metrics", ts.serveMetrics(svc, reg, creg, planner))
-	if cfg.pprof {
-		// Explicit registrations rather than the package's init-time
-		// DefaultServeMux side effects: the flag, not the import, decides
-		// exposure. Index serves the named-profile subpaths (heap,
-		// goroutine, ...) under the trailing slash.
-		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	}
-	return mux
-}
-
-// handleJSON is the one shape every JSON endpoint shares: decode the
-// body (a malformed body is always the client's fault), run the
-// handler, map its error to a status with the given policy, and write
-// either the api.Error body or the response at the success code. One
-// helper means every endpoint emits the same error shape.
-func handleJSON[Req, Resp any](status func(error) int, code int, do func(*http.Request, Req) (Resp, error)) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		tr := telemetry.FromContext(r.Context())
-		pstart := tr.Clock()
-		var req Req
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-			return
-		}
-		tr.AddSince(telemetry.SpanParse, pstart)
-		resp, err := do(r, req)
-		if err != nil {
-			writeError(w, status(err), err)
-			return
-		}
-		// The encode span cannot appear in the response it times — the
-		// body is sealed before the span ends — so it feeds the stage
-		// histogram only (docs/OBSERVABILITY.md).
-		estart := tr.Clock()
-		writeJSON(w, code, resp)
-		tr.AddSince(telemetry.SpanEncode, estart)
-	}
-}
-
-// statusFor maps service errors to HTTP statuses: invalid requests are
-// the client's fault, everything else the server's.
-func statusFor(err error) int {
-	var unsupported *core.ErrUnsupportedPattern
-	switch {
-	case errors.Is(err, api.ErrBadRequest),
-		errors.As(err, &unsupported),
-		errors.Is(err, service.ErrUnknownExperiment):
-		return http.StatusBadRequest
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return http.StatusServiceUnavailable
-	}
-	return http.StatusInternalServerError
-}
-
-// writeJSON writes v as the JSON response body.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-// writeError writes the service's JSON error body.
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, api.Error{Error: err.Error()})
 }

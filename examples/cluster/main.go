@@ -1,0 +1,134 @@
+// Cluster: the coordinator tier in process — a 3-node fleet of real
+// pcserved nodes (internal/server) behind the consistent-hash front
+// (internal/cluster, the engine behind cmd/pcfront). The demo proves
+// the cluster contract from the outside:
+//
+//  1. Byte-identity: the same request answered through the front and
+//     directly by each node, all four bodies identical byte for byte —
+//     determinism makes placement an efficiency decision, not a
+//     correctness one.
+//  2. Affinity: identical requests hash to one owning node, so that
+//     node's calibration cache and request coalescing see every twin.
+//  3. Failover: kill the owning node; the next request fails over to a
+//     surviving replica and the body does not change.
+//  4. Drain: drain a node, watch new keys route around it, undrain.
+//
+// See docs/CLUSTER.md for the topology, hashing, hedging, and drain
+// semantics.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/api"
+	"repro/internal/campaign"
+	"repro/internal/cluster"
+	"repro/internal/monitor"
+	"repro/internal/server"
+)
+
+func main() {
+	// Three real measurement nodes, each the full pcserved handler.
+	var urls []string
+	var backends []*httptest.Server
+	for i := 0; i < 3; i++ {
+		node := server.New(server.Config{
+			Workers:         2,
+			CalibrationRuns: 5,
+			Monitor:         monitor.Config{SweepInterval: -1},
+			Campaign:        campaign.Config{SweepInterval: -1},
+		})
+		defer node.Close()
+		srv := httptest.NewServer(node.Handler())
+		defer srv.Close()
+		backends = append(backends, srv)
+		urls = append(urls, srv.URL)
+	}
+
+	front, err := cluster.NewFront(cluster.Config{
+		Backends:      urls,
+		ProbeInterval: -1, // no background prober in a demo
+		HedgeAfter:    -1,
+		FailAfter:     1, // first transport failure ejects a dead node
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer front.Close()
+	proxy := httptest.NewServer(front.Handler())
+	defer proxy.Close()
+
+	req := api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:10000", Pattern: "rr", Runs: 5}
+	body, _ := json.Marshal(req)
+
+	// 1. Byte-identity: through the front vs directly on every node.
+	viaFront, backend := post(proxy.URL+"/measure", body)
+	identical := true
+	for _, b := range backends {
+		direct, _ := post(b.URL+"/measure", body)
+		identical = identical && bytes.Equal(viaFront, direct)
+	}
+	fmt.Printf("byte-identity: front answer (%d bytes, served by %s) matches all 3 direct answers: %v\n",
+		len(viaFront), backend, identical)
+
+	// 2. Affinity: the ring owner serves every identical request.
+	key, err := api.RequestKeyForPath("/measure", body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner := front.Cluster().Owner(key).Name
+	stable := true
+	for i := 0; i < 5; i++ {
+		_, served := post(proxy.URL+"/measure", body)
+		stable = stable && served == owner
+	}
+	fmt.Printf("affinity:      ring owner %s served 5/5 identical requests: %v\n", owner, stable)
+
+	// 3. Failover: kill the owner; the answer must not change.
+	for i, b := range backends {
+		if b.URL == front.Cluster().Owner(key).Base {
+			b.Close()
+			fmt.Printf("failover:      killed owning node %d (%s)\n", i, owner)
+			break
+		}
+	}
+	afterKill, survivor := post(proxy.URL+"/measure", body)
+	fmt.Printf("failover:      %s answered, body unchanged: %v\n", survivor, bytes.Equal(viaFront, afterKill))
+
+	// 4. Drain: take a surviving node out of rotation, then back in.
+	name := survivor
+	if _, err := front.Cluster().Drain(name); err != nil {
+		log.Fatal(err)
+	}
+	avoided := true
+	for i := 0; i < 5; i++ {
+		_, served := post(proxy.URL+"/measure", body)
+		avoided = avoided && served != name
+	}
+	fmt.Printf("drain:         draining %s; 5/5 requests routed elsewhere: %v\n", name, avoided)
+	if _, err := front.Cluster().Undrain(name); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("drain:         %s undrained, state %s\n", name, front.Cluster().NodeInfo(name).State)
+}
+
+// post sends a JSON body and returns the response body and the serving
+// backend (from the front's routing header; empty on direct requests).
+func post(url string, body []byte) ([]byte, string) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: status %d, err %v", url, resp.StatusCode, err)
+	}
+	return data, resp.Header.Get(api.HeaderBackend)
+}

@@ -1,0 +1,199 @@
+// Cluster wire surface: the canonical routing key shared by the
+// service's coalescing and pcfront's consistent hashing, the
+// forwarded-hop metadata headers, and the cluster health shape.
+//
+// The whole cluster design rests on one fact: identical normalized
+// requests produce byte-identical responses on any node, so routing is
+// an efficiency decision (cache affinity, coalescing), never a
+// correctness one. RequestKey is the single definition of "identical"
+// — pcfront hashes exactly the key the service coalesces on, instead
+// of re-deriving canonicalization in a second package.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Forwarded-request metadata. pcfront marks the internal hop with
+// HeaderForwarded on the backend request, and reports its routing
+// decision on the client response — headers, never the body, so the
+// body stays byte-identical to a direct single-node answer.
+const (
+	// HeaderForwarded is set on requests pcfront forwards to a backend
+	// (value: the pcfront instance name). Its presence lets a backend
+	// distinguish cluster traffic from direct traffic, and a second
+	// pcfront refuse to double-proxy.
+	HeaderForwarded = "X-Pcfront-Forwarded"
+	// HeaderBackend reports which backend served the response.
+	HeaderBackend = "X-Pcfront-Backend"
+	// HeaderAttempts reports how many backend attempts the request took
+	// (1 = first try; retries and hedges count).
+	HeaderAttempts = "X-Pcfront-Attempts"
+	// HeaderHedged reports "true" when the winning response came from a
+	// tail-latency hedge rather than the primary attempt.
+	HeaderHedged = "X-Pcfront-Hedged"
+	// HeaderRequestKey reports the canonical routing key pcfront hashed
+	// (omitted when the request did not canonicalize).
+	HeaderRequestKey = "X-Pcfront-Key"
+)
+
+// RequestKey returns the canonical identity of a request of any
+// endpoint type: the exact string the service coalesces identical
+// in-flight work on. pcfront hashes it to place the request on the
+// fleet, so a request lands on the node already coalescing and
+// caching its twin. Accepts values or pointers of the wire request
+// types; a validation failure returns the request's error unchanged.
+func RequestKey(req any) (string, error) {
+	switch r := req.(type) {
+	case MeasureRequest:
+		n, err := r.Normalized()
+		if err != nil {
+			return "", err
+		}
+		return n.Key(), nil
+	case *MeasureRequest:
+		return RequestKey(*r)
+	case AnalyzeRequest:
+		n, err := r.Normalized()
+		if err != nil {
+			return "", err
+		}
+		keys := make([]string, len(n.Items))
+		for i, it := range n.Items {
+			keys[i] = it.Key()
+		}
+		return "analyze|" + strings.Join(keys, ";"), nil
+	case *AnalyzeRequest:
+		return RequestKey(*r)
+	case PlanRequest:
+		n, err := r.Normalized()
+		if err != nil {
+			return "", err
+		}
+		return n.Key(), nil
+	case *PlanRequest:
+		return RequestKey(*r)
+	case InferRequest:
+		n, err := r.Normalized()
+		if err != nil {
+			return "", err
+		}
+		keys := make([]string, len(n.Items))
+		for i, it := range n.Items {
+			keys[i] = it.Key()
+		}
+		return "inferreq|" + strings.Join(keys, ";"), nil
+	case *InferRequest:
+		return RequestKey(*r)
+	case ExperimentRequest:
+		// Experiments have no Key of their own (they are not coalesced);
+		// the tuple below is their full identity.
+		return fmt.Sprintf("exp|%s|r%d|s%d", r.ID, r.Runs, r.Seed), nil
+	case *ExperimentRequest:
+		return RequestKey(*r)
+	case SessionRequest:
+		n, err := r.Normalized()
+		if err != nil {
+			return "", err
+		}
+		return n.SessionKey(), nil
+	case *SessionRequest:
+		return RequestKey(*r)
+	case CampaignRequest:
+		n, err := r.Normalized()
+		if err != nil {
+			return "", err
+		}
+		return "campaign|" + n.Key(), nil
+	case *CampaignRequest:
+		return RequestKey(*r)
+	}
+	return "", fmt.Errorf("api: no canonical key for %T", req)
+}
+
+// RequestKeyForPath decodes a raw JSON request body addressed to one
+// of the service's POST endpoints and returns its RequestKey. This is
+// the form pcfront uses: it proxies bodies opaquely and only needs the
+// canonical key to place them.
+func RequestKeyForPath(path string, body []byte) (string, error) {
+	key := func(req any) (string, error) {
+		if err := json.Unmarshal(body, req); err != nil {
+			return "", badf("api: decoding %s request: %v", path, err)
+		}
+		return RequestKey(req)
+	}
+	switch path {
+	case "/measure":
+		return key(&MeasureRequest{})
+	case "/analyze":
+		return key(&AnalyzeRequest{})
+	case "/plan":
+		return key(&PlanRequest{})
+	case "/infer":
+		return key(&InferRequest{})
+	case "/experiment":
+		return key(&ExperimentRequest{})
+	case "/sessions":
+		return key(&SessionRequest{})
+	case "/campaigns":
+		return key(&CampaignRequest{})
+	}
+	return "", fmt.Errorf("api: no keyed endpoint %q", path)
+}
+
+// Cluster node states reported by pcfront's /healthz.
+const (
+	// NodeHealthy marks a backend passing liveness probes and in the
+	// hash ring.
+	NodeHealthy = "healthy"
+	// NodeUnhealthy marks a backend failing probes; it receives no new
+	// requests until it recovers.
+	NodeUnhealthy = "unhealthy"
+	// NodeDraining marks a backend administratively removed from the
+	// ring; in-flight work finishes, new work hashes elsewhere.
+	NodeDraining = "draining"
+)
+
+// ClusterNode describes one backend's state as pcfront sees it.
+type ClusterNode struct {
+	// Name is the backend's short identity (host:port of its base URL).
+	Name string `json:"name"`
+	// URL is the backend's base URL.
+	URL string `json:"url"`
+	// State is NodeHealthy, NodeUnhealthy, or NodeDraining.
+	State string `json:"state"`
+	// Inflight is the number of proxied requests (streams included)
+	// currently outstanding against the backend.
+	Inflight int64 `json:"inflight"`
+	// Requests, Errors, Hedges, and Retries count per-backend proxy
+	// outcomes since pcfront start: attempts sent, attempts that failed
+	// (transport error or 5xx), hedge attempts launched against the
+	// backend, and retry attempts sent to it after another backend
+	// failed.
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	Hedges   uint64 `json:"hedges"`
+	Retries  uint64 `json:"retries"`
+}
+
+// ClusterHealthResponse is pcfront's GET /healthz body: the proxy's
+// own liveness plus the fleet as it sees it.
+type ClusterHealthResponse struct {
+	// Status is "ok" when every node is healthy, "degraded" when some
+	// are not but at least one is, "unavailable" when none are.
+	Status string `json:"status"`
+	// Nodes lists every configured backend in configuration order.
+	Nodes []ClusterNode `json:"nodes"`
+	// Hedged and Retried count requests (not attempts) that engaged
+	// hedging or retries since start; HedgeWins counts hedged requests
+	// the hedge won.
+	Hedged    uint64 `json:"hedged"`
+	HedgeWins uint64 `json:"hedgeWins"`
+	Retried   uint64 `json:"retried"`
+	// Sessions and Campaigns count stream owners pcfront is tracking
+	// (the pinned id -> node routes).
+	Sessions  int `json:"sessions"`
+	Campaigns int `json:"campaigns"`
+}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		backends []string
+	}{
+		{"empty", nil},
+		{"bad URL", []string{"://nope"}},
+		{"no scheme", []string{"localhost:7090"}},
+		{"duplicate", []string{"http://h:1", "http://h:1/"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(Config{Backends: tc.backends, ProbeInterval: -1}); err == nil {
+				t.Fatalf("New(%v) accepted a bad fleet", tc.backends)
+			}
+		})
+	}
+}
+
+// flakyBackend is an httptest backend whose /healthz can be flipped
+// between 200 and 500.
+func flakyBackend(t *testing.T) (*httptest.Server, *atomic.Bool) {
+	t.Helper()
+	var sick atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sick.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &sick
+}
+
+// TestProbeStateMachine drives the fail/rise counters: a node leaves
+// the ring after FailAfter consecutive probe failures and returns after
+// RiseAfter consecutive successes.
+func TestProbeStateMachine(t *testing.T) {
+	good, _ := flakyBackend(t)
+	flaky, sick := flakyBackend(t)
+	c, err := New(Config{
+		Backends:      []string{good.URL, flaky.URL},
+		ProbeInterval: -1, // tests drive probes by hand
+		FailAfter:     2,
+		RiseAfter:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	flakyName := c.nodes[1].Name
+
+	state := func(name string) string { return c.NodeInfo(name).State }
+	if got := state(flakyName); got != "healthy" {
+		t.Fatalf("initial state = %s, want healthy", got)
+	}
+
+	sick.Store(true)
+	c.ProbeOnce()
+	if got := state(flakyName); got != "healthy" {
+		t.Fatalf("after 1 failure: state = %s; FailAfter=2 must tolerate one", got)
+	}
+	c.ProbeOnce()
+	if got := state(flakyName); got != "unhealthy" {
+		t.Fatalf("after 2 failures: state = %s, want unhealthy", got)
+	}
+	for i := 0; i < 50; i++ {
+		if owner := c.Owner(fmt.Sprintf("key-%d", i)); owner.Name == flakyName {
+			t.Fatalf("unhealthy node %s still owns keys", flakyName)
+		}
+	}
+
+	sick.Store(false)
+	c.ProbeOnce()
+	if got := state(flakyName); got != "unhealthy" {
+		t.Fatalf("after 1 recovery: state = %s; RiseAfter=2 must require two", got)
+	}
+	c.ProbeOnce()
+	if got := state(flakyName); got != "healthy" {
+		t.Fatalf("after 2 recoveries: state = %s, want healthy", got)
+	}
+}
+
+// TestTransportFailureEjection: forwarded transport failures feed the
+// same fail counter as probes, so a dead node leaves the ring without
+// waiting out probe rounds.
+func TestTransportFailureEjection(t *testing.T) {
+	a, _ := flakyBackend(t)
+	b, _ := flakyBackend(t)
+	c, err := New(Config{Backends: []string{a.URL, b.URL}, ProbeInterval: -1, FailAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n := c.nodes[0]
+	c.noteTransportFailure(n)
+	if got := c.NodeInfo(n.Name).State; got != "healthy" {
+		t.Fatalf("after 1 transport failure: %s", got)
+	}
+	c.noteTransportFailure(n)
+	if got := c.NodeInfo(n.Name).State; got != "unhealthy" {
+		t.Fatalf("after 2 transport failures: %s, want unhealthy", got)
+	}
+	// A healthy probe round brings it back (RiseAfter defaults to 2).
+	c.ProbeOnce()
+	c.ProbeOnce()
+	if got := c.NodeInfo(n.Name).State; got != "healthy" {
+		t.Fatalf("after recovery probes: %s, want healthy", got)
+	}
+}
+
+// TestDrainExcludesFromRing: a draining node receives no new keys but
+// stays addressable; undrain restores it.
+func TestDrainExcludesFromRing(t *testing.T) {
+	a, _ := flakyBackend(t)
+	b, _ := flakyBackend(t)
+	c, err := New(Config{Backends: []string{a.URL, b.URL}, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	name := c.nodes[0].Name
+	if _, err := c.Drain("nonesuch:1"); err == nil {
+		t.Fatal("drain of unknown node succeeded")
+	}
+	n, err := c.Drain(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NodeInfo(name).State; got != "draining" {
+		t.Fatalf("state = %s, want draining", got)
+	}
+	for i := 0; i < 50; i++ {
+		if owner := c.Owner(fmt.Sprintf("key-%d", i)); owner.Name == name {
+			t.Fatalf("draining node %s still owns keys", name)
+		}
+	}
+	// DrainWait returns immediately at zero in-flight.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if left := c.DrainWait(ctx, n); left != 0 {
+		t.Fatalf("DrainWait = %d in-flight, want 0", left)
+	}
+	if _, err := c.Undrain(name); err != nil {
+		t.Fatal(err)
+	}
+	owned := false
+	for i := 0; i < 200 && !owned; i++ {
+		owned = c.Owner(fmt.Sprintf("key-%d", i)).Name == name
+	}
+	if !owned {
+		t.Fatalf("undrained node %s owns no keys", name)
+	}
+}
+
+// TestHealthStatus: ok -> degraded -> unavailable as nodes fall out.
+func TestHealthStatus(t *testing.T) {
+	a, _ := flakyBackend(t)
+	b, _ := flakyBackend(t)
+	c, err := New(Config{Backends: []string{a.URL, b.URL}, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Health().Status; got != "ok" {
+		t.Fatalf("status = %s, want ok", got)
+	}
+	c.mu.Lock()
+	c.nodes[0].healthy = false
+	c.mu.Unlock()
+	if got := c.Health().Status; got != "degraded" {
+		t.Fatalf("status = %s, want degraded", got)
+	}
+	c.mu.Lock()
+	c.nodes[1].healthy = false
+	c.mu.Unlock()
+	if got := c.Health().Status; got != "unavailable" {
+		t.Fatalf("status = %s, want unavailable", got)
+	}
+}
+
+// TestBudget: the token bucket caps retry amplification — spends fail
+// below one token, credits accrue at the configured rate up to max.
+func TestBudget(t *testing.T) {
+	b := &budget{max: 2, rate: 0.5}
+	if b.spend() {
+		t.Fatal("spend from an empty bucket succeeded")
+	}
+	b.credit() // 0.5
+	if b.spend() {
+		t.Fatal("spend at 0.5 tokens succeeded")
+	}
+	b.credit() // 1.0
+	if !b.spend() {
+		t.Fatal("spend at 1.0 tokens failed")
+	}
+	for i := 0; i < 100; i++ {
+		b.credit()
+	}
+	if !b.spend() || !b.spend() {
+		t.Fatal("bucket did not hold its max of 2")
+	}
+	if b.spend() {
+		t.Fatal("bucket exceeded its max")
+	}
+}
+
+// TestCandidatesFallback: with every node out of the ring, candidates
+// falls back to the full fleet — a probe can be wrong, and refusing to
+// try guarantees failure.
+func TestCandidatesFallback(t *testing.T) {
+	a, _ := flakyBackend(t)
+	b, _ := flakyBackend(t)
+	c, err := New(Config{Backends: []string{a.URL, b.URL}, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.mu.Lock()
+	c.nodes[0].healthy = false
+	c.nodes[1].healthy = false
+	c.rebuildLocked()
+	c.mu.Unlock()
+	if got := len(c.candidates("k")); got != 2 {
+		t.Fatalf("candidates over an empty ring = %d nodes, want the full fleet", got)
+	}
+	if c.Owner("k") != nil {
+		t.Fatal("Owner over an empty ring is non-nil")
+	}
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/api"
+)
+
+// RouteInfo reports how a forwarded request was served: which backend
+// answered, how many attempts it took, and whether a hedge won. The
+// front end surfaces it in the api.Header* response headers — never in
+// the body, which must stay byte-identical to a direct answer.
+type RouteInfo struct {
+	Backend  string
+	Attempts int
+	Hedged   bool
+}
+
+// backendResponse is one backend's complete answer to a keyed (non-
+// streaming) request.
+type backendResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// attemptOutcome is one finished attempt.
+type attemptOutcome struct {
+	node   *Node
+	hedged bool
+	resp   *backendResponse // nil on transport error
+	err    error
+}
+
+// errNoBackends reports a forward with nothing to try.
+var errNoBackends = errors.New("cluster: no backends available")
+
+// Forward sends a keyed request to the fleet and returns the winning
+// response. The policy, in order of engagement:
+//
+//   - The primary attempt goes to the key's ring owner.
+//   - Transport failures (dial refused, connection reset) fail over to
+//     the next ring node immediately and for free — and feed the
+//     owner's failure counter so a dead node leaves the ring fast.
+//   - A 5xx answer retries on the next node if the retry budget has a
+//     token; 4xx answers return immediately (they are deterministic
+//     verdicts on the request, identical on every node).
+//   - If the primary is still silent after HedgeAfter, a hedge fires to
+//     the next replica (budget permitting, and only when hedge is
+//     true — stateful creations must not run twice). First complete
+//     non-5xx response wins; every other attempt's context is
+//     cancelled.
+//
+// Responses are deterministic across nodes, so any winner is the
+// correct answer.
+func (c *Cluster) Forward(ctx context.Context, path string, header http.Header, body []byte, key string, hedge bool) (*backendResponse, RouteInfo, error) {
+	cands := c.candidates(key)
+	if len(cands) == 0 {
+		return nil, RouteInfo{}, errNoBackends
+	}
+	c.budget.credit()
+
+	ctx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+
+	results := make(chan attemptOutcome, len(cands))
+	attempts, outstanding, next := 0, 0, 0
+	launch := func(hedged, retry bool) {
+		n := cands[next]
+		next++
+		attempts++
+		outstanding++
+		n.requests.Add(1)
+		if hedged {
+			n.hedges.Add(1)
+		}
+		if retry {
+			n.retries.Add(1)
+		}
+		go func() {
+			results <- c.attempt(ctx, n, path, header, body, hedged)
+		}()
+	}
+	launch(false, false)
+
+	var hedgeCh <-chan time.Time
+	if hedge && c.cfg.HedgeAfter > 0 && len(cands) > 1 {
+		t := time.NewTimer(c.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+
+	hedgedReq, retriedReq := false, false
+	var lastErr error
+	var last5xx *backendResponse
+	lastBackend, lastAttempts := "", 0
+	finish := func(out attemptOutcome) (*backendResponse, RouteInfo, error) {
+		info := RouteInfo{Backend: out.node.Name, Attempts: attempts, Hedged: out.hedged}
+		if hedgedReq {
+			c.hedged.Add(1)
+			if out.hedged {
+				c.hedgeWins.Add(1)
+			}
+		}
+		if retriedReq {
+			c.retried.Add(1)
+		}
+		return out.resp, info, nil
+	}
+	for {
+		select {
+		case out := <-results:
+			outstanding--
+			switch {
+			case out.err == nil && out.resp.status < http.StatusInternalServerError:
+				return finish(out)
+			case out.err != nil:
+				lastErr = out.err
+			default:
+				last5xx = out.resp
+				lastBackend, lastAttempts = out.node.Name, attempts
+			}
+			// Transport failures retry for free (see Forward doc); 5xx
+			// retries spend a budget token.
+			if next < len(cands) && (out.err != nil || c.budget.spend()) {
+				retriedReq = true
+				launch(false, true)
+			} else if outstanding == 0 {
+				if last5xx != nil {
+					// Surface the fleet's own error body rather than
+					// synthesizing one: the client sees what a direct
+					// request would have seen.
+					return last5xx, RouteInfo{Backend: lastBackend, Attempts: lastAttempts}, nil
+				}
+				return nil, RouteInfo{Attempts: attempts}, fmt.Errorf("cluster: all %d attempts failed: %w", attempts, lastErr)
+			}
+		case <-hedgeCh:
+			if next < len(cands) && c.budget.spend() {
+				hedgedReq = true
+				launch(true, false)
+			}
+			hedgeCh = nil
+		case <-ctx.Done():
+			return nil, RouteInfo{Attempts: attempts}, ctx.Err()
+		}
+	}
+}
+
+// attempt performs one backend try and reads the complete response.
+// Cancellation (a lost hedge race, caller disconnect) is not a node
+// failure: only genuine transport errors feed the failure counter.
+func (c *Cluster) attempt(ctx context.Context, n *Node, path string, header http.Header, body []byte, hedged bool) attemptOutcome {
+	n.inflight.Add(1)
+	defer n.inflight.Add(-1)
+	if c.observeAttempt != nil {
+		start := time.Now()
+		defer func() { c.observeAttempt(n.Name, time.Since(start)) }()
+	}
+	out := attemptOutcome{node: n, hedged: hedged}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.Base+path, bytes.NewReader(body))
+	if err != nil {
+		out.err = err
+		return out
+	}
+	copyForwardHeaders(req.Header, header)
+	req.Header.Set(api.HeaderForwarded, c.cfg.Name)
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			n.errors.Add(1)
+			c.noteTransportFailure(n)
+		}
+		out.err = err
+		return out
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if ctx.Err() == nil {
+			n.errors.Add(1)
+			c.noteTransportFailure(n)
+		}
+		out.err = err
+		return out
+	}
+	if resp.StatusCode >= http.StatusInternalServerError {
+		n.errors.Add(1)
+	}
+	out.resp = &backendResponse{status: resp.StatusCode, header: resp.Header, body: data}
+	return out
+}
+
+// copyForwardHeaders forwards the request headers that matter to the
+// backend. The hop is internal and the body is the message; only the
+// content type and trace propagation survive the hop.
+func copyForwardHeaders(dst, src http.Header) {
+	if src == nil {
+		return
+	}
+	if ct := src.Get("Content-Type"); ct != "" {
+		dst.Set("Content-Type", ct)
+	}
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over the currently routable nodes.
+// Each node contributes vnodes points, so keys spread evenly and a
+// membership change remaps only the departed node's share of the key
+// space — calibration caches and in-flight coalescing on the surviving
+// nodes keep their keys.
+//
+// A ring is immutable once built; the cluster swaps whole rings on
+// membership changes, so lookups are lock-free reads.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node *Node
+}
+
+// hashKey is the one hash both sides of the ring use: FNV-1a 64 over
+// the canonical request key (or a node's virtual point label), pushed
+// through a 64-bit avalanche finalizer. Raw FNV mixes trailing bytes
+// weakly, so point labels like "node#0".."node#63" (and sequential
+// request keys) land clustered on the ring; the finalizer spreads them
+// uniformly.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// buildRing places vnodes points per node. Nodes are placed by name,
+// so the ring layout depends only on membership, never on ordering or
+// history — two pcfronts over the same fleet route identically.
+func buildRing(nodes []*Node, vnodes int) *ring {
+	points := make([]ringPoint, 0, len(nodes)*vnodes)
+	for _, n := range nodes {
+		for i := 0; i < vnodes; i++ {
+			points = append(points, ringPoint{
+				hash: hashKey(fmt.Sprintf("%s#%d", n.Name, i)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		// Tie-break by name so equal hashes (vanishingly rare) still
+		// order deterministically across pcfront instances.
+		return points[i].node.Name < points[j].node.Name
+	})
+	return &ring{points: points}
+}
+
+// pick returns up to max distinct nodes for key, clockwise from the
+// key's hash: the primary owner first, then the natural failover and
+// hedge targets in preference order.
+func (r *ring) pick(key string, max int) []*Node {
+	if r == nil || len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	var out []*Node
+	seen := make(map[*Node]bool, max)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		n := r.points[(start+i)%len(r.points)].node
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func namedNodes(names ...string) []*Node {
+	out := make([]*Node, len(names))
+	for i, n := range names {
+		out[i] = &Node{Name: n, Base: "http://" + n}
+	}
+	return out
+}
+
+// TestRingDeterminism: the ring layout depends only on membership,
+// never on node ordering — two pcfronts over the same fleet route every
+// key identically.
+func TestRingDeterminism(t *testing.T) {
+	a := buildRing(namedNodes("n0:1", "n1:1", "n2:1"), 64)
+	b := buildRing(namedNodes("n2:1", "n0:1", "n1:1"), 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		pa, pb := a.pick(key, 3), b.pick(key, 3)
+		if len(pa) != 3 || len(pb) != 3 {
+			t.Fatalf("key %q: pick lengths %d, %d", key, len(pa), len(pb))
+		}
+		for j := range pa {
+			if pa[j].Name != pb[j].Name {
+				t.Fatalf("key %q: preference order diverges at %d: %s vs %s",
+					key, j, pa[j].Name, pb[j].Name)
+			}
+		}
+	}
+}
+
+// TestRingDistribution: virtual nodes spread keys roughly evenly; no
+// node may own a degenerate share.
+func TestRingDistribution(t *testing.T) {
+	nodes := namedNodes("n0:1", "n1:1", "n2:1")
+	r := buildRing(nodes, 64)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.pick(fmt.Sprintf("key-%d", i), 1)[0].Name]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n.Name]) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.0f%% of keys; want a reasonable share (counts %v)",
+				n.Name, share*100, counts)
+		}
+	}
+}
+
+// TestRingPickDistinct: the preference order holds distinct nodes, and
+// asking for more than exist returns them all.
+func TestRingPickDistinct(t *testing.T) {
+	r := buildRing(namedNodes("n0:1", "n1:1", "n2:1"), 8)
+	got := r.pick("some-key", 10)
+	if len(got) != 3 {
+		t.Fatalf("pick(10) over 3 nodes = %d nodes", len(got))
+	}
+	seen := map[string]bool{}
+	for _, n := range got {
+		if seen[n.Name] {
+			t.Fatalf("node %s appears twice in %v", n.Name, got)
+		}
+		seen[n.Name] = true
+	}
+}
+
+// TestRingMinimalRemap: removing one node remaps only that node's keys;
+// every key a surviving node owned stays put. This is the property that
+// preserves calibration-cache affinity through a node failure.
+func TestRingMinimalRemap(t *testing.T) {
+	full := namedNodes("n0:1", "n1:1", "n2:1")
+	before := buildRing(full, 64)
+	after := buildRing(full[:2], 64) // n2 departs
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was, is := before.pick(key, 1)[0], after.pick(key, 1)[0]
+		if was.Name == "n2:1" {
+			moved++
+			continue
+		}
+		if was.Name != is.Name {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, was.Name, is.Name)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys owned by the departed node; distribution is broken")
+	}
+}
+
+// TestRingEmpty: a nil or empty ring picks nothing (the cluster then
+// falls back to the full fleet).
+func TestRingEmpty(t *testing.T) {
+	var r *ring
+	if got := r.pick("k", 1); got != nil {
+		t.Fatalf("nil ring pick = %v", got)
+	}
+	if got := buildRing(nil, 64).pick("k", 1); got != nil {
+		t.Fatalf("empty ring pick = %v", got)
+	}
+}

@@ -1,0 +1,184 @@
+package evlog
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+type seqEvent struct {
+	Seq int    `json:"seq"`
+	End bool   `json:"end,omitempty"`
+	Tag string `json:"tag,omitempty"`
+}
+
+// follow consumes the log from cursor i to its end event, using the
+// replay-then-follow loop exactly as the HTTP stream handlers do, and
+// returns every line.
+func follow(t *testing.T, l *Log, i int) [][]byte {
+	t.Helper()
+	var out [][]byte
+	deadline := time.After(5 * time.Second)
+	for {
+		lines, next, wait, done := l.Events(i)
+		out = append(out, lines...)
+		i = next
+		if len(lines) > 0 {
+			continue // drain before deciding on done: lines may include the end
+		}
+		if done {
+			return out
+		}
+		select {
+		case <-wait:
+		case <-deadline:
+			t.Fatalf("follower stalled at cursor %d with %d lines", i, len(out))
+		}
+	}
+}
+
+// TestFollowAfterReplayOrdering: a reader that attaches while a
+// producer is mid-stream replays the retained prefix, then follows live
+// appends — and the spliced sequence has no gap, no duplicate, and no
+// reordering at the replay/follow boundary.
+func TestFollowAfterReplayOrdering(t *testing.T) {
+	const total = 500
+	l := New(total+10, time.Now) // retain everything: this test is about ordering
+
+	// Seed a prefix so the follower genuinely replays before following.
+	for i := 0; i < 100; i++ {
+		if !l.Append(seqEvent{Seq: i}) {
+			t.Fatalf("append %d rejected", i)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 100; i < total; i++ {
+			l.Append(seqEvent{Seq: i})
+		}
+		l.End(seqEvent{Seq: total, End: true})
+	}()
+
+	lines := follow(t, l, 0)
+	<-done
+	if len(lines) != total+1 {
+		t.Fatalf("followed %d lines, want %d", len(lines), total+1)
+	}
+	for i, line := range lines {
+		var ev seqEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if ev.Seq != i {
+			t.Fatalf("line %d carries seq %d: gap, duplicate, or reorder", i, ev.Seq)
+		}
+	}
+	var last seqEvent
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil || !last.End {
+		t.Fatalf("final line is not the end event: %s", lines[len(lines)-1])
+	}
+}
+
+// TestCloseWhileFollowing: End from another goroutine wakes a follower
+// blocked on the wait channel, and the next read reports done — the
+// stream terminates instead of hanging.
+func TestCloseWhileFollowing(t *testing.T) {
+	l := New(16, time.Now)
+	l.Append(seqEvent{Seq: 0})
+
+	lines, next, _, done := l.Events(0)
+	if len(lines) != 1 || done {
+		t.Fatalf("replay = %d lines, done=%v; want 1, false", len(lines), done)
+	}
+	_, _, wait, done := l.Events(next)
+	if done || wait == nil {
+		t.Fatalf("caught-up read: done=%v wait=%v; want a live wait channel", done, wait)
+	}
+
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		l.End(seqEvent{Seq: 1, End: true})
+	}()
+	select {
+	case <-wait:
+	case <-time.After(5 * time.Second):
+		t.Fatal("End did not wake the blocked follower")
+	}
+	lines, next, _, done = l.Events(next)
+	if len(lines) != 1 || !done {
+		t.Fatalf("post-End read = %d lines, done=%v; want the end line and done", len(lines), done)
+	}
+	// Fully consumed and complete: no further lines, still done.
+	lines, _, _, done = l.Events(next)
+	if len(lines) != 0 || !done {
+		t.Fatalf("drained read = %d lines, done=%v; want 0, true", len(lines), done)
+	}
+}
+
+// TestBoundedReplay: a reader attaching after the retention bound
+// trimmed the head replays only the retained tail, with the cursor
+// jumped forward — old lines are gone, order and completeness of the
+// tail are preserved.
+func TestBoundedReplay(t *testing.T) {
+	const cap = 20
+	l := New(cap, time.Now)
+	const total = 100
+	for i := 0; i < total; i++ {
+		l.Append(seqEvent{Seq: i})
+	}
+	lines, next, _, _ := l.Events(0)
+	if len(lines) > cap+cap/4 {
+		t.Fatalf("replayed %d lines, retention bound is ~%d", len(lines), cap)
+	}
+	if next != total {
+		t.Fatalf("next = %d, want %d (cursor jumps past dropped lines)", next, total)
+	}
+	var first seqEvent
+	if err := json.Unmarshal(lines[0], &first); err != nil {
+		t.Fatal(err)
+	}
+	if want := total - len(lines); first.Seq != want {
+		t.Fatalf("tail starts at seq %d, want %d", first.Seq, want)
+	}
+	for i, line := range lines {
+		var ev seqEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Seq != first.Seq+i {
+			t.Fatalf("tail line %d carries seq %d, want %d", i, ev.Seq, first.Seq+i)
+		}
+	}
+	// A cursor inside the dropped range clamps to the tail, not to 0.
+	clamped, _, _, _ := l.Events(1)
+	if len(clamped) != len(lines) {
+		t.Fatalf("clamped replay = %d lines, want %d", len(clamped), len(lines))
+	}
+}
+
+// TestAtomicMultiAppend: a multi-event append is all-or-nothing for
+// readers, and appends after End are dropped wholesale.
+func TestAtomicMultiAppend(t *testing.T) {
+	l := New(16, time.Now)
+	if !l.Append(seqEvent{Seq: 0}, seqEvent{Seq: 1}, seqEvent{Seq: 2}) {
+		t.Fatal("append rejected on a live log")
+	}
+	lines, next, _, _ := l.Events(0)
+	if len(lines) != 3 {
+		t.Fatalf("replay = %d lines, want all 3 of the batch", len(lines))
+	}
+	if !l.End(seqEvent{Seq: 3, End: true}) {
+		t.Fatal("first End rejected")
+	}
+	if l.End(seqEvent{Seq: 4, End: true}) {
+		t.Fatal("second End accepted; the gate must be idempotent")
+	}
+	if l.Append(seqEvent{Seq: 5}) {
+		t.Fatal("append after End accepted")
+	}
+	lines, _, _, done := l.Events(next)
+	if len(lines) != 1 || !done {
+		t.Fatalf("post-End state: %d lines, done=%v; want only the end event", len(lines), done)
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bytes"
@@ -13,22 +13,19 @@ import (
 	"repro/internal/api"
 	"repro/internal/campaign"
 	"repro/internal/monitor"
-	"repro/internal/plan"
-	"repro/internal/service"
 )
 
 // newTestServer serves the production handler over HTTP.
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	svc := service.New(service.Config{WorkersPerShard: 2, CalibrationRuns: 5})
-	reg := monitor.NewRegistry(svc, monitor.Config{SweepInterval: -1})
-	t.Cleanup(reg.Close)
-	planner := plan.New(svc)
-	creg := campaign.NewRegistry(campaign.Services{
-		Measure: svc.Measure, Infer: svc.Infer, Plan: planner.Do,
-	}, campaign.Config{SweepInterval: -1})
-	t.Cleanup(creg.Close)
-	srv := httptest.NewServer(newHandler(svc, reg, creg, planner, handlerConfig{}))
+	node := New(Config{
+		Workers:         2,
+		CalibrationRuns: 5,
+		Monitor:         monitor.Config{SweepInterval: -1},
+		Campaign:        campaign.Config{SweepInterval: -1},
+	})
+	t.Cleanup(node.Close)
+	srv := httptest.NewServer(node.Handler())
 	t.Cleanup(srv.Close)
 	return srv
 }

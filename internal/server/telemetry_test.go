@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bufio"
@@ -12,23 +12,20 @@ import (
 	"repro/internal/api"
 	"repro/internal/campaign"
 	"repro/internal/monitor"
-	"repro/internal/plan"
-	"repro/internal/service"
 )
 
 // newPprofTestServer builds the handler with profiling endpoints
 // mounted, as `pcserved -pprof` would.
 func newPprofTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	svc := service.New(service.Config{WorkersPerShard: 1})
-	reg := monitor.NewRegistry(svc, monitor.Config{SweepInterval: -1})
-	t.Cleanup(reg.Close)
-	planner := plan.New(svc)
-	creg := campaign.NewRegistry(campaign.Services{
-		Measure: svc.Measure, Infer: svc.Infer, Plan: planner.Do,
-	}, campaign.Config{SweepInterval: -1})
-	t.Cleanup(creg.Close)
-	srv := httptest.NewServer(newHandler(svc, reg, creg, planner, handlerConfig{pprof: true}))
+	node := New(Config{
+		Workers:  1,
+		Monitor:  monitor.Config{SweepInterval: -1},
+		Campaign: campaign.Config{SweepInterval: -1},
+		Pprof:    true,
+	})
+	t.Cleanup(node.Close)
+	srv := httptest.NewServer(node.Handler())
 	t.Cleanup(srv.Close)
 	return srv
 }
