@@ -28,10 +28,24 @@
 //	                                  until its in-flight work ends
 //	POST /cluster/undrain/{node}   return it to the ring
 //	GET  /metrics                  -> pcfront_* Prometheus exposition
+//	GET  /cluster/healthz          -> api.ClusterStatusResponse: the
+//	                                  front's routing view joined with
+//	                                  every node's own /healthz report
+//	GET  /cluster/metrics          -> federated exposition: pcfront's own
+//	                                  families plus every healthy
+//	                                  backend's /metrics merged (counters
+//	                                  summed fleet-wide, gauges per node
+//	                                  under a backend label)
 //
 // Responses report the routing decision in X-Pcfront-* headers only;
-// bodies are byte-identical to a direct single-node answer. See
-// docs/CLUSTER.md.
+// bodies are byte-identical to a direct single-node answer. The one
+// exception is opt-in: a request with "trace": true gets its trace
+// block rewritten into the stitched cluster tree — the front's route,
+// forward, retry, and hedge spans with the backend's own trace nested
+// verbatim underneath — and the same tree echoed in the
+// X-Pc-Trace-Spans response header (the only trace channel on error
+// bodies, which are never rewritten). See docs/CLUSTER.md and
+// docs/OBSERVABILITY.md.
 //
 // Usage:
 //

@@ -53,9 +53,11 @@ func runCluster(w io.Writer, frontAddr, directAddr, mixSpec string, n, c, runs i
 	reference := directReference(directAddr, distinct, c)
 
 	var (
-		failures, divergent, multiAttempt, hedged int
-		byEndpoint                                = make(map[string][]time.Duration)
-		all                                       []time.Duration
+		failures, divergent, multiAttempt, hedged, retried int
+		byEndpoint                                         = make(map[string][]time.Duration)
+		byBackend                                          = make(map[string]int)
+		attemptDist                                        = make(map[int]int)
+		all                                                []time.Duration
 	)
 	for _, out := range outcomes {
 		if out.err != nil || out.status != http.StatusOK {
@@ -69,7 +71,13 @@ func runCluster(w io.Writer, frontAddr, directAddr, mixSpec string, n, c, runs i
 		}
 		if out.hedged {
 			hedged++
+		} else if out.attempts > 1 {
+			retried++
 		}
+		if out.backend != "" {
+			byBackend[out.backend]++
+		}
+		attemptDist[out.attempts]++
 		ref, ok := reference[string(out.reqBody)]
 		if !ok {
 			failures++
@@ -96,6 +104,38 @@ func runCluster(w io.Writer, frontAddr, directAddr, mixSpec string, n, c, runs i
 		fmt.Fprintf(w, "  %-10s %s (n=%d)\n", ep+":", summarizeLatency(byEndpoint[ep]), len(byEndpoint[ep]))
 	}
 	fmt.Fprintf(w, "routing:     %d multi-attempt, %d hedge-won (from response headers)\n", multiAttempt, hedged)
+	if len(all) > 0 {
+		fmt.Fprintf(w, "hedge rate:  %.1f%% (%d/%d); retry rate: %.1f%% (%d/%d)\n",
+			100*float64(hedged)/float64(len(all)), hedged, len(all),
+			100*float64(retried)/float64(len(all)), retried, len(all))
+	}
+	// Per-backend distribution of winning responses, and how many
+	// attempts requests took — both from the X-Pcfront-* headers, so this
+	// is the client's view of the routing policy, not the front's.
+	if len(byBackend) > 0 {
+		names := make([]string, 0, len(byBackend))
+		for name := range byBackend {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s=%d", name, byBackend[name])
+		}
+		fmt.Fprintf(w, "backends:    %s (winner per response)\n", strings.Join(parts, " "))
+	}
+	if len(attemptDist) > 0 {
+		counts := make([]int, 0, len(attemptDist))
+		for a := range attemptDist {
+			counts = append(counts, a)
+		}
+		sort.Ints(counts)
+		parts := make([]string, len(counts))
+		for i, a := range counts {
+			parts[i] = fmt.Sprintf("%dx%d", attemptDist[a], a)
+		}
+		fmt.Fprintf(w, "attempts:    %s (requests x attempts)\n", strings.Join(parts, " "))
+	}
 	reportFleet(w, frontAddr)
 
 	if divergent > 0 {
@@ -120,6 +160,7 @@ type clusterOutcome struct {
 	latency  time.Duration
 	attempts int
 	hedged   bool
+	backend  string
 	err      error
 }
 
@@ -177,6 +218,7 @@ func fireCluster(client *http.Client, addr string, item workItem) clusterOutcome
 		latency:  time.Since(start),
 		attempts: attempts,
 		hedged:   resp.Header.Get(api.HeaderHedged) == "true",
+		backend:  resp.Header.Get(api.HeaderBackend),
 		err:      err,
 	}
 }

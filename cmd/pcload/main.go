@@ -69,10 +69,20 @@
 // and the bodies compared byte for byte — the cluster contract (an
 // N-node fleet is byte-identical to one node) proven from the client
 // side, including under node kill and restart. The report adds the
-// routing view (attempts and hedges from the X-Pcfront-* headers, the
-// fleet state from the front's /healthz) and the encode-stage share of
-// the direct node's /measure p99, the measurement behind the
-// pooled-encoder decision in docs/CLUSTER.md.
+// routing view (attempts, hedge and retry rates, and the per-backend
+// winner distribution from the X-Pcfront-* headers, the fleet state
+// from the front's /healthz) and the encode-stage share of the direct
+// node's /measure p99, the measurement behind the pooled-encoder
+// decision in docs/CLUSTER.md.
+//
+// -cluster and -trace compose: together they drive the mixed rotation
+// as stitched-trace checks through the proxy. Every traced response
+// must carry one coherent tree — the front's route and forward spans
+// on top (drawn from the cluster-tier span catalogue), the backend's
+// own trace nested underneath shape-identical to a direct traced
+// answer from the -direct node — and stripping the trace block must
+// leave the body byte-identical across traced/untraced and
+// front/direct. See docs/OBSERVABILITY.md.
 //
 // Usage:
 //
@@ -87,6 +97,7 @@
 //	pcload -addr http://localhost:7090 -mixed -n 64 -c 8
 //	pcload -addr http://localhost:7090 -trace -n 32 -c 4
 //	pcload -addr http://localhost:7080 -cluster -direct http://localhost:7090 -n 64 -c 8
+//	pcload -addr http://localhost:7080 -cluster -trace -direct http://localhost:7090 -n 32 -c 4
 package main
 
 import (
@@ -142,8 +153,10 @@ func main() {
 		}
 	}
 	switch {
+	case modes == 2 && *clusterOn && *traceMode:
+		err = runClusterTrace(os.Stdout, *addr, *directURL, *mixSpec, *n, *c, *runs)
 	case modes > 1:
-		err = fmt.Errorf("-analyze, -monitor, -plan, -infer, -engine, -campaign, -mixed, -trace, and -cluster are mutually exclusive workloads")
+		err = fmt.Errorf("-analyze, -monitor, -plan, -infer, -engine, -campaign, -mixed, -trace, and -cluster are mutually exclusive workloads (except -cluster -trace)")
 	case *clusterOn:
 		err = runCluster(os.Stdout, *addr, *directURL, *mixSpec, *n, *c, *runs)
 	case *mixed:

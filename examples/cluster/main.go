@@ -12,9 +12,13 @@
 //  3. Failover: kill the owning node; the next request fails over to a
 //     surviving replica and the body does not change.
 //  4. Drain: drain a node, watch new keys route around it, undrain.
+//  5. Stitched tracing: a traced request through the front yields one
+//     tree — the front's route/forward spans on top, the backend's own
+//     trace nested verbatim underneath — and the fleet federates into
+//     one /cluster/metrics exposition.
 //
 // See docs/CLUSTER.md for the topology, hashing, hedging, and drain
-// semantics.
+// semantics, and docs/OBSERVABILITY.md for the trace catalogue.
 package main
 
 import (
@@ -25,12 +29,14 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 
 	"repro/internal/api"
 	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/monitor"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -116,6 +122,48 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("drain:         %s undrained, state %s\n", name, front.Cluster().NodeInfo(name).State)
+
+	// 5. Stitched tracing: the traced twin carries the cluster tree —
+	// front spans plus the backend's trace verbatim — and everything
+	// outside the trace block is untouched.
+	treq := req
+	treq.Trace = true
+	tbody, _ := json.Marshal(treq)
+	traced, _ := post(proxy.URL+"/measure", tbody)
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(traced, &m); err != nil {
+		log.Fatal(err)
+	}
+	var tree api.TraceInfo
+	if err := json.Unmarshal(m["trace"], &tree); err != nil {
+		log.Fatal(err)
+	}
+	var sub api.TraceInfo
+	if err := json.Unmarshal(tree.Backend, &sub); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace:         origin=%s front spans=%d backend subtree spans=%d shape=%s\n",
+		tree.Origin, len(tree.Spans), len(sub.Spans), tree.Shape())
+
+	// The fleet in one scrape: the front's own families plus every
+	// backend's /metrics merged (counters summed, gauges per node).
+	fresp, err := http.Get(proxy.URL + "/cluster/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	fams, err := telemetry.ParseExposition(fresp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	merged := 0
+	for _, fam := range fams {
+		if strings.HasPrefix(fam.Name, "pcserved_") {
+			merged++
+		}
+	}
+	fmt.Printf("federation:    /cluster/metrics carries %d families, %d merged from the backends\n",
+		len(fams), merged)
 }
 
 // post sends a JSON body and returns the response body and the serving

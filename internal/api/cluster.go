@@ -197,3 +197,50 @@ type ClusterHealthResponse struct {
 	Sessions  int `json:"sessions"`
 	Campaigns int `json:"campaigns"`
 }
+
+// BackendStatus is one node's row in the fleet status document
+// (pcfront's GET /cluster/healthz): the front's routing view of the
+// node joined with the node's own /healthz report.
+type BackendStatus struct {
+	// Node is the front's view: ring/drain state and proxy counters.
+	Node ClusterNode `json:"node"`
+	// Reachable reports whether the node answered its /healthz scrape.
+	Reachable bool `json:"reachable"`
+	// Health is the node's own report, present when Reachable.
+	Health *HealthResponse `json:"health,omitempty"`
+	// Error describes the scrape failure when not Reachable.
+	Error string `json:"error,omitempty"`
+}
+
+// ClusterStatusResponse is pcfront's GET /cluster/healthz body: the
+// whole fleet as one document — the front's summary plus one row per
+// backend.
+type ClusterStatusResponse struct {
+	Front    ClusterHealthResponse `json:"front"`
+	Backends []BackendStatus       `json:"backends"`
+}
+
+// ClusterStatusFrom assembles the fleet document from the front's own
+// health view and the per-node scrape results, keyed by node name. Like
+// HealthFrom it is a pure snapshot-to-wire-shape function: rows come
+// out in the front's configuration order, a node missing from health
+// gets its scrape error (or "unreachable") instead of a report.
+func ClusterStatusFrom(front ClusterHealthResponse, health map[string]*HealthResponse, errs map[string]string) ClusterStatusResponse {
+	out := ClusterStatusResponse{
+		Front:    front,
+		Backends: make([]BackendStatus, len(front.Nodes)),
+	}
+	for i, n := range front.Nodes {
+		row := BackendStatus{Node: n}
+		if h, ok := health[n.Name]; ok {
+			row.Reachable = true
+			row.Health = h
+		} else if msg, ok := errs[n.Name]; ok && msg != "" {
+			row.Error = msg
+		} else {
+			row.Error = "unreachable"
+		}
+		out.Backends[i] = row
+	}
+	return out
+}

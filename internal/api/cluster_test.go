@@ -140,3 +140,36 @@ func TestRequestKeyForPath(t *testing.T) {
 		t.Fatal("unknown path accepted")
 	}
 }
+
+func TestClusterStatusFrom(t *testing.T) {
+	front := ClusterHealthResponse{
+		Status: "degraded",
+		Nodes: []ClusterNode{
+			{Name: "a:7001", State: NodeHealthy},
+			{Name: "b:7002", State: NodeUnhealthy},
+			{Name: "c:7003", State: NodeDraining},
+		},
+	}
+	health := map[string]*HealthResponse{
+		"a:7001": {Status: "ok"},
+	}
+	errs := map[string]string{
+		"b:7002": "connection refused",
+	}
+	doc := ClusterStatusFrom(front, health, errs)
+	if doc.Front.Status != "degraded" || len(doc.Backends) != 3 {
+		t.Fatalf("doc: %+v", doc)
+	}
+	a := doc.Backends[0]
+	if !a.Reachable || a.Health == nil || a.Health.Status != "ok" || a.Error != "" {
+		t.Fatalf("row a: %+v", a)
+	}
+	b := doc.Backends[1]
+	if b.Reachable || b.Health != nil || b.Error != "connection refused" {
+		t.Fatalf("row b: %+v", b)
+	}
+	c := doc.Backends[2]
+	if c.Reachable || c.Error != "unreachable" || c.Node.State != NodeDraining {
+		t.Fatalf("row c: %+v", c)
+	}
+}

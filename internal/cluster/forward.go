@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/telemetry"
 )
 
 // RouteInfo reports how a forwarded request was served: which backend
@@ -33,7 +35,9 @@ type backendResponse struct {
 // attemptOutcome is one finished attempt.
 type attemptOutcome struct {
 	node   *Node
+	index  int // 1-based launch order
 	hedged bool
+	dur    time.Duration
 	resp   *backendResponse // nil on transport error
 	err    error
 }
@@ -59,11 +63,24 @@ var errNoBackends = errors.New("cluster: no backends available")
 //
 // Responses are deterministic across nodes, so any winner is the
 // correct answer.
+//
+// When ctx carries a trace, Forward records the cluster-tier spans
+// (route, forward, retry, hedge). Every span is recorded from this
+// function's single select loop, never from an attempt goroutine: an
+// attempt that loses a hedge race and completes after the winner
+// returned can only write to the buffered results channel, so by
+// construction it cannot leak spans into the stitched tree.
 func (c *Cluster) Forward(ctx context.Context, path string, header http.Header, body []byte, key string, hedge bool) (*backendResponse, RouteInfo, error) {
+	tr := telemetry.FromContext(ctx)
+	rstart := tr.Clock()
 	cands := c.candidates(key)
 	if len(cands) == 0 {
 		return nil, RouteInfo{}, errNoBackends
 	}
+	tr.AddSince(telemetry.SpanRoute, rstart,
+		telemetry.Annotation{Key: "key", Value: strconv.FormatUint(hashKey(key), 16)},
+		telemetry.Annotation{Key: "backend", Value: cands[0].Name},
+		telemetry.Annotation{Key: "candidates", Value: strconv.Itoa(len(cands))})
 	c.budget.credit()
 
 	ctx, cancelAll := context.WithCancel(ctx)
@@ -83,9 +100,13 @@ func (c *Cluster) Forward(ctx context.Context, path string, header http.Header, 
 		if retry {
 			n.retries.Add(1)
 		}
-		go func() {
-			results <- c.attempt(ctx, n, path, header, body, hedged)
-		}()
+		go func(index int) {
+			start := time.Now()
+			out := c.attempt(ctx, n, path, header, body, hedged)
+			out.index = index
+			out.dur = time.Since(start)
+			results <- out
+		}(attempts)
 	}
 	launch(false, false)
 
@@ -97,6 +118,7 @@ func (c *Cluster) Forward(ctx context.Context, path string, header http.Header, 
 	}
 
 	hedgedReq, retriedReq := false, false
+	var hedgeStart time.Time
 	var lastErr error
 	var last5xx *backendResponse
 	lastBackend, lastAttempts := "", 0
@@ -104,19 +126,46 @@ func (c *Cluster) Forward(ctx context.Context, path string, header http.Header, 
 		info := RouteInfo{Backend: out.node.Name, Attempts: attempts, Hedged: out.hedged}
 		if hedgedReq {
 			c.hedged.Add(1)
+			winner := "primary"
 			if out.hedged {
+				winner = "hedge"
 				c.hedgeWins.Add(1)
 			}
+			// The hedge span covers the whole race, launch to win; the
+			// losers' contexts are cancelled by the deferred cancelAll
+			// right after this returns.
+			tr.AddSince(telemetry.SpanHedge, hedgeStart,
+				telemetry.Annotation{Key: "winner", Value: winner},
+				telemetry.Annotation{Key: "cancelled", Value: strconv.Itoa(outstanding)})
 		}
 		if retriedReq {
 			c.retried.Add(1)
 		}
 		return out.resp, info, nil
 	}
+	recordForward := func(out attemptOutcome) {
+		if tr == nil {
+			return
+		}
+		annots := []telemetry.Annotation{
+			{Key: "attempt", Value: strconv.Itoa(out.index)},
+			{Key: "backend", Value: out.node.Name},
+		}
+		if out.err != nil {
+			annots = append(annots, telemetry.Annotation{Key: "error", Value: "transport"})
+		} else {
+			annots = append(annots, telemetry.Annotation{Key: "status", Value: strconv.Itoa(out.resp.status)})
+		}
+		if out.hedged {
+			annots = append(annots, telemetry.Annotation{Key: "hedged", Value: "true"})
+		}
+		tr.Add(telemetry.SpanForward, out.dur, annots...)
+	}
 	for {
 		select {
 		case out := <-results:
 			outstanding--
+			recordForward(out)
 			switch {
 			case out.err == nil && out.resp.status < http.StatusInternalServerError:
 				return finish(out)
@@ -130,7 +179,15 @@ func (c *Cluster) Forward(ctx context.Context, path string, header http.Header, 
 			// retries spend a budget token.
 			if next < len(cands) && (out.err != nil || c.budget.spend()) {
 				retriedReq = true
+				reason := "5xx"
+				if out.err != nil {
+					reason = "transport"
+				}
 				launch(false, true)
+				tr.Add(telemetry.SpanRetry, 0,
+					telemetry.Annotation{Key: "attempt", Value: strconv.Itoa(attempts)},
+					telemetry.Annotation{Key: "backend", Value: cands[next-1].Name},
+					telemetry.Annotation{Key: "reason", Value: reason})
 			} else if outstanding == 0 {
 				if last5xx != nil {
 					// Surface the fleet's own error body rather than
@@ -143,6 +200,7 @@ func (c *Cluster) Forward(ctx context.Context, path string, header http.Header, 
 		case <-hedgeCh:
 			if next < len(cands) && c.budget.spend() {
 				hedgedReq = true
+				hedgeStart = tr.Clock()
 				launch(true, false)
 			}
 			hedgeCh = nil
@@ -205,5 +263,8 @@ func copyForwardHeaders(dst, src http.Header) {
 	}
 	if ct := src.Get("Content-Type"); ct != "" {
 		dst.Set("Content-Type", ct)
+	}
+	if tv := src.Get(api.HeaderTrace); tv != "" {
+		dst.Set(api.HeaderTrace, tv)
 	}
 }

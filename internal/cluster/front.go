@@ -29,10 +29,15 @@ type Front struct {
 	handler   http.Handler
 
 	reg      *telemetry.Registry
+	runtime  *telemetry.Runtime
 	requests *telemetry.CounterVec
 	errors   *telemetry.CounterVec
 	latency  *telemetry.HistogramVec
 	backend  *telemetry.HistogramVec
+	// stage pre-binds one histogram per front span name
+	// (telemetry.FrontSpanNames), fed by the observer of every request's
+	// trace — the cluster-tier mirror of pcserved's stage histograms.
+	stage map[string]*telemetry.Histogram
 }
 
 // NewFront builds the cluster and its HTTP front end. Close the Front
@@ -47,6 +52,8 @@ func NewFront(cfg Config) (*Front, error) {
 		sessions:  newOwners(4096),
 		campaigns: newOwners(4096),
 		reg:       telemetry.NewRegistry(),
+		runtime:   telemetry.NewRuntime("pcfront"),
+		stage:     make(map[string]*telemetry.Histogram),
 	}
 	buckets := telemetry.LogBuckets(1e-5, 10, 3)
 	f.requests = f.reg.NewCounterVec("pcfront_http_requests_total",
@@ -57,11 +64,26 @@ func NewFront(cfg Config) (*Front, error) {
 		"Front-end request latency (routing + backend + hop), by route pattern.", buckets, "endpoint")
 	f.backend = f.reg.NewHistogramVec("pcfront_backend_request_duration_seconds",
 		"Per-attempt backend latency as observed by the proxy, by backend.", buckets, "backend")
+	stageVec := f.reg.NewHistogramVec("pcfront_stage_duration_seconds",
+		"Per-stage cluster-tier span durations (docs/OBSERVABILITY.md front span catalogue).",
+		buckets, "stage")
+	for _, name := range telemetry.FrontSpanNames() {
+		f.stage[name] = stageVec.With(name)
+	}
 	c.observeAttempt = func(backend string, d time.Duration) {
 		f.backend.With(backend).Observe(d)
 	}
 	f.handler = f.routes()
 	return f, nil
+}
+
+// observeSpan feeds a finished front span into its stage histogram.
+// Names outside the front catalogue are dropped rather than minting
+// unbounded label values.
+func (f *Front) observeSpan(sd telemetry.SpanData) {
+	if h, ok := f.stage[sd.Name]; ok {
+		h.Observe(sd.Duration)
+	}
 }
 
 // Cluster exposes the fleet view (drain control, health, tests).
@@ -98,9 +120,11 @@ func (f *Front) routes() http.Handler {
 	handle("DELETE /campaigns/{id}", f.owned("campaigns", f.campaigns, false))
 	handle("GET /healthz", f.healthz)
 	handle("GET /cluster", f.healthz)
+	handle("GET /cluster/healthz", f.clusterHealthz)
 	handle("POST /cluster/drain/{node}", f.drain(true))
 	handle("POST /cluster/undrain/{node}", f.drain(false))
 	mux.HandleFunc("GET /metrics", f.serveMetrics)
+	mux.HandleFunc("GET /cluster/metrics", f.clusterMetrics)
 	return mux
 }
 
@@ -114,13 +138,17 @@ func endpointLabel(pattern string) string {
 }
 
 // instrument wraps a handler with the per-endpoint counters and the
-// route latency histogram.
+// route latency histogram, and installs an observed trace in the
+// request context so the cluster-tier spans Forward records land in
+// the stage histograms on every request — traced or not.
 func (f *Front) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	requests := f.requests.With(endpoint)
 	errCount := f.errors.With(endpoint)
 	latency := f.latency.With(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tr := telemetry.NewObserved(f.observeSpan)
+		r = r.WithContext(telemetry.NewContext(r.Context(), tr))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		requests.Inc()
@@ -151,10 +179,28 @@ func (f *Front) keyed(path string, hedge bool, record *owners) http.HandlerFunc 
 		if kerr != nil {
 			key = "raw|" + strconv.FormatUint(hashKey(string(body)), 16)
 		}
+		traced := api.WantsTrace(path, body)
+		if traced {
+			// Mark the hop traced: the backend echoes its span trace in
+			// the X-Pc-Trace-Spans response header (error bodies included)
+			// so the front can stitch it under its own spans.
+			r.Header.Set(api.HeaderTrace, f.c.cfg.Name)
+		}
+		tr := telemetry.FromContext(r.Context())
 		resp, info, err := f.c.Forward(r.Context(), path, r.Header, body, key, hedge)
 		if err != nil {
+			if traced {
+				f.sealTrace(w, tr, nil)
+			}
 			writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: forwarding %s: %w", path, err))
 			return
+		}
+		if traced {
+			stitched := f.sealTrace(w, tr, resp)
+			if resp.status == http.StatusOK {
+				resp = &backendResponse{status: resp.status, header: resp.header,
+					body: withStitchedTrace(resp.body, stitched)}
+			}
 		}
 		if record != nil && resp.status == http.StatusCreated {
 			var created struct {
@@ -166,6 +212,69 @@ func (f *Front) keyed(path string, hedge bool, record *owners) http.HandlerFunc 
 		}
 		writeProxied(w, resp, info, key, kerr == nil)
 	}
+}
+
+// sealTrace assembles the stitched trace tree — the front's own spans
+// with the backend's echoed trace nested verbatim underneath — and
+// sets it as the response's X-Pc-Trace-Spans header. The header rides
+// every traced response, error paths included: an error body is the
+// backend's verbatim answer and cannot be rewritten, so the header is
+// the only channel that carries the hop's trace out.
+func (f *Front) sealTrace(w http.ResponseWriter, tr *telemetry.Trace, resp *backendResponse) *api.TraceInfo {
+	stitched := api.TraceInfoFrom(tr)
+	if stitched == nil {
+		stitched = &api.TraceInfo{}
+	}
+	stitched.Origin = f.c.cfg.Name
+	if resp != nil {
+		// Prefer the in-body trace block (it includes the encode span);
+		// error bodies have none, so fall back to the header echo.
+		if raw := traceBlock(resp.body); raw != nil {
+			stitched.Backend = raw
+		} else if h := resp.header.Get(api.HeaderTraceSpans); h != "" {
+			stitched.Backend = json.RawMessage(h)
+		}
+	}
+	if b, err := json.Marshal(stitched); err == nil {
+		w.Header().Set(api.HeaderTraceSpans, string(b))
+	}
+	return stitched
+}
+
+// traceBlock extracts the raw bytes of a JSON object's top-level
+// "trace" value, nil when absent or the body is not an object.
+func traceBlock(body []byte) json.RawMessage {
+	var m map[string]json.RawMessage
+	if json.Unmarshal(body, &m) != nil {
+		return nil
+	}
+	return m["trace"]
+}
+
+// withStitchedTrace replaces a 200 body's trace block with the
+// stitched tree. Every other field survives as raw bytes; the backend
+// subtree inside the new block is the backend's trace verbatim. Any
+// failure returns the body unchanged — a proxy degrades to
+// passthrough, never corrupts.
+func withStitchedTrace(body []byte, stitched *api.TraceInfo) []byte {
+	var m map[string]json.RawMessage
+	if json.Unmarshal(body, &m) != nil {
+		return body
+	}
+	if _, ok := m["trace"]; !ok {
+		return body
+	}
+	raw, err := json.Marshal(stitched)
+	if err != nil {
+		return body
+	}
+	m["trace"] = raw
+	out, err := json.Marshal(m)
+	if err != nil {
+		return body
+	}
+	// Backend bodies end in a newline (json.Encoder); keep the shape.
+	return append(out, '\n')
 }
 
 // owned routes a stateful sub-resource to its owning node: the owner
@@ -273,6 +382,16 @@ func (f *Front) proxyStream(w http.ResponseWriter, r *http.Request, n *Node, pat
 		return
 	}
 	defer resp.Body.Close()
+	// The stream-passthrough span covers the whole proxied stream, first
+	// byte to producer close; recorded retroactively on return since a
+	// stream has no post-body trailer to carry it sooner.
+	tr := telemetry.FromContext(r.Context())
+	sstart := tr.Clock()
+	defer func() {
+		tr.AddSince(telemetry.SpanStreamPassthrough, sstart,
+			telemetry.Annotation{Key: "backend", Value: n.Name},
+			telemetry.Annotation{Key: "status", Value: strconv.Itoa(resp.StatusCode)})
+	}()
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
@@ -348,10 +467,17 @@ func (f *Front) drain(on bool) http.HandlerFunc {
 }
 
 // serveMetrics renders the proxy's Prometheus exposition: the
-// registry families (HTTP and backend-attempt latency) plus the
-// snapshot-derived per-backend counters and fleet gauges.
+// registry families (HTTP, stage, and backend-attempt latency) plus
+// the snapshot-derived per-backend counters, fleet gauges, and the Go
+// runtime families.
 func (f *Front) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	f.writeOwnMetrics(w)
+}
+
+// writeOwnMetrics writes the front's own families — the shared body of
+// /metrics and the head of the federated /cluster/metrics document.
+func (f *Front) writeOwnMetrics(w io.Writer) {
 	f.reg.WritePrometheus(w)
 	e := telemetry.NewExpo(w)
 	label := func(k, v string) telemetry.Annotation { return telemetry.Annotation{Key: k, Value: v} }
@@ -396,6 +522,108 @@ func (f *Front) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	e.Family("pcfront_stream_owners", "Pinned stream routes tracked, by kind.", "gauge")
 	e.Sample(float64(f.sessions.len()), label("kind", "sessions"))
 	e.Sample(float64(f.campaigns.len()), label("kind", "campaigns"))
+	f.runtime.Write(e)
+}
+
+// clusterMetrics federates the fleet's expositions into one document:
+// the front's own families first, then every routable backend's
+// /metrics scraped, parsed, and merged — counters and histograms
+// summed fleet-wide, gauges kept per node under a backend label — and
+// a per-backend scrape-success gauge so a partial document is visible
+// as such rather than silently short.
+func (f *Front) clusterMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	f.writeOwnMetrics(w)
+
+	m := telemetry.NewMerger()
+	scraped := make([]float64, len(f.c.nodes))
+	for i, n := range f.c.nodes {
+		if f.c.NodeInfo(n.Name).State == api.NodeUnhealthy {
+			continue
+		}
+		fams, err := f.scrapeMetrics(r.Context(), n)
+		if err != nil {
+			continue
+		}
+		m.Add(n.Name, fams)
+		scraped[i] = 1
+	}
+	e := telemetry.NewExpo(w)
+	e.Family("pcfront_cluster_scrape_ok", "Whether this document includes the backend's scraped families (0: unhealthy or scrape failed).", "gauge")
+	for i, n := range f.c.nodes {
+		e.Sample(scraped[i], telemetry.Annotation{Key: "backend", Value: n.Name})
+	}
+	m.Write(telemetry.NewExpo(w))
+}
+
+// scrapeMetrics fetches and parses one backend's /metrics under the
+// probe timeout.
+func (f *Front) scrapeMetrics(ctx context.Context, n *Node) ([]telemetry.ParsedFamily, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(api.HeaderForwarded, f.c.cfg.Name)
+	resp, err := f.c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("cluster: %s /metrics: status %d", n.Name, resp.StatusCode)
+	}
+	return telemetry.ParseExposition(resp.Body)
+}
+
+// clusterHealthz renders the whole fleet as one JSON document: the
+// front's own summary (ring, drain, budget state) plus every node's
+// own /healthz report, or the scrape error for nodes that did not
+// answer. 503 mirrors /healthz: only when no node can serve.
+func (f *Front) clusterHealthz(w http.ResponseWriter, r *http.Request) {
+	front := f.c.Health()
+	front.Sessions = f.sessions.len()
+	front.Campaigns = f.campaigns.len()
+	health := make(map[string]*api.HealthResponse, len(f.c.nodes))
+	errs := make(map[string]string)
+	for _, n := range f.c.nodes {
+		h, err := f.scrapeHealth(r.Context(), n)
+		if err != nil {
+			errs[n.Name] = err.Error()
+			continue
+		}
+		health[n.Name] = h
+	}
+	status := http.StatusOK
+	if front.Status == "unavailable" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, api.ClusterStatusFrom(front, health, errs))
+}
+
+// scrapeHealth fetches and decodes one backend's /healthz under the
+// probe timeout. Non-200 still decodes: a degraded node's report is
+// exactly what the fleet view wants to show.
+func (f *Front) scrapeHealth(ctx context.Context, n *Node) (*api.HealthResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.Base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(api.HeaderForwarded, f.c.cfg.Name)
+	resp, err := f.c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h api.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("cluster: %s /healthz: %w", n.Name, err)
+	}
+	return &h, nil
 }
 
 // writeProxied copies a backend response to the client, attaching the

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/campaign"
 	"repro/internal/monitor"
 	"repro/internal/plan"
@@ -23,6 +25,7 @@ func latencyBuckets() []float64 { return telemetry.LogBuckets(1e-5, 10, 3) }
 // instrumentation source, two consumers.
 type telemetrySet struct {
 	reg      *telemetry.Registry
+	runtime  *telemetry.Runtime
 	requests *telemetry.CounterVec
 	errors   *telemetry.CounterVec
 	latency  *telemetry.HistogramVec
@@ -35,7 +38,8 @@ func newTelemetrySet() *telemetrySet {
 	reg := telemetry.NewRegistry()
 	buckets := latencyBuckets()
 	ts := &telemetrySet{
-		reg: reg,
+		reg:     reg,
+		runtime: telemetry.NewRuntime("pcserved"),
 		requests: reg.NewCounterVec("pcserved_http_requests_total",
 			"HTTP requests served, by route pattern.", "endpoint"),
 		errors: reg.NewCounterVec("pcserved_http_errors_total",
@@ -78,6 +82,12 @@ func (ts *telemetrySet) instrument(endpoint string, h http.HandlerFunc) http.Han
 		tr := telemetry.NewObserved(ts.observeSpan)
 		r = r.WithContext(telemetry.NewContext(r.Context(), tr))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if r.Header.Get(api.HeaderTrace) != "" {
+			// A cluster front marked this hop as traced: echo the span
+			// trace in the response header so the front can stitch it —
+			// success and error responses alike.
+			sw.echoTrace = tr
+		}
 		h(sw, r)
 		requests.Inc()
 		if sw.status >= 400 {
@@ -87,19 +97,50 @@ func (ts *telemetrySet) instrument(endpoint string, h http.HandlerFunc) http.Han
 	}
 }
 
-// statusWriter records the response status for the error counter. It
-// preserves the streaming surface of the underlying writer: Flush
-// keeps /sessions and /campaigns NDJSON streams flushing per event,
-// and Unwrap lets http.ResponseController reach the deadline controls
-// streamEvents uses.
+// statusWriter records the response status for the error counter and
+// seals the cross-process trace echo. It preserves the streaming
+// surface of the underlying writer: Flush keeps /sessions and
+// /campaigns NDJSON streams flushing per event, and Unwrap lets
+// http.ResponseController reach the deadline controls streamEvents
+// uses.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status      int
+	echoTrace   *telemetry.Trace
+	wroteHeader bool
 }
 
+// WriteHeader emits the response head. When the hop is traced
+// (echoTrace set), the trace recorded so far is serialized into the
+// X-Pc-Trace-Spans header first — at this point every span except
+// encode has been recorded, which is exactly the span set of the
+// in-body trace block (the encode span by design cannot appear in the
+// body it times), so the two channels agree. The echo rides error
+// responses too: their bodies carry no trace block, so the header is
+// the only channel a stitching front has.
 func (w *statusWriter) WriteHeader(status int) {
+	if w.wroteHeader {
+		w.ResponseWriter.WriteHeader(status)
+		return
+	}
+	w.wroteHeader = true
 	w.status = status
+	if w.echoTrace != nil {
+		if b, err := json.Marshal(api.TraceInfoFrom(w.echoTrace)); err == nil {
+			w.Header().Set(api.HeaderTraceSpans, string(b))
+		}
+	}
 	w.ResponseWriter.WriteHeader(status)
+}
+
+// Write backstops handlers that never call WriteHeader explicitly: the
+// implicit 200 must still seal the trace header before the first body
+// byte reaches the wire.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(p)
 }
 
 func (w *statusWriter) Flush() {
@@ -120,6 +161,7 @@ func (ts *telemetrySet) serveMetrics(svc *service.Service, reg *monitor.Registry
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		ts.reg.WritePrometheus(w)
 		writeSnapshotMetrics(w, svc.Stats(), reg, creg, planner)
+		ts.runtime.Write(telemetry.NewExpo(w))
 	}
 }
 

@@ -2,10 +2,12 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -174,8 +176,10 @@ func TestMetricsEndpoint(t *testing.T) {
 			if len(fields) != 2 {
 				t.Fatalf("malformed sample line: %q", line)
 			}
-			var v float64
-			if err := json.Unmarshal([]byte(fields[1]), &v); err != nil {
+			// strconv, not JSON: exposition values include NaN and +Inf
+			// (the runtime histograms have no tracked sum).
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
 				t.Fatalf("unparseable value in %q: %v", line, err)
 			}
 			samples[fields[0]] = v
@@ -300,5 +304,154 @@ func TestPprofGating(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "goroutine") {
 		t.Errorf("pprof index does not list profiles: %s", body)
+	}
+}
+
+// postTraced posts body with the X-Pc-Trace hop header set, returning
+// the status, response body, and the echoed X-Pc-Trace-Spans header.
+func postTraced(t *testing.T, url string, req any) (int, []byte, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set(api.HeaderTrace, "front-test")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out, resp.Header.Get(api.HeaderTraceSpans)
+}
+
+// TestTraceHeaderEcho exercises the cross-process propagation contract:
+// a request carrying X-Pc-Trace gets its span trace echoed in the
+// X-Pc-Trace-Spans response header, with the same span set as the
+// in-body block, while the body itself stays untouched.
+func TestTraceHeaderEcho(t *testing.T) {
+	srv := newTestServer(t)
+	req := api.MeasureRequest{Processor: "K8", Stack: "pc", Bench: "loop:1000", Pattern: "rr", Runs: 3}
+
+	// Hop header + body opt-in: header and body blocks carry the same
+	// span set.
+	traced := req
+	traced.Trace = true
+	status, body, hdr := postTraced(t, srv.URL+"/measure", traced)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", status, body)
+	}
+	if hdr == "" {
+		t.Fatal("no X-Pc-Trace-Spans header on traced hop")
+	}
+	var fromHeader api.TraceInfo
+	if err := json.Unmarshal([]byte(hdr), &fromHeader); err != nil {
+		t.Fatalf("header does not parse as a trace block: %v\n%s", err, hdr)
+	}
+	var tm struct {
+		Trace *api.TraceInfo `json:"trace"`
+	}
+	if err := json.Unmarshal(body, &tm); err != nil || tm.Trace == nil {
+		t.Fatalf("no in-body trace block: %v %s", err, body)
+	}
+	if got, want := fromHeader.Shape(), tm.Trace.Shape(); got != want {
+		t.Errorf("header and body span sets differ:\nheader %s\n  body %s", got, want)
+	}
+
+	// Hop header alone: body stays byte-identical to a plain response
+	// (no trace block), spans ride the header only.
+	status, hopBody, hdr := postTraced(t, srv.URL+"/measure", req)
+	if status != http.StatusOK || hdr == "" {
+		t.Fatalf("hop-only: status = %d, header = %q", status, hdr)
+	}
+	var pm map[string]json.RawMessage
+	if err := json.Unmarshal(hopBody, &pm); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pm["trace"]; ok {
+		t.Error("hop header alone injected a trace block into the body")
+	}
+
+	// No hop header: no echo.
+	resp, err := http.Post(srv.URL+"/measure", "application/json",
+		strings.NewReader(`{"processor":"K8","stack":"pc","bench":"loop:1000","pattern":"rr","runs":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if h := resp.Header.Get(api.HeaderTraceSpans); h != "" {
+		t.Errorf("untraced hop echoed spans: %q", h)
+	}
+}
+
+// TestTraceHeaderEchoOnError is the error-path half of the contract:
+// the echo must ride error responses too, because their bodies carry no
+// trace block.
+func TestTraceHeaderEchoOnError(t *testing.T) {
+	srv := newTestServer(t)
+	status, body, hdr := postTraced(t, srv.URL+"/measure", api.MeasureRequest{Processor: "Z80"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, body = %s", status, body)
+	}
+	if hdr == "" {
+		t.Fatal("error response dropped the X-Pc-Trace-Spans header")
+	}
+	var info api.TraceInfo
+	if err := json.Unmarshal([]byte(hdr), &info); err != nil {
+		t.Fatalf("header does not parse: %v\n%s", err, hdr)
+	}
+	// The request parsed before validation failed, so the parse span
+	// must be present.
+	found := false
+	for _, sp := range info.Spans {
+		if sp.Name == "parse" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("error trace lacks the parse span: %+v", info.Spans)
+	}
+	// The error body itself is untouched: the standard error shape.
+	var e api.Error
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Errorf("error body not the standard shape: %s", body)
+	}
+}
+
+// TestRuntimeMetricsExposed checks the runtime self-metrics satellite:
+// /metrics carries the shared runtime families under the pcserved
+// prefix.
+func TestRuntimeMetricsExposed(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(expo)
+	for _, want := range []string{
+		"# TYPE pcserved_go_goroutines gauge",
+		"# TYPE pcserved_go_heap_objects_bytes gauge",
+		"# TYPE pcserved_go_gc_pause_seconds histogram",
+		"# TYPE pcserved_go_sched_latency_seconds histogram",
+		"pcserved_build_info{go_version=",
+		"# TYPE pcserved_uptime_seconds gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }

@@ -51,9 +51,10 @@ func NewHistogram(upper []float64) *Histogram {
 
 // LogBuckets returns perDecade log-spaced upper bounds per decade from
 // lo to hi inclusive (both in seconds): the standard latency bucket
-// layout (docs/OBSERVABILITY.md).
+// layout (docs/OBSERVABILITY.md). lo == hi degenerates to a single
+// bucket, so a caller collapsing a range never has to special-case it.
 func LogBuckets(lo, hi float64, perDecade int) []float64 {
-	if lo <= 0 || hi <= lo || perDecade < 1 {
+	if lo <= 0 || hi < lo || perDecade < 1 {
 		panic("telemetry: bad LogBuckets parameters")
 	}
 	var out []float64
@@ -270,6 +271,33 @@ func (e *Expo) Family(name, help, typ string) {
 // Sample writes one sample of the current family.
 func (e *Expo) Sample(value float64, labels ...Annotation) {
 	e.sample(e.name, value, labels)
+}
+
+// NamedSample writes one sample under an explicit sample name (the
+// family name plus a suffix such as _bucket/_sum/_count), bypassing the
+// current-family default. The federation writer uses it to re-emit
+// parsed samples whose suffixes are part of the parsed name.
+func (e *Expo) NamedSample(name string, value float64, labels ...Annotation) {
+	e.sample(name, value, labels)
+}
+
+// StaticHistogram writes a pre-bucketed histogram child of the current
+// family in the cumulative _bucket/_sum/_count form: counts holds one
+// per-bucket (non-cumulative) count per upper bound plus a final
+// overflow bucket (len(upper)+1 entries). Sum may be NaN when the
+// source (e.g. runtime/metrics) does not track one.
+func (e *Expo) StaticHistogram(upper []float64, counts []uint64, sum float64, labels ...Annotation) {
+	var cum uint64
+	for i, ub := range upper {
+		cum += counts[i]
+		e.sample(e.name+"_bucket", float64(cum),
+			append(append([]Annotation{}, labels...), Annotation{Key: "le", Value: formatFloat(ub)}))
+	}
+	cum += counts[len(upper)]
+	e.sample(e.name+"_bucket", float64(cum),
+		append(append([]Annotation{}, labels...), Annotation{Key: "le", Value: "+Inf"}))
+	e.sample(e.name+"_sum", sum, labels)
+	e.sample(e.name+"_count", float64(cum), labels)
 }
 
 // Histogram writes a histogram child of the current family in the

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"math"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"sort"
+	"time"
+)
+
+// Runtime exports the process's own vital signs — the Go runtime/metrics
+// essentials plus build identity and uptime — as exposition families
+// under a process prefix. pcserved and pcfront both embed one, so the
+// fleet's self-observation comes from a single implementation: the same
+// bucket grid, the same family suffixes, only the prefix differs.
+type Runtime struct {
+	prefix string
+	start  time.Time
+}
+
+// NewRuntime returns a collector whose uptime gauge is anchored at the
+// call (process construction) time.
+func NewRuntime(prefix string) *Runtime {
+	return &Runtime{prefix: prefix, start: time.Now()}
+}
+
+// runtimeSamples are the runtime/metrics series we re-expose. The set is
+// deliberately tiny: enough to see scheduler pressure (goroutines, sched
+// latency), memory pressure (live heap), and GC interference with
+// measurements (pause distribution) without drowning the exposition.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// runtimeHistBuckets is the grid runtime histograms are folded onto:
+// 1ns..10s log-spaced, coarser than the runtime's native buckets but
+// aligned with the request-latency layout so the two read side by side.
+var runtimeHistBuckets = LogBuckets(1e-9, 10, 2)
+
+// Write renders the runtime families onto e. It reads runtime/metrics
+// fresh on every call, so the exposition is a point-in-time snapshot.
+func (r *Runtime) Write(e *Expo) {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, n := range runtimeSampleNames {
+		samples[i].Name = n
+	}
+	metrics.Read(samples)
+
+	e.Family(r.prefix+"_go_goroutines", "Live goroutines.", "gauge")
+	e.Sample(runtimeValue(samples[0]))
+	e.Family(r.prefix+"_go_heap_objects_bytes", "Bytes of live heap objects.", "gauge")
+	e.Sample(runtimeValue(samples[1]))
+	e.Family(r.prefix+"_go_gc_pause_seconds", "Distribution of stop-the-world GC pauses.", "histogram")
+	writeRuntimeHistogram(e, samples[2])
+	e.Family(r.prefix+"_go_sched_latency_seconds", "Distribution of goroutine scheduling latency.", "histogram")
+	writeRuntimeHistogram(e, samples[3])
+
+	e.Family(r.prefix+"_build_info", "Build identity; value is always 1.", "gauge")
+	e.Sample(1,
+		Annotation{Key: "go_version", Value: runtime.Version()},
+		Annotation{Key: "revision", Value: buildRevision()},
+	)
+	e.Family(r.prefix+"_uptime_seconds", "Seconds since process start.", "gauge")
+	e.Sample(time.Since(r.start).Seconds())
+}
+
+// runtimeValue extracts a scalar sample, tolerating kinds the running
+// toolchain may not support (KindBad reads as zero rather than a panic).
+func runtimeValue(s metrics.Sample) float64 {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		return s.Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// writeRuntimeHistogram folds a runtime/metrics Float64Histogram onto
+// runtimeHistBuckets and emits it. Each native bucket's count lands in
+// the first grid bucket whose upper bound covers the native bucket's
+// upper boundary; the runtime does not track a sum, so _sum is NaN —
+// honest, and valid exposition.
+func writeRuntimeHistogram(e *Expo, s metrics.Sample, labels ...Annotation) {
+	counts := make([]uint64, len(runtimeHistBuckets)+1)
+	if s.Value.Kind() == metrics.KindFloat64Histogram {
+		h := s.Value.Float64Histogram()
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			ub := h.Buckets[i+1]
+			j := len(runtimeHistBuckets) // overflow
+			if !math.IsInf(ub, 1) {
+				j = sort.SearchFloat64s(runtimeHistBuckets, ub)
+			}
+			counts[j] += c
+		}
+	}
+	e.StaticHistogram(runtimeHistBuckets, counts, math.NaN(), labels...)
+}
+
+// buildRevision returns the VCS revision baked into the binary, or
+// "unknown" for builds without embedded VCS info (e.g. go test).
+func buildRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}

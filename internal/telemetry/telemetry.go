@@ -33,13 +33,35 @@ const (
 	SpanEncode       = "encode"        // HTTP response encode (handleJSON)
 )
 
-// SpanNames lists the full span catalogue in a stable order, used to
-// pre-bind the per-stage duration histograms.
+// Cluster-tier span names, recorded by pcfront around the internal hop
+// (internal/cluster). They live in the same closed catalogue so a
+// stitched fleet trace draws every name from one enumerable set, but
+// they are listed separately (FrontSpanNames) because the two processes
+// bind disjoint stage histograms.
+const (
+	SpanRoute             = "route"              // ring placement of a canonical key
+	SpanForward           = "forward"            // one backend attempt, launch to response
+	SpanRetry             = "retry"              // a budgeted (or free-failover) retry launch
+	SpanHedge             = "hedge"              // a tail-latency hedge race, launch to win
+	SpanStreamPassthrough = "stream-passthrough" // an NDJSON stream proxied to its end
+)
+
+// SpanNames lists the measurement node's span catalogue in a stable
+// order, used to pre-bind the per-stage duration histograms.
 func SpanNames() []string {
 	return []string{
 		SpanParse, SpanCanonicalize, SpanCoalesceWait, SpanPoolAcquire,
 		SpanCalibrate, SpanEngineRun, SpanCorrect, SpanFuse,
 		SpanInferSolve, SpanEncode,
+	}
+}
+
+// FrontSpanNames lists the cluster front end's span catalogue in a
+// stable order. A stitched cluster trace contains front spans from this
+// set and a backend subtree drawn from SpanNames.
+func FrontSpanNames() []string {
+	return []string{
+		SpanRoute, SpanForward, SpanRetry, SpanHedge, SpanStreamPassthrough,
 	}
 }
 

@@ -124,6 +124,55 @@ func TestLogBuckets(t *testing.T) {
 	}
 }
 
+func TestLogBucketsDegenerate(t *testing.T) {
+	// min == max: one bucket, no panic.
+	b := LogBuckets(0.5, 0.5, 3)
+	if len(b) != 1 || b[0] != 0.5 {
+		t.Fatalf("LogBuckets(0.5, 0.5, 3) = %v, want [0.5]", b)
+	}
+	// A range narrower than one step also yields a single bucket.
+	b = LogBuckets(1, 1.1, 1)
+	if len(b) != 1 || b[0] != 1 {
+		t.Fatalf("LogBuckets(1, 1.1, 1) = %v, want [1]", b)
+	}
+	// One histogram built over it still works end to end.
+	h := NewHistogram(LogBuckets(0.5, 0.5, 3))
+	h.Observe(100 * time.Millisecond) // <= 0.5
+	h.Observe(2 * time.Second)        // +Inf
+	var sb strings.Builder
+	e := NewExpo(&sb)
+	e.Family("deg_seconds", "degenerate", "histogram")
+	e.Histogram(h)
+	out := sb.String()
+	for _, want := range []string{
+		`deg_seconds_bucket{le="0.5"} 1`,
+		`deg_seconds_bucket{le="+Inf"} 2`,
+		"deg_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLogBucketsBadParams(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi float64
+		per    int
+	}{
+		{0, 1, 3}, {-1, 1, 3}, {1, 0.5, 3}, {1, 10, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LogBuckets(%v, %v, %d) did not panic", tc.lo, tc.hi, tc.per)
+				}
+			}()
+			LogBuckets(tc.lo, tc.hi, tc.per)
+		}()
+	}
+}
+
 func TestHistogramObserveAndExposition(t *testing.T) {
 	r := NewRegistry()
 	hv := r.NewHistogramVec("test_duration_seconds", "Test durations.", []float64{0.001, 0.01, 0.1}, "stage")
@@ -192,6 +241,51 @@ func TestLabelEscaping(t *testing.T) {
 	want := `esc_total{k="a\"b\\c\n"} 1`
 	if !strings.Contains(b.String(), want) {
 		t.Fatalf("exposition missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestLabelEscapeRoundTrip(t *testing.T) {
+	cases := []string{
+		`plain`,
+		`quote " inside`,
+		`backslash \ inside`,
+		"newline\ninside",
+		`trailing backslash \`,
+		`\" already escaped-looking`,
+		"mix \" of \\ all\nthree",
+		``,
+	}
+	for _, in := range cases {
+		esc := escapeLabel(in)
+		if strings.ContainsAny(esc, "\n") {
+			t.Errorf("escapeLabel(%q) = %q still contains a raw newline", in, esc)
+		}
+		if got := unescapeLabel(esc); got != in {
+			t.Errorf("round trip %q -> %q -> %q", in, esc, got)
+		}
+	}
+}
+
+func TestLabelEscapingThroughParser(t *testing.T) {
+	// A value with every escapable character must survive write -> parse.
+	val := "a\"b\\c\nd,e=f}g"
+	var b strings.Builder
+	e := NewExpo(&b)
+	e.Family("esc_total", "escapes", "counter")
+	e.Sample(7, Annotation{Key: "k", Value: val}, Annotation{Key: "plain", Value: "x"})
+	fams, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, b.String())
+	}
+	if len(fams) != 1 || len(fams[0].Samples) != 1 {
+		t.Fatalf("parsed %+v", fams)
+	}
+	s := fams[0].Samples[0]
+	if len(s.Labels) != 2 || s.Labels[0].Value != val || s.Labels[1].Value != "x" {
+		t.Fatalf("labels did not round-trip: %+v", s.Labels)
+	}
+	if s.Value != 7 {
+		t.Fatalf("value %v, want 7", s.Value)
 	}
 }
 
